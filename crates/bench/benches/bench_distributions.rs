@@ -1,0 +1,54 @@
+//! Criterion benchmarks of distribution lookups and the exact
+//! communication-volume counters (Table I / Fig 8 machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbc_dist::comm::{potrf_messages, trtri_messages};
+use sbc_dist::{Distribution, SbcBasic, SbcExtended, TwoDBlockCyclic};
+use std::hint::black_box;
+
+fn bench_owner_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("owner_lookup_4096_tiles");
+    let nt = 64;
+    let dists: Vec<(&str, Box<dyn Distribution>)> = vec![
+        ("2dbc_7x4", Box::new(TwoDBlockCyclic::new(7, 4))),
+        ("sbc_basic_8", Box::new(SbcBasic::new(8))),
+        ("sbc_ext_8", Box::new(SbcExtended::new(8))),
+    ];
+    for (name, d) in &dists {
+        g.bench_function(*name, |bench| {
+            bench.iter(|| {
+                let mut acc = 0usize;
+                for i in 0..nt {
+                    for j in 0..=i {
+                        acc += d.owner(black_box(i), black_box(j));
+                    }
+                }
+                acc
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_comm_counting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exact_comm_count");
+    g.sample_size(10);
+    for nt in [50usize, 100] {
+        let sbc = SbcExtended::new(8);
+        g.bench_with_input(BenchmarkId::new("potrf_sbc8", nt), &nt, |bench, &nt| {
+            bench.iter(|| potrf_messages(&sbc, black_box(nt)));
+        });
+        let bc = TwoDBlockCyclic::new(7, 4);
+        g.bench_with_input(BenchmarkId::new("trtri_2dbc", nt), &nt, |bench, &nt| {
+            bench.iter(|| trtri_messages(&bc, black_box(nt)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_owner_lookup, bench_comm_counting
+);
+criterion_main!(benches);

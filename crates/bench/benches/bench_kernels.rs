@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks of the tile kernels (the building blocks of
+//! every experiment; Fig 7's efficiency model is calibrated against such
+//! kernels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sbc_kernels::reference::{random_lower_tile, random_spd_tile, random_tile};
+use sbc_kernels::{gemm, lauum, potrf, syrk, trmm_left_lower_trans, trsm_right_lower_trans, trtri, Tile, Trans};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm_nt");
+    for b in [32usize, 64, 128] {
+        let a = random_tile(b, 1);
+        let bt = random_tile(b, 2);
+        g.throughput(Throughput::Elements((2 * b * b * b) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, _| {
+            let mut ct = Tile::zeros(b);
+            bench.iter(|| gemm(Trans::No, Trans::Yes, -1.0, &a, &bt, 1.0, &mut ct));
+        });
+    }
+    g.finish();
+}
+
+fn bench_syrk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("syrk_lower");
+    for b in [32usize, 64, 128] {
+        let a = random_tile(b, 3);
+        g.throughput(Throughput::Elements((b * b * b) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, _| {
+            let mut ct = Tile::zeros(b);
+            bench.iter(|| syrk(Trans::No, -1.0, &a, 1.0, &mut ct));
+        });
+    }
+    g.finish();
+}
+
+fn bench_trsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trsm_right_lower_trans");
+    for b in [32usize, 64, 128] {
+        let l = random_lower_tile(b, 4);
+        let rhs = random_tile(b, 5);
+        g.throughput(Throughput::Elements((b * b * b) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, _| {
+            bench.iter(|| {
+                let mut x = rhs.clone();
+                trsm_right_lower_trans(1.0, &l, &mut x);
+                x
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_factor_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("factor_kernels_64");
+    let b = 64;
+    let spd = random_spd_tile(b, 6);
+    g.bench_function("potrf", |bench| {
+        bench.iter(|| {
+            let mut t = spd.clone();
+            potrf(&mut t).unwrap();
+            t
+        });
+    });
+    let mut l = random_lower_tile(b, 7);
+    l.zero_strict_upper();
+    g.bench_function("trtri", |bench| {
+        bench.iter(|| {
+            let mut t = l.clone();
+            trtri(&mut t).unwrap();
+            t
+        });
+    });
+    g.bench_function("lauum", |bench| {
+        bench.iter(|| {
+            let mut t = l.clone();
+            lauum(&mut t);
+            t
+        });
+    });
+    let x0 = random_tile(b, 8);
+    g.bench_function("trmm", |bench| {
+        bench.iter(|| {
+            let mut x = x0.clone();
+            trmm_left_lower_trans(&l, &mut x);
+            x
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_gemm, bench_syrk, bench_trsm, bench_factor_kernels
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the threaded distributed runtime (the Fig 8
+//! "measured volume" machinery, which also validates numerics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbc_dist::{RowCyclic, SbcExtended, TwoDBlockCyclic};
+use sbc_runtime::{run_posv, run_potrf};
+
+fn bench_distributed_potrf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_potrf");
+    g.sample_size(10);
+    for (name, nt, b) in [("nt12_b16", 12usize, 16usize), ("nt16_b24", 16, 24)] {
+        let d = SbcExtended::new(5); // 10 node-threads
+        g.bench_with_input(BenchmarkId::new("sbc5", name), &(nt, b), |bench, &(nt, b)| {
+            bench.iter(|| run_potrf(&d, nt, b, 42));
+        });
+        let d2 = TwoDBlockCyclic::new(5, 2);
+        g.bench_with_input(BenchmarkId::new("2dbc_5x2", name), &(nt, b), |bench, &(nt, b)| {
+            bench.iter(|| run_potrf(&d2, nt, b, 42));
+        });
+    }
+    g.finish();
+}
+
+fn bench_distributed_posv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_posv");
+    g.sample_size(10);
+    let d = SbcExtended::new(5);
+    let rhs = RowCyclic::new(10);
+    g.bench_function("sbc5_nt12_b16", |bench| {
+        bench.iter(|| run_posv(&d, &rhs, 12, 16, 42));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_distributed_potrf, bench_distributed_posv
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmarks of task-graph construction and priority
+//! computation — the submission-side cost the paper's Section II notes
+//! must stay scalable ("careful management of task submission").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sbc_dist::{SbcExtended, TwoPointFiveD, SbcBasic};
+use sbc_taskgraph::{build_potrf, build_potrf_25d, critical_path_priorities};
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build_potrf_graph");
+    g.sample_size(10);
+    for nt in [30usize, 60] {
+        let tasks = nt + nt * (nt - 1) + nt * (nt - 1) * (nt - 2) / 6;
+        g.throughput(Throughput::Elements(tasks as u64));
+        let d = SbcExtended::new(8);
+        g.bench_with_input(BenchmarkId::from_parameter(nt), &nt, |bench, &nt| {
+            bench.iter(|| build_potrf(&d, nt));
+        });
+    }
+    g.finish();
+}
+
+fn bench_build_25d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build_potrf_25d_graph");
+    g.sample_size(10);
+    let d25 = TwoPointFiveD::new(SbcBasic::new(4), 3);
+    g.bench_function("nt_40_c_3", |bench| {
+        bench.iter(|| build_potrf_25d(&d25, 40));
+    });
+    g.finish();
+}
+
+fn bench_priorities(c: &mut Criterion) {
+    let mut g = c.benchmark_group("critical_path_priorities");
+    g.sample_size(10);
+    let d = SbcExtended::new(8);
+    let graph = build_potrf(&d, 60);
+    g.bench_function("nt_60", |bench| {
+        bench.iter(|| critical_path_priorities(&graph, |t| t.kind.flops(500)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_build, bench_build_25d, bench_priorities
+);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! `paper` — regenerates every table and figure of the SBC paper.
+//!
+//! ```text
+//! cargo run --release -p sbc-bench --bin paper -- all
+//! cargo run --release -p sbc-bench --bin paper -- fig9 --full
+//! ```
+//!
+//! Targets: `table1`, `patterns`, `fig7` … `fig14`, `ablations`, `trace`,
+//! `all`. `--full` switches to the paper's full sweep sizes (slow);
+//! `--csv` emits figures as CSV instead of text tables.
+
+use sbc_bench::figures::{self, Scale};
+use sbc_bench::{render_csv, render_figure};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let csv = args.iter().any(|a| a == "--csv");
+    let scale = if full { Scale::Full } else { Scale::Quick };
+    let targets: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let target = targets.first().copied().unwrap_or("all");
+
+    let all = target == "all";
+    let mut ran = false;
+
+    if all || target == "table1" {
+        println!("== Table I: sizes of the considered distributions ==");
+        println!("{}", figures::table1_text());
+        ran = true;
+    }
+    if all || target == "patterns" {
+        patterns();
+        ran = true;
+    }
+    for (name, f) in [
+        ("fig7", figures::fig7 as fn(Scale) -> sbc_bench::Figure),
+        ("fig8", figures::fig8),
+        ("fig9", figures::fig9),
+        ("fig10", figures::fig10),
+        ("fig11", figures::fig11),
+        ("fig12", figures::fig12),
+        ("fig13", figures::fig13),
+        ("fig14", figures::fig14),
+        ("ablations", figures::ablations),
+    ] {
+        if all || target == name {
+            eprintln!("running {name} ({scale:?})...");
+            let fig = f(scale);
+            if csv {
+                println!("# {name}\n{}", render_csv(&fig));
+            } else {
+                println!("{}", render_figure(&fig));
+            }
+            ran = true;
+        }
+    }
+
+    if all || target == "trace" {
+        trace_demo();
+        ran = true;
+    }
+
+    if !ran {
+        eprintln!(
+            "unknown target '{target}'. Use one of: all, table1, patterns, fig7..fig14, ablations [--full]"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// Gantt strips of a small POTRF under SBC vs 2DBC: visualizes where the
+/// communication-induced idle time sits.
+fn trace_demo() {
+    use sbc_dist::{SbcExtended, TwoDBlockCyclic};
+    use sbc_simgrid::{render_gantt, Platform, SimConfig, Simulator};
+    use sbc_taskgraph::build_potrf;
+
+    println!("== Trace: per-node worker occupancy, POTRF nt=40, P=15 ==");
+    let p = Platform::bora(15);
+    for (name, g) in [
+        ("SBC r=6".to_string(), build_potrf(&SbcExtended::new(6), 40)),
+        ("2DBC 5x3".to_string(), build_potrf(&TwoDBlockCyclic::new(5, 3), 40)),
+    ] {
+        let (report, trace) = Simulator::new(&g, &p, SimConfig::chameleon(500)).run_traced();
+        println!("{name}: makespan {:.3}s, util {:.0}%", report.makespan, 100.0 * report.utilization());
+        println!("{}", render_gantt(&trace, 15, p.cores_per_node, 72));
+    }
+}
+
+/// Figures 1-6: the distribution patterns, as ASCII.
+fn patterns() {
+    use sbc_dist::sbc::pair_of;
+    use sbc_dist::{Distribution, SbcBasic, SbcExtended, TwoDBlockCyclic};
+
+    println!("== Figs 1-6: distribution patterns ==");
+    let bc = TwoDBlockCyclic::new(2, 3);
+    println!("Fig 1 — 2DBC 2x3 pattern (node(i,j) = (i mod 2)*3 + (j mod 3)):");
+    for i in 0..2 {
+        print!(" ");
+        for j in 0..3 {
+            // owner() is defined on the lower triangle; the pattern cell
+            // (i, j) equals owner(i + 2k, j) for any row congruent to i
+            // below the diagonal — use a row deep enough to be below j.
+            print!(" {}", bc.owner(i + 4, j));
+        }
+        println!();
+    }
+
+    println!("\nFig 2/3 — basic SBC r=4 pattern (P = 8, diagonal nodes 6,7):");
+    let basic = SbcBasic::new(4);
+    for i in 0..4 {
+        print!(" ");
+        for j in 0..4 {
+            let o = if j <= i { basic.owner(i, j) } else { basic.owner(j, i) };
+            print!(" {o}");
+        }
+        println!();
+    }
+
+    for r in [5usize, 6] {
+        let d = SbcExtended::new(r);
+        println!(
+            "\nFig {} — extended SBC r={r}: P={} with {} diagonal patterns:",
+            if r == 5 { "4" } else { "5" },
+            d.num_nodes(),
+            d.diagonal_patterns().len()
+        );
+        for (i, pat) in d.diagonal_patterns().iter().enumerate() {
+            let pretty: Vec<String> = pat
+                .iter()
+                .map(|&n| {
+                    let (x, y) = pair_of(n);
+                    format!("{n}{{{x},{y}}}")
+                })
+                .collect();
+            println!("  diag pattern {i}: [{}]", pretty.join(", "));
+        }
+    }
+
+    println!("\nFig 6 — extended SBC r=4 over 12x12 tiles (lower triangle):");
+    let d = SbcExtended::new(4);
+    for i in 0..12 {
+        print!(" ");
+        for j in 0..=i {
+            print!(" {}", d.owner(i, j));
+        }
+        println!();
+    }
+    println!();
+}

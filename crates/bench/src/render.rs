@@ -1,0 +1,146 @@
+//! Text rendering of figures.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Sample points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A reproduced table/figure: several series over a common x axis.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure identifier and caption.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Free-form notes (paper expectations, substitutions).
+    pub notes: Vec<String>,
+}
+
+/// Renders a figure as an aligned text table: one row per x value, one
+/// column per series.
+pub fn render_figure(fig: &Figure) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {} ==\n", fig.title));
+    // collect the union of x values (sorted, deduped by bits)
+    let mut xs: Vec<f64> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup_by(|a, b| a.to_bits() == b.to_bits());
+
+    let name_width = fig.series.iter().map(|s| s.name.len()).max().unwrap_or(8).max(8);
+    out.push_str(&format!("{:>12}", fig.xlabel));
+    for s in &fig.series {
+        out.push_str(&format!("  {:>w$}", s.name, w = name_width));
+    }
+    out.push('\n');
+    for &x in &xs {
+        out.push_str(&format!("{:>12}", trim_float(x)));
+        for s in &fig.series {
+            match s.points.iter().find(|&&(px, _)| px.to_bits() == x.to_bits()) {
+                Some(&(_, y)) => out.push_str(&format!("  {:>w$}", trim_float(y), w = name_width)),
+                None => out.push_str(&format!("  {:>w$}", "-", w = name_width)),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("             ({} vertically)\n", fig.ylabel));
+    for n in &fig.notes {
+        out.push_str(&format!("  note: {n}\n"));
+    }
+    out
+}
+
+/// Renders a figure as CSV: header `x,<series...>`, one row per x value.
+pub fn render_csv(fig: &Figure) -> String {
+    let mut xs: Vec<f64> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup_by(|a, b| a.to_bits() == b.to_bits());
+    let mut out = String::new();
+    out.push_str(&fig.xlabel);
+    for s in &fig.series {
+        out.push(',');
+        out.push_str(&s.name.replace(',', ";"));
+    }
+    out.push('\n');
+    for &x in &xs {
+        out.push_str(&format!("{x}"));
+        for s in &fig.series {
+            out.push(',');
+            if let Some(&(_, y)) = s.points.iter().find(|&&(px, _)| px.to_bits() == x.to_bits()) {
+                out.push_str(&format!("{y}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn trim_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e9 {
+        format!("{}", v as i64)
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let fig = Figure {
+            title: "Fig X".into(),
+            xlabel: "n".into(),
+            ylabel: "GF/s".into(),
+            series: vec![
+                Series { name: "SBC".into(), points: vec![(1.0, 10.0), (2.0, 20.0)] },
+                Series { name: "2DBC".into(), points: vec![(1.0, 8.0)] },
+            ],
+            notes: vec!["test".into()],
+        };
+        let s = render_figure(&fig);
+        assert!(s.contains("Fig X"));
+        assert!(s.contains("SBC"));
+        assert!(s.contains("note: test"));
+        assert!(s.contains('-')); // missing point placeholder
+    }
+
+    #[test]
+    fn csv_renders_header_and_rows() {
+        let fig = Figure {
+            title: "t".into(),
+            xlabel: "n".into(),
+            ylabel: "y".into(),
+            series: vec![Series { name: "a,b".into(), points: vec![(1.0, 2.5)] }],
+            notes: vec![],
+        };
+        let csv = render_csv(&fig);
+        assert!(csv.starts_with("n,a;b\n"));
+        assert!(csv.contains("1,2.5"));
+    }
+
+    #[test]
+    fn trims_floats() {
+        assert_eq!(trim_float(5.0), "5");
+        assert_eq!(trim_float(123.456), "123.5");
+        assert_eq!(trim_float(1.23456), "1.235");
+    }
+}

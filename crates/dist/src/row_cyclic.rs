@@ -1,0 +1,66 @@
+//! 1D row-cyclic distribution for right-hand-side panels.
+
+use crate::NodeId;
+
+/// 1D row-cyclic distribution: tile row `i` of a panel belongs to node
+/// `i mod P`.
+///
+/// Used for the POSV right-hand side `B` (Section V-F.1 of the paper): since
+/// `B` is one tile wide, the dominant communication is the transfer of the
+/// column-`i` tiles of `A` to the owners of the matching rows of `B`, and a
+/// 1D row-cyclic layout minimizes the per-row owner variety.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowCyclic {
+    p: usize,
+}
+
+impl RowCyclic {
+    /// Creates a row-cyclic distribution over `p` nodes.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "node count must be positive");
+        RowCyclic { p }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.p
+    }
+
+    /// Owner of panel tile row `i`.
+    #[inline]
+    pub fn owner_row(&self, i: usize) -> NodeId {
+        i % self.p
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> String {
+        format!("RowCyclic P={}", self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_over_nodes() {
+        let d = RowCyclic::new(4);
+        assert_eq!(d.owner_row(0), 0);
+        assert_eq!(d.owner_row(5), 1);
+        assert_eq!(d.owner_row(7), 3);
+        assert_eq!(d.owner_row(8), 0);
+    }
+
+    #[test]
+    fn balanced_over_rows() {
+        let d = RowCyclic::new(5);
+        let mut counts = [0usize; 5];
+        for i in 0..100 {
+            counts[d.owner_row(i)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 20));
+    }
+}

@@ -1,0 +1,151 @@
+//! Table I of the paper: sizes of the considered distributions.
+//!
+//! For each SBC parameter `r` (6..=9), the paper compares against two 2DBC
+//! grids "with a similar number of nodes, in order to cover the best
+//! possible parameters p and q" — avoiding unfairness from a `P` that
+//! factorizes badly.
+
+use crate::Distribution;
+use crate::SbcExtended;
+
+/// One row of Table I: an SBC configuration and the 2DBC grids compared
+/// against it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    /// SBC pattern parameter.
+    pub r: usize,
+    /// SBC node count `r (r - 1) / 2`.
+    pub p_sbc: usize,
+    /// The 2DBC grids `(p, q, P)` compared against this SBC configuration.
+    pub grids: Vec<(usize, usize, usize)>,
+}
+
+/// Most-square factor pair `(p, q)` of `n` with `p >= q` (minimizing
+/// `p + q`, i.e. the perimeter — fewer communications for 2DBC).
+pub fn best_grid(n: usize) -> (usize, usize) {
+    assert!(n > 0);
+    let mut best = (n, 1);
+    let mut q = 1;
+    while q * q <= n {
+        if n % q == 0 {
+            best = (n / q, q);
+        }
+        q += 1;
+    }
+    best
+}
+
+/// The two comparison grids used by the paper for a given SBC node count
+/// `P`: the most-square factorization of `P` itself, plus the best grid over
+/// the nearby node counts `{P-1, P+1, P+2}` (minimizing perimeter `p+q`,
+/// then aspect `p-q`) — capturing choices like `4x4 = 16` against `P = 15`
+/// or `6x5 = 30` against `P = 28`.
+pub fn comparison_grids(p_nodes: usize) -> Vec<(usize, usize, usize)> {
+    let (p0, q0) = best_grid(p_nodes);
+    let mut grids = vec![(p0, q0, p_nodes)];
+    let alt = [p_nodes.wrapping_sub(1), p_nodes + 1, p_nodes + 2]
+        .into_iter()
+        .filter(|&n| n > 0 && n != p_nodes)
+        .map(|n| {
+            let (p, q) = best_grid(n);
+            (p, q, n)
+        })
+        .min_by_key(|&(p, q, _)| (p + q, p - q));
+    if let Some(alt) = alt {
+        grids.push(alt);
+    }
+    grids.sort_by_key(|&(p, q, n)| (n, p + q, p.abs_diff(q)));
+    grids
+}
+
+/// Regenerates Table I for `r` in `6..=9`.
+pub fn table1() -> Vec<Table1Row> {
+    (6..=9)
+        .map(|r| {
+            let d = SbcExtended::new(r);
+            let p_sbc = d.num_nodes();
+            Table1Row {
+                r,
+                p_sbc,
+                grids: comparison_grids(p_sbc),
+            }
+        })
+        .collect()
+}
+
+/// Renders Table I as aligned text (the benchmark harness prints this).
+pub fn render_table1() -> String {
+    let mut out = String::new();
+    out.push_str("Symmetric Block Cyclic | 2D Block Cyclic\n");
+    out.push_str("   r        P          |   p    q    P\n");
+    for row in table1() {
+        let mut first = true;
+        for (p, q, n) in &row.grids {
+            if first {
+                out.push_str(&format!(
+                    "   {:<8} {:<10} |   {:<4} {:<4} {}\n",
+                    row.r, row.p_sbc, p, q, n
+                ));
+                first = false;
+            } else {
+                out.push_str(&format!(
+                    "   {:<8} {:<10} |   {:<4} {:<4} {}\n",
+                    "", "", p, q, n
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_grid_examples() {
+        assert_eq!(best_grid(16), (4, 4));
+        assert_eq!(best_grid(21), (7, 3));
+        assert_eq!(best_grid(20), (5, 4));
+        assert_eq!(best_grid(28), (7, 4));
+        assert_eq!(best_grid(30), (6, 5));
+        assert_eq!(best_grid(35), (7, 5));
+        assert_eq!(best_grid(36), (6, 6));
+        assert_eq!(best_grid(13), (13, 1));
+    }
+
+    #[test]
+    fn table1_matches_paper() {
+        // Table I:
+        //  r=6, P=15: grids 5x3 (15) and 4x4 (16)
+        //  r=7, P=21: grids 5x4 (20) and 7x3 (21)
+        //  r=8, P=28: grids 7x4 (28) and 6x5 (30)
+        //  r=9, P=36: grids 7x5 (35) and 6x6 (36)
+        let t = table1();
+        assert_eq!(t.len(), 4);
+
+        assert_eq!(t[0].p_sbc, 15);
+        assert!(t[0].grids.contains(&(5, 3, 15)));
+        assert!(t[0].grids.contains(&(4, 4, 16)));
+
+        assert_eq!(t[1].p_sbc, 21);
+        assert!(t[1].grids.contains(&(7, 3, 21)));
+        assert!(t[1].grids.contains(&(5, 4, 20)));
+
+        assert_eq!(t[2].p_sbc, 28);
+        assert!(t[2].grids.contains(&(7, 4, 28)));
+        assert!(t[2].grids.contains(&(6, 5, 30)));
+
+        assert_eq!(t[3].p_sbc, 36);
+        assert!(t[3].grids.contains(&(6, 6, 36)));
+        assert!(t[3].grids.contains(&(7, 5, 35)));
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = render_table1();
+        for frag in ["6", "15", "21", "28", "36"] {
+            assert!(s.contains(frag), "missing {frag} in:\n{s}");
+        }
+    }
+}

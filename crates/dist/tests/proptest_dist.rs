@@ -1,0 +1,99 @@
+//! Property tests on distribution invariants.
+
+use proptest::prelude::*;
+use sbc_dist::comm::{
+    potrf_messages, theorem1_basic, theorem1_extended, trtri_messages,
+};
+use sbc_dist::sbc::{pair_id, pair_of};
+use sbc_dist::{Distribution, SbcBasic, SbcExtended, TwoDBlockCyclic};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// pair_of inverts pair_id everywhere.
+    #[test]
+    fn pair_roundtrip(y in 1usize..200, xfrac in 0.0f64..1.0) {
+        let x = ((y as f64 - 1.0) * xfrac) as usize;
+        prop_assert!(x < y);
+        prop_assert_eq!(pair_of(pair_id(x, y)), (x, y));
+    }
+
+    /// SBC extended: symmetric pattern positions share owners; all owners in
+    /// range; diagonal owners are pairs containing their position.
+    #[test]
+    fn sbc_extended_structural(r in 3usize..14, nt_mult in 1usize..5) {
+        let d = SbcExtended::new(r);
+        let nt = r * nt_mult + r / 2;
+        for i in 0..nt {
+            for j in 0..=i {
+                let o = d.owner(i, j);
+                prop_assert!(o < d.num_nodes());
+                let (x, y) = (i % r, j % r);
+                if x != y {
+                    prop_assert_eq!(o, pair_id(x.min(y), x.max(y)));
+                } else {
+                    let (a, b) = pair_of(o);
+                    prop_assert!(a == x || b == x);
+                }
+            }
+        }
+    }
+
+    /// Theorem 1 upper bound: exact counts never exceed S(r-1) / S(r-2).
+    #[test]
+    fn theorem1_upper_bound(r_half in 1usize..6, nt in 1usize..40) {
+        let r = 2 * r_half + 2; // even r >= 4
+        let basic = SbcBasic::new(r);
+        prop_assert!(potrf_messages(&basic, nt) <= theorem1_basic(nt, r));
+        let ext = SbcExtended::new(r);
+        prop_assert!(potrf_messages(&ext, nt) <= theorem1_extended(nt, r));
+    }
+
+    /// Extended SBC always beats the same-P 2DBC grids on POTRF volume for
+    /// reasonably sized matrices.
+    #[test]
+    fn sbc_beats_2dbc_on_potrf(r in 5usize..10, nt_mult in 4usize..10) {
+        let sbc = SbcExtended::new(r);
+        let p_nodes = sbc.num_nodes();
+        let nt = r * nt_mult;
+        // best grid for the same node count
+        let mut best = (p_nodes, 1);
+        let mut q = 1;
+        while q * q <= p_nodes {
+            if p_nodes % q == 0 { best = (p_nodes / q, q); }
+            q += 1;
+        }
+        let dbc = TwoDBlockCyclic::new(best.0, best.1);
+        prop_assert!(
+            potrf_messages(&sbc, nt) < potrf_messages(&dbc, nt),
+            "r={r} nt={nt}: {} vs {}", potrf_messages(&sbc, nt), potrf_messages(&dbc, nt)
+        );
+    }
+
+    /// For TRTRI the ordering flips: 2DBC's split row/column sets win.
+    #[test]
+    fn dbc_beats_sbc_on_trtri(r in 6usize..10, nt_mult in 5usize..9) {
+        let sbc = SbcExtended::new(r);
+        let p_nodes = sbc.num_nodes();
+        let nt = r * nt_mult;
+        let mut best = (p_nodes, 1);
+        let mut q = 1;
+        while q * q <= p_nodes {
+            if p_nodes % q == 0 { best = (p_nodes / q, q); }
+            q += 1;
+        }
+        let dbc = TwoDBlockCyclic::new(best.0, best.1);
+        prop_assert!(trtri_messages(&dbc, nt) < trtri_messages(&sbc, nt));
+    }
+
+    /// Tile balance of extended SBC stays within 15% of uniform when the
+    /// matrix covers whole pattern cycles.
+    #[test]
+    fn sbc_balance_bounded(r in 4usize..11) {
+        let d = SbcExtended::new(r);
+        let npat = d.diagonal_patterns().len();
+        let nt = r * npat;
+        let s = sbc_dist::balance::tile_balance(&d, nt);
+        prop_assert!(s.imbalance() < 1.15, "r={r} imbalance={}", s.imbalance());
+    }
+}

@@ -1,0 +1,140 @@
+//! Floating-point operation counts for tile kernels.
+//!
+//! These are the standard LAPACK working-note counts; the discrete-event
+//! simulator converts them to execution times via the platform's per-core
+//! throughput and per-kernel efficiency model, and the benchmark harness
+//! uses them to report GFlop/s exactly as the paper does
+//! (`F = #flops / (t * P)`, Section V-E).
+
+/// Flops of a `b x b` GEMM update (`2 b^3`).
+#[inline]
+pub fn flops_gemm(b: usize) -> f64 {
+    let b = b as f64;
+    2.0 * b * b * b
+}
+
+/// Flops of a `b x b` SYRK lower update (`b^2 (b + 1)`).
+#[inline]
+pub fn flops_syrk(b: usize) -> f64 {
+    let b = b as f64;
+    b * b * (b + 1.0)
+}
+
+/// Flops of a `b x b` LU factorization without pivoting
+/// (`2b^3/3 - b^2/2 - b/6`).
+#[inline]
+pub fn flops_getrf(b: usize) -> f64 {
+    let b = b as f64;
+    2.0 * b * b * b / 3.0 - b * b / 2.0 - b / 6.0
+}
+
+/// Total flops of an `n x n` LU factorization (same formula as
+/// [`flops_getrf`]).
+#[inline]
+pub fn flops_lu_total(n: usize) -> f64 {
+    flops_getrf(n)
+}
+
+/// Flops of a `b x b` triangular solve with `b` right-hand sides (`b^3`).
+#[inline]
+pub fn flops_trsm(b: usize) -> f64 {
+    let b = b as f64;
+    b * b * b
+}
+
+/// Flops of a `b x b` Cholesky factorization (`b^3/3 + b^2/2 + b/6`).
+#[inline]
+pub fn flops_potrf(b: usize) -> f64 {
+    let b = b as f64;
+    b * b * b / 3.0 + b * b / 2.0 + b / 6.0
+}
+
+/// Flops of a `b x b` lower-triangular inversion (`b^3/3 + 2b/3`).
+#[inline]
+pub fn flops_trtri(b: usize) -> f64 {
+    let b = b as f64;
+    b * b * b / 3.0 + 2.0 * b / 3.0
+}
+
+/// Flops of a `b x b` LAUUM (`b^3/3 + b^2/2 + b/6`, same as POTRF).
+#[inline]
+pub fn flops_lauum(b: usize) -> f64 {
+    flops_potrf(b)
+}
+
+/// Flops of a `b x b` triangular matrix multiply (`b^3`).
+#[inline]
+pub fn flops_trmm(b: usize) -> f64 {
+    let b = b as f64;
+    b * b * b
+}
+
+/// Total flops of an `n x n` Cholesky factorization (`n^3/3 + n^2/2 + n/6`).
+#[inline]
+pub fn flops_cholesky_total(n: usize) -> f64 {
+    flops_potrf(n)
+}
+
+/// Total flops of POSV on an `n x n` matrix with `nrhs` right-hand sides:
+/// factorization plus two triangular solves (`2 n^2 nrhs` each... combined
+/// `2 n^2 nrhs`).
+#[inline]
+pub fn flops_posv_total(n: usize, nrhs: usize) -> f64 {
+    flops_cholesky_total(n) + 2.0 * (n as f64) * (n as f64) * (nrhs as f64)
+}
+
+/// Total flops of POTRI on an `n x n` matrix: POTRF + TRTRI + LAUUM
+/// (`n^3/3 + n^3/3 + n^3/3 = n^3` to leading order).
+#[inline]
+pub fn flops_potri_total(n: usize) -> f64 {
+    flops_cholesky_total(n) + flops_trtri(n) + flops_lauum(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leading_terms() {
+        let b = 1000;
+        let b3 = 1.0e9;
+        assert!((flops_gemm(b) / (2.0 * b3) - 1.0).abs() < 1e-9);
+        assert!((flops_trsm(b) / b3 - 1.0).abs() < 1e-9);
+        assert!((flops_syrk(b) / b3 - 1.0).abs() < 2e-3);
+        assert!((flops_potrf(b) / (b3 / 3.0) - 1.0).abs() < 2e-3);
+        assert!((flops_trtri(b) / (b3 / 3.0) - 1.0).abs() < 1e-3);
+        assert!((flops_lauum(b) / (b3 / 3.0) - 1.0).abs() < 2e-3);
+    }
+
+    #[test]
+    fn tiled_sum_matches_total_leading_order() {
+        // Sum of per-task flops over Algorithm 1 tiles should approach the
+        // dense total as N grows.
+        let b = 100;
+        let nt = 30;
+        let mut sum = 0.0;
+        for i in 0..nt {
+            sum += flops_potrf(b);
+            for _j in i + 1..nt {
+                sum += flops_trsm(b);
+            }
+            for k in i + 1..nt {
+                sum += flops_syrk(b);
+                for _j in k + 1..nt {
+                    sum += flops_gemm(b);
+                }
+            }
+        }
+        let total = flops_cholesky_total(b * nt);
+        assert!((sum / total - 1.0).abs() < 0.02, "sum={sum} total={total}");
+    }
+
+    #[test]
+    fn posv_and_potri_totals() {
+        let n = 500;
+        assert!(flops_posv_total(n, 50) > flops_cholesky_total(n));
+        let potri = flops_potri_total(n);
+        let n3 = (n as f64).powi(3);
+        assert!((potri / n3 - 1.0).abs() < 0.01);
+    }
+}

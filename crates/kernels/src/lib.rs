@@ -1,0 +1,93 @@
+//! # sbc-kernels — tile-level dense linear algebra kernels
+//!
+//! This crate provides the sequential, tile-level kernels used by the tiled
+//! Cholesky factorization (Algorithm 1 of the SBC paper) and by the derived
+//! operations (POSV solve sweeps, TRTRI triangular inversion, LAUUM
+//! triangular product):
+//!
+//! * [`gemm`] — general matrix-matrix multiply-accumulate (all transpose
+//!   combinations),
+//! * [`syrk`] — symmetric rank-k update restricted to the lower triangle,
+//! * [`trsm`] — triangular solves with a tile of right-hand sides,
+//! * [`potrf`] — in-tile Cholesky factorization,
+//! * [`trtri`] — in-tile lower-triangular inversion,
+//! * [`lauum`] — in-tile product `L^T * L` (lower part),
+//! * [`trmm`] — triangular matrix multiply.
+//!
+//! All kernels operate on [`Tile`]s: square, column-major, `f64` blocks of a
+//! fixed dimension `b`. They are the Rust stand-in for the MKL/BLAS kernels
+//! used by the paper's Chameleon experiments; they are written for clarity
+//! and cache-friendly access (unit-stride inner loops over columns), and are
+//! validated against naive reference implementations in [`reference`].
+//!
+//! The kernels never allocate (except [`Tile`] constructors) and are
+//! `Send + Sync`-friendly: they borrow tiles mutably/immutably so the
+//! runtime crates can execute them from worker threads without locks.
+
+#![warn(missing_docs)]
+
+pub mod flops;
+pub mod gemm;
+pub mod getrf;
+pub mod lauum;
+pub mod potrf;
+pub mod reference;
+pub mod syrk;
+pub mod tile;
+pub mod trmm;
+pub mod trsm;
+pub mod trtri;
+
+pub use flops::{
+    flops_cholesky_total, flops_gemm, flops_getrf, flops_lauum, flops_lu_total,
+    flops_posv_total, flops_potrf, flops_potri_total, flops_syrk, flops_trmm, flops_trsm,
+    flops_trtri,
+};
+pub use gemm::{gemm, Trans};
+pub use getrf::getrf;
+pub use lauum::lauum;
+pub use potrf::potrf;
+pub use syrk::syrk;
+pub use tile::Tile;
+pub use trmm::{trmm_left_lower, trmm_left_lower_trans};
+pub use trsm::{
+    trsm_left_lower, trsm_left_lower_trans, trsm_left_unit_lower, trsm_right_lower,
+    trsm_right_lower_trans, trsm_right_upper,
+};
+pub use trtri::trtri;
+
+/// Errors produced by kernels that can fail numerically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// `potrf` hit a non-positive pivot: the tile (and hence the matrix) is
+    /// not symmetric positive definite. Carries the 0-based index of the
+    /// offending diagonal entry within the tile.
+    NotPositiveDefinite(usize),
+    /// `trtri` hit an exactly-zero diagonal entry (singular triangle).
+    SingularTriangle(usize),
+    /// Two tiles passed to a kernel have mismatched dimensions.
+    DimensionMismatch {
+        /// Dimension expected by the kernel call.
+        expected: usize,
+        /// Dimension actually found.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::NotPositiveDefinite(i) => {
+                write!(f, "matrix not positive definite (pivot {i})")
+            }
+            KernelError::SingularTriangle(i) => {
+                write!(f, "singular triangular matrix (diagonal {i})")
+            }
+            KernelError::DimensionMismatch { expected, found } => {
+                write!(f, "tile dimension mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}

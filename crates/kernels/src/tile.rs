@@ -1,0 +1,276 @@
+//! Square, column-major `f64` tiles.
+//!
+//! A [`Tile`] is the unit of data distribution and communication in the SBC
+//! reproduction: the input matrix is split into `N × N` tiles of dimension
+//! `b × b`, each owned by one node, and every inter-node message carries
+//! exactly one tile (Section V-C of the paper: Chameleon/StarPU communicate
+//! tile-by-tile with point-to-point messages).
+
+/// A square `b × b` tile of `f64` values in column-major order.
+///
+/// Column-major matches BLAS/LAPACK conventions and makes the inner loops of
+/// the kernels unit-stride over rows of a column.
+#[derive(Clone, PartialEq)]
+pub struct Tile {
+    b: usize,
+    data: Vec<f64>,
+}
+
+impl std::fmt::Debug for Tile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Tile({}x{}):", self.b, self.b)?;
+        for i in 0..self.b.min(8) {
+            for j in 0..self.b.min(8) {
+                write!(f, " {:10.4}", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        if self.b > 8 {
+            writeln!(f, " ...")?;
+        }
+        Ok(())
+    }
+}
+
+impl Tile {
+    /// Creates a zero-filled tile of dimension `b`.
+    pub fn zeros(b: usize) -> Self {
+        Tile { b, data: vec![0.0; b * b] }
+    }
+
+    /// Creates an identity tile of dimension `b`.
+    pub fn identity(b: usize) -> Self {
+        let mut t = Tile::zeros(b);
+        for i in 0..b {
+            t.set(i, i, 1.0);
+        }
+        t
+    }
+
+    /// Creates a tile from a column-major slice of length `b * b`.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != b * b`.
+    pub fn from_column_major(b: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), b * b, "tile data length must be b*b");
+        Tile { b, data }
+    }
+
+    /// Creates a tile by evaluating `f(i, j)` at every (row, column).
+    pub fn from_fn(b: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(b * b);
+        for j in 0..b {
+            for i in 0..b {
+                data.push(f(i, j));
+            }
+        }
+        Tile { b, data }
+    }
+
+    /// Tile dimension `b`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.b
+    }
+
+    /// Number of bytes of payload this tile carries over the network.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Element at (row `i`, column `j`).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.b && j < self.b);
+        self.data[j * self.b + i]
+    }
+
+    /// Sets the element at (row `i`, column `j`).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.b && j < self.b);
+        self.data[j * self.b + i] = v;
+    }
+
+    /// Raw column-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw column-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrows column `j` as a slice of `b` contiguous rows.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.b..(j + 1) * self.b]
+    }
+
+    /// Mutably borrows column `j`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.b..(j + 1) * self.b]
+    }
+
+    /// Returns the transposed tile.
+    pub fn transposed(&self) -> Tile {
+        Tile::from_fn(self.b, |i, j| self.get(j, i))
+    }
+
+    /// Zeroes the strictly upper triangle, keeping the lower triangle and
+    /// diagonal. Used to canonicalize Cholesky factors for comparisons.
+    pub fn zero_strict_upper(&mut self) {
+        for j in 1..self.b {
+            for i in 0..j {
+                self.set(i, j, 0.0);
+            }
+        }
+    }
+
+    /// Mirrors the lower triangle onto the upper triangle, producing a
+    /// symmetric tile. Used when expanding symmetric storage.
+    pub fn symmetrize_from_lower(&mut self) {
+        for j in 1..self.b {
+            for i in 0..j {
+                let v = self.get(j, i);
+                self.set(i, j, v);
+            }
+        }
+    }
+
+    /// Frobenius norm of the tile.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Max-abs norm of the tile.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+    }
+
+    /// `self += other`, element-wise. Used by 2.5D reduction tasks.
+    ///
+    /// # Panics
+    /// Panics if dimensions differ.
+    pub fn add_assign(&mut self, other: &Tile) {
+        assert_eq!(self.b, other.b, "tile dimension mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `self -= other`, element-wise.
+    ///
+    /// # Panics
+    /// Panics if dimensions differ.
+    pub fn sub_assign(&mut self, other: &Tile) {
+        assert_eq!(self.b, other.b, "tile dimension mismatch in sub_assign");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a -= b;
+        }
+    }
+
+    /// Maximum absolute element-wise difference between two tiles.
+    pub fn max_abs_diff(&self, other: &Tile) -> f64 {
+        assert_eq!(self.b, other.b, "tile dimension mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Tile::zeros(4);
+        assert_eq!(z.dim(), 4);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let id = Tile::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(id.get(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn column_major_layout() {
+        let t = Tile::from_column_major(2, vec![1.0, 2.0, 3.0, 4.0]);
+        // column 0 is [1, 2], column 1 is [3, 4]
+        assert_eq!(t.get(0, 0), 1.0);
+        assert_eq!(t.get(1, 0), 2.0);
+        assert_eq!(t.get(0, 1), 3.0);
+        assert_eq!(t.get(1, 1), 4.0);
+        assert_eq!(t.col(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn from_fn_matches_get() {
+        let t = Tile::from_fn(5, |i, j| (i * 10 + j) as f64);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(t.get(i, j), (i * 10 + j) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let t = Tile::from_fn(6, |i, j| (3 * i + 7 * j) as f64);
+        assert_eq!(t.transposed().transposed(), t);
+        assert_eq!(t.transposed().get(2, 5), t.get(5, 2));
+    }
+
+    #[test]
+    fn bytes_counts_payload() {
+        assert_eq!(Tile::zeros(500).bytes(), 500 * 500 * 8); // the paper's 2 MB tile
+    }
+
+    #[test]
+    fn add_sub_assign_roundtrip() {
+        let a = Tile::from_fn(4, |i, j| (i + j) as f64);
+        let b = Tile::from_fn(4, |i, j| (i * j) as f64);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        c.sub_assign(&b);
+        assert!(c.max_abs_diff(&a) == 0.0);
+    }
+
+    #[test]
+    fn zero_strict_upper_keeps_lower() {
+        let mut t = Tile::from_fn(4, |_, _| 1.0);
+        t.zero_strict_upper();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(t.get(i, j), if j > i { 0.0 } else { 1.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrize_from_lower_mirrors() {
+        let mut t = Tile::from_fn(3, |i, j| if i >= j { (i * 3 + j) as f64 } else { -1.0 });
+        t.symmetrize_from_lower();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(t.get(i, j), t.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn norms() {
+        let t = Tile::from_column_major(2, vec![3.0, 0.0, 0.0, 4.0]);
+        assert!((t.norm_fro() - 5.0).abs() < 1e-12);
+        assert_eq!(t.norm_max(), 4.0);
+    }
+}

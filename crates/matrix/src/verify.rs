@@ -1,0 +1,155 @@
+//! Scaled residual checks used by tests, examples and the distributed
+//! runtime's validation step.
+
+use crate::storage::{FullTiledMatrix, SymmetricTiledMatrix, TiledPanel};
+
+/// Element of the lower-triangular content of `a` (zero above the diagonal),
+/// without symmetric mirroring — i.e. reads `a` as holding a factor `L`.
+fn lower_elem(a: &SymmetricTiledMatrix, r: usize, c: usize) -> f64 {
+    if c > r {
+        return 0.0;
+    }
+    let b = a.tile_dim();
+    let (ti, tj) = (r / b, c / b);
+    let (ri, rj) = (r % b, c % b);
+    if ti == tj && rj > ri {
+        0.0
+    } else {
+        a.tile(ti, tj).get(ri, rj)
+    }
+}
+
+/// Scaled Cholesky residual `||A - L L^T||_F / ||A||_F`, where `a0` holds the
+/// original symmetric matrix and `l` the computed factor.
+///
+/// Dense O(n^3) evaluation — meant for validation at test scales.
+pub fn cholesky_residual(a0: &SymmetricTiledMatrix, l: &SymmetricTiledMatrix) -> f64 {
+    let n = a0.order();
+    assert_eq!(l.order(), n);
+    let mut err = 0.0_f64;
+    for r in 0..n {
+        for c in 0..=r {
+            let mut s = 0.0;
+            for t in 0..=c {
+                s += lower_elem(l, r, t) * lower_elem(l, c, t);
+            }
+            let d = a0.element(r, c) - s;
+            err += if r == c { d * d } else { 2.0 * d * d };
+        }
+    }
+    err.sqrt() / a0.norm_fro().max(f64::MIN_POSITIVE)
+}
+
+/// Scaled solve residual `||A x - B||_F / (||A||_F ||x||_F)`.
+pub fn solve_residual(a0: &SymmetricTiledMatrix, x: &TiledPanel, b: &TiledPanel) -> f64 {
+    let n = a0.order();
+    let bt = x.tile_dim();
+    assert_eq!(b.tile_dim(), bt);
+    let mut err = 0.0_f64;
+    for r in 0..n {
+        for col in 0..bt {
+            let mut s = 0.0;
+            for c in 0..n {
+                s += a0.element(r, c) * x.tile(c / bt).get(c % bt, col);
+            }
+            let d = s - b.tile(r / bt).get(r % bt, col);
+            err += d * d;
+        }
+    }
+    err.sqrt() / (a0.norm_fro() * x.norm_fro()).max(f64::MIN_POSITIVE)
+}
+
+/// Scaled inverse residual `||A W - I||_F / ||A||_F` where `w` holds the
+/// lower part of the symmetric inverse `W = A^{-1}`.
+pub fn inverse_residual(a0: &SymmetricTiledMatrix, w: &SymmetricTiledMatrix) -> f64 {
+    let n = a0.order();
+    assert_eq!(w.order(), n);
+    let mut err = 0.0_f64;
+    for r in 0..n {
+        for c in 0..n {
+            let mut s = 0.0;
+            for t in 0..n {
+                s += a0.element(r, t) * w.element(t, c);
+            }
+            let want = if r == c { 1.0 } else { 0.0 };
+            let d = s - want;
+            err += d * d;
+        }
+    }
+    err.sqrt() / a0.norm_fro().max(f64::MIN_POSITIVE)
+}
+
+/// Scaled LU residual `||A - L U||_F / ||A||_F`, where `a0` holds the
+/// original general matrix and `f` the packed LU factors (unit-lower below
+/// the diagonal, upper on/above).
+pub fn lu_residual(a0: &FullTiledMatrix, f: &FullTiledMatrix) -> f64 {
+    let n = a0.order();
+    assert_eq!(f.order(), n);
+    let l = |r: usize, c: usize| -> f64 {
+        if r == c {
+            1.0
+        } else if r > c {
+            f.element(r, c)
+        } else {
+            0.0
+        }
+    };
+    let u = |r: usize, c: usize| -> f64 { if r <= c { f.element(r, c) } else { 0.0 } };
+    let mut err = 0.0_f64;
+    for r in 0..n {
+        for c in 0..n {
+            let mut s = 0.0;
+            for t in 0..=r.min(c) {
+                s += l(r, t) * u(t, c);
+            }
+            let d = a0.element(r, c) - s;
+            err += d * d;
+        }
+    }
+    err.sqrt() / a0.norm_fro().max(f64::MIN_POSITIVE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random_panel, random_spd};
+    use sbc_kernels::Tile;
+
+    #[test]
+    fn residual_zero_for_exact_factor() {
+        // A = I: L = I.
+        let nt = 3;
+        let b = 2;
+        let eye = SymmetricTiledMatrix::from_tile_fn(nt, b, |i, j| {
+            if i == j {
+                Tile::identity(b)
+            } else {
+                Tile::zeros(b)
+            }
+        });
+        assert!(cholesky_residual(&eye, &eye) < 1e-15);
+        assert!(inverse_residual(&eye, &eye) < 1e-15);
+    }
+
+    #[test]
+    fn residual_large_for_wrong_factor() {
+        let a = random_spd(1, 3, 2);
+        let wrong = random_spd(2, 3, 2);
+        assert!(cholesky_residual(&a, &wrong) > 1e-3);
+    }
+
+    #[test]
+    fn solve_residual_zero_for_identity_system() {
+        let nt = 4;
+        let b = 2;
+        let eye = SymmetricTiledMatrix::from_tile_fn(nt, b, |i, j| {
+            if i == j {
+                Tile::identity(b)
+            } else {
+                Tile::zeros(b)
+            }
+        });
+        let x = random_panel(5, nt, b);
+        assert!(solve_residual(&eye, &x, &x) < 1e-15);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests on the tiled sequential algorithms.
+
+use proptest::prelude::*;
+use sbc_matrix::{
+    cholesky_residual, inverse_residual, posv_tiled, potrf_tiled, potri_tiled, random_panel,
+    random_spd, solve_residual,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tiled POTRF has a tiny scaled residual for any shape.
+    #[test]
+    fn potrf_residual_bounded(seed in any::<u64>(), nt in 1usize..8, b in 1usize..6) {
+        let a0 = random_spd(seed, nt, b);
+        let mut l = a0.clone();
+        potrf_tiled(&mut l).unwrap();
+        prop_assert!(cholesky_residual(&a0, &l) < 1e-11);
+    }
+
+    /// POSV solves the linear system for any shape.
+    #[test]
+    fn posv_residual_bounded(seed in any::<u64>(), nt in 1usize..7, b in 1usize..5) {
+        let a0 = random_spd(seed, nt, b);
+        let rhs = random_panel(seed ^ 1, nt, b);
+        let mut a = a0.clone();
+        let mut x = rhs.clone();
+        posv_tiled(&mut a, &mut x).unwrap();
+        prop_assert!(solve_residual(&a0, &x, &rhs) < 1e-10);
+    }
+
+    /// POTRI yields the inverse for any shape.
+    #[test]
+    fn potri_residual_bounded(seed in any::<u64>(), nt in 1usize..6, b in 1usize..5) {
+        let a0 = random_spd(seed, nt, b);
+        let mut inv = a0.clone();
+        potri_tiled(&mut inv).unwrap();
+        prop_assert!(inverse_residual(&a0, &inv) < 1e-9);
+    }
+
+    /// The tile size does not change the computed factor (only its blocking):
+    /// factorizing with (nt, b) and (nt*b, 1) gives the same matrix.
+    #[test]
+    fn tiling_invariance(seed in any::<u64>(), nt in 1usize..5, b in 1usize..5) {
+        // Generate with the *same dense content*: use b=1 generation and
+        // repack. random_spd(seed, n, 1) gives per-element tiles.
+        let n = nt * b;
+        let fine = random_spd(seed, n, 1);
+        let coarse = sbc_matrix::SymmetricTiledMatrix::from_tile_fn(nt, b, |i, j| {
+            sbc_kernels::Tile::from_fn(b, |r, c| {
+                let (rr, cc) = (i * b + r, j * b + c);
+                if cc > rr { fine.element(rr, cc) } else { fine.element(rr, cc) }
+            })
+        });
+        let mut lf = fine.clone();
+        let mut lc = coarse.clone();
+        potrf_tiled(&mut lf).unwrap();
+        potrf_tiled(&mut lc).unwrap();
+        for r in 0..n {
+            for c in 0..=r {
+                let cf = lf.element(r, c);
+                // read factor element from coarse tiling, lower content only
+                let (ti, tj) = (r / b, c / b);
+                let (ri, rj) = (r % b, c % b);
+                let cv = if ti == tj && rj > ri { lc.tile(ti, tj).get(rj, ri) } else { lc.tile(ti, tj).get(ri, rj) };
+                // compare only lower part of factor: mirrored reads above are fine
+                if c <= r {
+                    let want = cf;
+                    let got = if ti == tj && rj > ri { f64::NAN } else { cv };
+                    if !got.is_nan() {
+                        prop_assert!((want - got).abs() < 1e-9, "({r},{c})");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Closed-form transfer bounds for sequential out-of-core Cholesky
+//! (Section III-E and Section II of the paper).
+
+/// Béreux's narrow-block out-of-core Cholesky: at most
+/// `n^3 / (3 sqrt(M)) + O(n^2)` element transfers.
+pub fn bereux_transfers(n: usize, m: usize) -> f64 {
+    let n = n as f64;
+    n * n * n / (3.0 * (m as f64).sqrt())
+}
+
+/// The automated lower bound of Olivry et al. (PLDI 2020):
+/// at least `n^3 / (6 sqrt(M))` transfers for Cholesky.
+pub fn olivry_lower_bound(n: usize, m: usize) -> f64 {
+    let n = n as f64;
+    n * n * n / (6.0 * (m as f64).sqrt())
+}
+
+/// The tight symmetric lower bound of Beaumont et al. (2022):
+/// `n^3 / (3 sqrt(2) sqrt(M))` transfers — shown to be attainable, proving
+/// Béreux's algorithm is a factor `sqrt(2)` off optimal.
+pub fn symmetric_lower_bound(n: usize, m: usize) -> f64 {
+    let n = n as f64;
+    n * n * n / (3.0 * std::f64::consts::SQRT_2 * (m as f64).sqrt())
+}
+
+/// Maximal arithmetic intensity (flops per transfer) for Cholesky in the
+/// two-level model: `sqrt(2 M)` (from the symmetric lower bound, since the
+/// factorization performs `n^3/3` flops).
+pub fn max_intensity_cholesky(m: usize) -> f64 {
+    (2.0 * m as f64).sqrt()
+}
+
+/// Maximal arithmetic intensity for LU: `sqrt(M)` (Section III-E).
+pub fn max_intensity_lu(m: usize) -> f64 {
+    (m as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_ordering() {
+        // symmetric lower bound < Olivry's?  No: 1/(3 sqrt(2)) ~ 0.2357 vs
+        // 1/6 ~ 0.1667 — the symmetric bound is *larger* (tighter).
+        let (n, m) = (10_000, 1 << 20);
+        assert!(symmetric_lower_bound(n, m) > olivry_lower_bound(n, m));
+        assert!(bereux_transfers(n, m) > symmetric_lower_bound(n, m));
+        // Béreux is exactly sqrt(2) above the tight bound
+        let ratio = bereux_transfers(n, m) / symmetric_lower_bound(n, m);
+        assert!((ratio - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intensity_gap_is_sqrt2() {
+        let m = 4096;
+        assert!((max_intensity_cholesky(m) / max_intensity_lu(m)
+            - std::f64::consts::SQRT_2)
+            .abs()
+            < 1e-12);
+    }
+
+    #[test]
+    fn scaling_in_m() {
+        // quadrupling the memory halves the bound
+        let n = 4000;
+        assert!((bereux_transfers(n, 4096) / bereux_transfers(n, 4 * 4096) - 2.0).abs() < 1e-12);
+    }
+}

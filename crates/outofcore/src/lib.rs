@@ -1,0 +1,26 @@
+//! # sbc-outofcore — the two-level-memory model of Section III-E
+//!
+//! The paper grounds its parallel analysis in the sequential *out-of-core*
+//! setting: one fast memory of size `M` and an unlimited slow memory, with
+//! every operand resident in fast memory during computation. This crate
+//! provides that model for the tiled Cholesky factorization:
+//!
+//! * [`bounds`] — the closed-form transfer bounds discussed by the paper:
+//!   Béreux's narrow-block algorithm (`n^3 / (3 sqrt(M))`), the automated
+//!   lower bound of Olivry et al. (`n^3 / (6 sqrt(M))`), and the tight
+//!   symmetric bound of Beaumont et al. (`n^3 / (3 sqrt(2) sqrt(M))`);
+//! * [`lru`] — an exact LRU cache simulator over tile accesses;
+//! * [`cholesky`] — drives the access stream of the tiled Cholesky
+//!   (right-looking or left-looking loop order) through the LRU and counts
+//!   element transfers, exposing the `sqrt(M)` arithmetic-intensity law the
+//!   paper builds on.
+
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod cholesky;
+pub mod lru;
+
+pub use bounds::{bereux_transfers, olivry_lower_bound, symmetric_lower_bound};
+pub use cholesky::{simulate_cholesky_ooc, LoopOrder, OocReport};
+pub use lru::LruCache;

@@ -1,0 +1,525 @@
+//! The threaded execution engine.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use sbc_kernels as k;
+use sbc_kernels::{KernelError, Tile, Trans};
+use sbc_matrix::generate;
+use sbc_taskgraph::{EdgeKind, TaskGraph, TaskId, TaskKind, TileRef};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Communication statistics of one distributed execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommStats {
+    /// Total inter-node messages (tiles sent).
+    pub messages: u64,
+    /// Total bytes transferred.
+    pub bytes: u64,
+    /// Messages sent per node.
+    pub sent_per_node: Vec<u64>,
+}
+
+/// Result of a distributed execution: the final content of every node's
+/// tile store, merged, plus communication statistics.
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// Final tile values keyed by logical tile. For each tile the entry
+    /// comes from the single node that owned (wrote or generated) it.
+    pub tiles: HashMap<TileRef, Tile>,
+    /// Measured communication.
+    pub stats: CommStats,
+}
+
+/// A kernel failure during distributed execution, localized to the task
+/// and node where it occurred. All other nodes are shut down cleanly
+/// before this is returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// The failing task's index in the graph.
+    pub task: TaskId,
+    /// The node executing it.
+    pub node: u32,
+    /// The kernel error (e.g. a non-SPD pivot).
+    pub error: KernelError,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} on node {} failed: {}", self.task, self.node, self.error)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+enum Msg {
+    /// Output tile of a remote producer task.
+    Data { producer: TaskId, tile: Tile },
+    /// Original input tile fetched from its home node.
+    Orig { tile_ref: TileRef, tile: Tile },
+    /// Another node failed; abort cleanly.
+    Poison,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum WaitKey {
+    Task(TaskId),
+    Orig(TileRef),
+}
+
+/// What a node thread reports back when it terminates.
+struct NodeResult {
+    node: usize,
+    store: HashMap<TileRef, Tile>,
+    sent: u64,
+    error: Option<ExecError>,
+}
+
+/// Provides original (input) tile contents to the executor.
+///
+/// The default provider generates the seeded random SPD matrix and RHS of
+/// `sbc_matrix::generate`; custom providers let callers factor real data
+/// or inject failures (see the failure-injection tests).
+pub type TileProvider<'a> = dyn Fn(TileRef) -> Tile + Sync + 'a;
+
+/// Executes a [`TaskGraph`] with one thread per node and channels as the
+/// interconnect.
+pub struct Executor<'g> {
+    graph: &'g TaskGraph,
+    /// Tile dimension.
+    pub b: usize,
+    provider: Box<TileProvider<'g>>,
+}
+
+impl<'g> Executor<'g> {
+    /// Creates an executor for `graph` with tile size `b` and the default
+    /// seeded generators (`seed` for the SPD matrix, `seed_rhs` for the
+    /// right-hand side).
+    pub fn new(graph: &'g TaskGraph, b: usize, seed: u64, seed_rhs: u64) -> Self {
+        let nt = graph.nt;
+        Executor {
+            graph,
+            b,
+            provider: Box::new(move |r| default_original(r, nt, b, seed, seed_rhs)),
+        }
+    }
+
+    /// Creates an executor with a custom original-tile provider. The
+    /// provider is called on a tile's *home* node the first time the tile
+    /// is needed; it must be a pure function of the [`TileRef`].
+    pub fn with_provider(
+        graph: &'g TaskGraph,
+        b: usize,
+        provider: impl Fn(TileRef) -> Tile + Sync + 'g,
+    ) -> Self {
+        Executor { graph, b, provider: Box::new(provider) }
+    }
+
+    fn original(&self, r: TileRef) -> Tile {
+        let t = (self.provider)(r);
+        assert_eq!(t.dim(), self.b, "provider returned a tile of wrong dimension");
+        t
+    }
+
+    /// Runs the graph to completion.
+    ///
+    /// # Panics
+    /// Panics on kernel failure (e.g. a non-SPD input); use [`Self::try_run`]
+    /// to handle that case.
+    pub fn run(&self) -> ExecOutcome {
+        self.try_run().expect("distributed execution failed")
+    }
+
+    /// Runs the graph to completion, propagating kernel failures.
+    ///
+    /// On failure every node is shut down via poison messages and the first
+    /// failure (in node order) is returned.
+    pub fn try_run(&self) -> Result<ExecOutcome, ExecError> {
+        let g = self.graph;
+        let n_nodes = g.num_nodes();
+        let c = g.slices;
+        let tile_bytes = (self.b * self.b * 8) as u64;
+
+        // global dependency counts
+        let mut deps = g.in_degrees();
+        for (t, extra) in g.fetch_deps().into_iter().enumerate() {
+            deps[t] += extra;
+        }
+
+        // per-node setup
+        let mut per_node_deps: Vec<HashMap<TaskId, u32>> =
+            (0..n_nodes).map(|_| HashMap::new()).collect();
+        let mut per_node_ready: Vec<Vec<TaskId>> = vec![Vec::new(); n_nodes];
+        let mut per_node_count: Vec<u64> = vec![0; n_nodes];
+        let mut per_node_waits: Vec<HashMap<WaitKey, Vec<TaskId>>> =
+            (0..n_nodes).map(|_| HashMap::new()).collect();
+        let mut per_node_fetch_sends: Vec<Vec<(TileRef, u32)>> = vec![Vec::new(); n_nodes];
+
+        for t in 0..g.len() as TaskId {
+            let node = g.tasks()[t as usize].node as usize;
+            per_node_count[node] += 1;
+            per_node_deps[node].insert(t, deps[t as usize]);
+            if deps[t as usize] == 0 {
+                per_node_ready[node].push(t);
+            }
+            for (p, kind) in g.preds(t) {
+                let pnode = g.tasks()[p as usize].node;
+                if pnode != node as u32 {
+                    debug_assert_eq!(kind, EdgeKind::Data);
+                    let w = per_node_waits[node].entry(WaitKey::Task(p)).or_default();
+                    if w.last() != Some(&t) {
+                        w.push(t);
+                    }
+                }
+            }
+        }
+        for f in g.initial_fetches() {
+            per_node_fetch_sends[f.home as usize].push((f.tile, f.dest));
+            per_node_waits[f.dest as usize]
+                .entry(WaitKey::Orig(f.tile))
+                .or_default()
+                .extend(f.consumers.iter().copied());
+        }
+
+        // channels
+        let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(n_nodes);
+        let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        let (result_tx, result_rx) = unbounded::<NodeResult>();
+
+        std::thread::scope(|scope| {
+            for node in 0..n_nodes {
+                let rx = receivers[node].take().expect("receiver taken once");
+                let senders = senders.clone();
+                let my_deps = std::mem::take(&mut per_node_deps[node]);
+                let ready0 = std::mem::take(&mut per_node_ready[node]);
+                let waits = std::mem::take(&mut per_node_waits[node]);
+                let fetch_sends = std::mem::take(&mut per_node_fetch_sends[node]);
+                let count = per_node_count[node];
+                let result_tx = result_tx.clone();
+                let exec = &*self;
+                scope.spawn(move || {
+                    node_main(
+                        exec, node as u32, c, rx, &senders, my_deps, ready0, waits,
+                        fetch_sends, count, &result_tx,
+                    );
+                });
+            }
+            drop(result_tx);
+        });
+
+        // gather results
+        let mut tiles = HashMap::new();
+        let mut sent_per_node = vec![0u64; n_nodes];
+        let mut first_error: Option<ExecError> = None;
+        for res in result_rx.iter() {
+            sent_per_node[res.node] = res.sent;
+            if let Some(e) = res.error {
+                match &first_error {
+                    Some(cur) if cur.node <= e.node => {}
+                    _ => first_error = Some(e),
+                }
+            }
+            for (r, tile) in res.store {
+                let prev = tiles.insert(r, tile);
+                debug_assert!(prev.is_none(), "tile {r:?} stored on two nodes");
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        let messages: u64 = sent_per_node.iter().sum();
+        Ok(ExecOutcome {
+            tiles,
+            stats: CommStats {
+                messages,
+                bytes: messages * tile_bytes,
+                sent_per_node,
+            },
+        })
+    }
+}
+
+/// Default original-tile contents: seeded SPD matrix, zero buffers, seeded
+/// RHS. General (full-matrix) tiles for the LU substrate come from the
+/// diagonally dominant generator.
+fn default_original(r: TileRef, nt: usize, b: usize, seed: u64, seed_rhs: u64) -> Tile {
+    match r {
+        TileRef::A { phase: 0, i, j, .. } if j <= i => {
+            generate::spd_tile(seed, nt, b, i as usize, j as usize)
+        }
+        TileRef::A { phase: 0, i, j, .. } => {
+            // strictly-upper tile: only the LU (full-matrix) graphs read
+            // these; mirror of the dominant generator
+            generate::general_tile(seed, nt, b, i as usize, j as usize)
+        }
+        TileRef::A { phase, .. } => {
+            panic!("phase-{phase} tiles are always produced by Move tasks")
+        }
+        TileRef::Buf { .. } => Tile::zeros(b),
+        TileRef::B { i } => generate::rhs_tile(seed_rhs, b, i as usize),
+    }
+}
+
+/// Main loop of one node thread.
+#[allow(clippy::too_many_arguments)]
+fn node_main(
+    exec: &Executor<'_>,
+    me: u32,
+    c: usize,
+    rx: Receiver<Msg>,
+    senders: &[Sender<Msg>],
+    mut deps: HashMap<TaskId, u32>,
+    ready0: Vec<TaskId>,
+    waits: HashMap<WaitKey, Vec<TaskId>>,
+    fetch_sends: Vec<(TileRef, u32)>,
+    mut remaining: u64,
+    result_tx: &Sender<NodeResult>,
+) {
+    let g = exec.graph;
+    let mut local: HashMap<TileRef, Tile> = HashMap::new();
+    let mut cache: HashMap<WaitKey, Tile> = HashMap::new();
+    // execute in submission order among ready tasks (deterministic and
+    // close to the sequential schedule)
+    let mut ready: BinaryHeap<std::cmp::Reverse<TaskId>> =
+        ready0.into_iter().map(std::cmp::Reverse).collect();
+    let mut sent = 0u64;
+    let mut consumer_nodes: Vec<u32> = Vec::new();
+    let mut error: Option<ExecError> = None;
+
+    // sending may fail once peers have shut down after a poison; that is
+    // expected during teardown, so sends never unwrap.
+    let send = |dest: u32, msg: Msg, sent: &mut u64| {
+        if senders[dest as usize].send(msg).is_ok() {
+            *sent += 1;
+        }
+    };
+
+    // ship originals to remote consumers before anything else
+    for (tile_ref, dest) in fetch_sends {
+        let tile = local
+            .entry(tile_ref)
+            .or_insert_with(|| exec.original(tile_ref))
+            .clone();
+        send(dest, Msg::Orig { tile_ref, tile }, &mut sent);
+    }
+
+    // returns false when poisoned
+    let apply_msg = |msg: Msg,
+                     cache: &mut HashMap<WaitKey, Tile>,
+                     deps: &mut HashMap<TaskId, u32>,
+                     ready: &mut BinaryHeap<std::cmp::Reverse<TaskId>>|
+     -> bool {
+        let key = match &msg {
+            Msg::Data { producer, .. } => WaitKey::Task(*producer),
+            Msg::Orig { tile_ref, .. } => WaitKey::Orig(*tile_ref),
+            Msg::Poison => return false,
+        };
+        let tile = match msg {
+            Msg::Data { tile, .. } | Msg::Orig { tile, .. } => tile,
+            Msg::Poison => unreachable!(),
+        };
+        cache.insert(key, tile);
+        if let Some(waiting) = waits.get(&key) {
+            for &t in waiting {
+                let d = deps.get_mut(&t).expect("waiting task is local");
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(std::cmp::Reverse(t));
+                }
+            }
+        }
+        true
+    };
+
+    'outer: while remaining > 0 {
+        while let Some(std::cmp::Reverse(t)) = ready.pop() {
+            if let Err(e) = execute_task(exec, g, t, c, &mut local, &cache) {
+                error = Some(ExecError { task: t, node: me, error: e });
+                // poison every other node so they stop waiting on us
+                for (n, s) in senders.iter().enumerate() {
+                    if n != me as usize {
+                        let _ = s.send(Msg::Poison);
+                    }
+                }
+                break 'outer;
+            }
+            remaining -= 1;
+            // resolve successors
+            consumer_nodes.clear();
+            for (s, _) in g.succs(t) {
+                let snode = g.tasks()[s as usize].node;
+                if snode == me {
+                    let d = deps.get_mut(&s).expect("successor on this node");
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(std::cmp::Reverse(s));
+                    }
+                } else if !consumer_nodes.contains(&snode) {
+                    consumer_nodes.push(snode);
+                }
+            }
+            if !consumer_nodes.is_empty() {
+                let out = local
+                    .get(&g.tasks()[t as usize].output(c))
+                    .expect("task output in local store")
+                    .clone();
+                for &dest in &consumer_nodes {
+                    send(dest, Msg::Data { producer: t, tile: out.clone() }, &mut sent);
+                }
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+        // block until something arrives, then drain opportunistically
+        let Ok(msg) = rx.recv() else { break };
+        if !apply_msg(msg, &mut cache, &mut deps, &mut ready) {
+            break; // poisoned
+        }
+        while let Ok(m) = rx.try_recv() {
+            if !apply_msg(m, &mut cache, &mut deps, &mut ready) {
+                break 'outer;
+            }
+        }
+    }
+
+    let _ = result_tx.send(NodeResult { node: me as usize, store: local, sent, error });
+}
+
+/// Resolves a read operand: remote original (fetch cache), remote producer
+/// output (data cache), or local store (local producer or local original,
+/// generated on first use).
+fn resolve_read(
+    exec: &Executor<'_>,
+    g: &TaskGraph,
+    t: TaskId,
+    r: TileRef,
+    c: usize,
+    local: &mut HashMap<TileRef, Tile>,
+    cache: &HashMap<WaitKey, Tile>,
+) -> Tile {
+    let me = g.tasks()[t as usize].node;
+    // a data predecessor producing r?
+    for (p, kind) in g.preds(t) {
+        if kind == EdgeKind::Data && g.tasks()[p as usize].output(c) == r {
+            return if g.tasks()[p as usize].node == me {
+                local.get(&r).expect("local producer wrote the tile").clone()
+            } else {
+                cache
+                    .get(&WaitKey::Task(p))
+                    .expect("dependency ensured arrival")
+                    .clone()
+            };
+        }
+    }
+    // original data: fetched, or home-local (generate lazily)
+    if let Some(tile) = cache.get(&WaitKey::Orig(r)) {
+        return tile.clone();
+    }
+    local.entry(r).or_insert_with(|| exec.original(r)).clone()
+}
+
+/// Executes one task against the node-local stores.
+fn execute_task(
+    exec: &Executor<'_>,
+    g: &TaskGraph,
+    t: TaskId,
+    c: usize,
+    local: &mut HashMap<TileRef, Tile>,
+    cache: &HashMap<WaitKey, Tile>,
+) -> Result<(), KernelError> {
+    let task = g.tasks()[t as usize];
+    let reads = task.reads(c);
+    let read_tiles: Vec<Tile> = reads
+        .as_slice()
+        .iter()
+        .map(|&r| resolve_read(exec, g, t, r, c, local, cache))
+        .collect();
+    let target_ref = task.output(c);
+    let target = local.entry(target_ref).or_insert_with(|| {
+        if matches!(task.kind, TaskKind::Move { .. }) {
+            // a Move fully overwrites its target; never generate data for a
+            // later-phase tile
+            Tile::zeros(exec.b)
+        } else {
+            exec.original(target_ref)
+        }
+    });
+
+    match task.kind {
+        TaskKind::Potrf { .. } => k::potrf(target)?,
+        TaskKind::Trsm { .. } => k::trsm_right_lower_trans(1.0, &read_tiles[0], target),
+        TaskKind::Syrk { .. } => k::syrk(Trans::No, -1.0, &read_tiles[0], 1.0, target),
+        TaskKind::Gemm { .. } => k::gemm(
+            Trans::No,
+            Trans::Yes,
+            -1.0,
+            &read_tiles[0],
+            &read_tiles[1],
+            1.0,
+            target,
+        ),
+        TaskKind::Reduce { .. } => target.add_assign(&read_tiles[0]),
+        TaskKind::TrsmFwd { .. } => k::trsm_left_lower(1.0, &read_tiles[0], target),
+        TaskKind::GemmFwd { .. } => k::gemm(
+            Trans::No,
+            Trans::No,
+            -1.0,
+            &read_tiles[0],
+            &read_tiles[1],
+            1.0,
+            target,
+        ),
+        TaskKind::TrsmBwd { .. } => k::trsm_left_lower_trans(1.0, &read_tiles[0], target),
+        TaskKind::GemmBwd { .. } => k::gemm(
+            Trans::Yes,
+            Trans::No,
+            -1.0,
+            &read_tiles[0],
+            &read_tiles[1],
+            1.0,
+            target,
+        ),
+        TaskKind::TrsmRInv { .. } => k::trsm_right_lower(-1.0, &read_tiles[0], target),
+        TaskKind::GemmInv { .. } => k::gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &read_tiles[0],
+            &read_tiles[1],
+            1.0,
+            target,
+        ),
+        TaskKind::TrsmLInv { .. } => k::trsm_left_lower(1.0, &read_tiles[0], target),
+        TaskKind::TrtriDiag { .. } => k::trtri(target)?,
+        TaskKind::SyrkLu { .. } => k::syrk(Trans::Yes, 1.0, &read_tiles[0], 1.0, target),
+        TaskKind::GemmLu { .. } => k::gemm(
+            Trans::Yes,
+            Trans::No,
+            1.0,
+            &read_tiles[0],
+            &read_tiles[1],
+            1.0,
+            target,
+        ),
+        TaskKind::TrmmLu { .. } => k::trmm_left_lower_trans(&read_tiles[0], target),
+        TaskKind::LauumDiag { .. } => k::lauum(target),
+        TaskKind::Getrf { .. } => k::getrf(target)?,
+        TaskKind::TrsmRow { .. } => k::trsm_left_unit_lower(&read_tiles[0], target),
+        TaskKind::TrsmCol { .. } => k::trsm_right_upper(&read_tiles[0], target),
+        TaskKind::GemmTrail { .. } => k::gemm(
+            Trans::No,
+            Trans::No,
+            -1.0,
+            &read_tiles[0],
+            &read_tiles[1],
+            1.0,
+            target,
+        ),
+        TaskKind::Move { .. } => *target = read_tiles[0].clone(),
+    }
+    Ok(())
+}

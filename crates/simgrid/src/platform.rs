@@ -1,0 +1,219 @@
+//! Platform model: compute nodes, cores, kernel efficiencies, network.
+
+use sbc_taskgraph::TaskKind;
+
+/// Per-kernel efficiency model.
+///
+/// A tile kernel on one core reaches a kernel-specific fraction of peak that
+/// grows with the tile size (amortizing loop overheads and cache misses):
+/// `eff(b) = e_inf * b / (b + b_half)`. The asymptotic efficiencies are
+/// MKL-like values for double precision on Skylake; `b_half` is set so the
+/// single-node POTRF throughput curve saturates around `b = 500`, matching
+/// Fig 7 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelEfficiency {
+    /// Asymptotic efficiency of GEMM.
+    pub gemm: f64,
+    /// Asymptotic efficiency of SYRK.
+    pub syrk: f64,
+    /// Asymptotic efficiency of TRSM.
+    pub trsm: f64,
+    /// Asymptotic efficiency of POTRF (and LAUUM/TRTRI, Cholesky-like).
+    pub potrf: f64,
+    /// Tile size at which half the asymptotic efficiency is reached... more
+    /// precisely `eff(b_half) = e_inf / 2`.
+    pub b_half: f64,
+}
+
+impl Default for KernelEfficiency {
+    fn default() -> Self {
+        KernelEfficiency {
+            gemm: 0.92,
+            syrk: 0.87,
+            trsm: 0.85,
+            potrf: 0.62,
+            b_half: 40.0,
+        }
+    }
+}
+
+impl KernelEfficiency {
+    /// Efficiency (fraction of per-core peak) of a task kind at tile size
+    /// `b`.
+    pub fn efficiency(&self, kind: &TaskKind, b: usize) -> f64 {
+        let e_inf = match kind {
+            TaskKind::Gemm { .. }
+            | TaskKind::GemmInv { .. }
+            | TaskKind::GemmLu { .. }
+            | TaskKind::GemmTrail { .. }
+            | TaskKind::GemmFwd { .. }
+            | TaskKind::GemmBwd { .. } => self.gemm,
+            TaskKind::Syrk { .. } | TaskKind::SyrkLu { .. } => self.syrk,
+            TaskKind::Trsm { .. }
+            | TaskKind::TrsmFwd { .. }
+            | TaskKind::TrsmBwd { .. }
+            | TaskKind::TrsmRInv { .. }
+            | TaskKind::TrsmLInv { .. }
+            | TaskKind::TrsmRow { .. }
+            | TaskKind::TrsmCol { .. }
+            | TaskKind::TrmmLu { .. } => self.trsm,
+            TaskKind::Potrf { .. }
+            | TaskKind::TrtriDiag { .. }
+            | TaskKind::LauumDiag { .. }
+            | TaskKind::Getrf { .. } => self.potrf,
+            // reductions and moves are memory bound; treat them like GEMM
+            // at low efficiency (they are tiny anyway)
+            TaskKind::Reduce { .. } | TaskKind::Move { .. } => 0.05,
+        };
+        let b = b as f64;
+        e_inf * b / (b + self.b_half)
+    }
+}
+
+/// A homogeneous cluster: `nodes` identical multicore nodes connected by a
+/// full-duplex network, one NIC per node serialized per direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Worker cores per node (the paper reserves 2 of 36 cores for the
+    /// runtime and MPI threads, leaving 34 workers).
+    pub cores_per_node: usize,
+    /// Peak double-precision throughput of one core, in GFlop/s.
+    pub core_gflops: f64,
+    /// Effective NIC bandwidth per direction, in bytes/s (MPI-achievable
+    /// rate, below line rate).
+    pub nic_bandwidth: f64,
+    /// One-way message latency, in seconds.
+    pub nic_latency: f64,
+    /// Per-message host overhead, in seconds: request posting, callback and
+    /// unpacking work done by the runtime's dedicated communication core
+    /// (StarPU reserves one core for MPI, Section V-C). Occupies the port
+    /// on both the sending and the receiving side.
+    pub per_message_overhead: f64,
+    /// Kernel efficiency model.
+    pub efficiency: KernelEfficiency,
+}
+
+impl Platform {
+    /// The paper's `bora` cluster (Section V-A) with a given node count:
+    /// 34 worker cores x 41.6 GFlop/s per node, 100 Gb/s OmniPath links,
+    /// 1.5 us latency.
+    ///
+    /// The *effective* per-direction throughput is set to 1.7 GB/s with a
+    /// 200 us per-message overhead (~1.4 ms port time per 2 MB tile): StarPU
+    /// funnels all eager point-to-point tile transfers through a single
+    /// dedicated communication core (Section V-C) using a rendezvous
+    /// protocol, which in practice sustains well below line rate.
+    /// These two values are the model's only calibration knobs; they were
+    /// chosen so the simulated POTRF curves reproduce the paper's *shape* —
+    /// 2DBC and SBC coincide on a single node and at very large n, with
+    /// SBC ahead by 10-25% at intermediate sizes (Fig 9/10).
+    pub fn bora(nodes: usize) -> Self {
+        Platform {
+            nodes,
+            cores_per_node: 34,
+            core_gflops: 41.6,
+            nic_bandwidth: 1.7e9,
+            nic_latency: 1.5e-6,
+            per_message_overhead: 200e-6,
+            efficiency: KernelEfficiency::default(),
+        }
+    }
+
+    /// Same compute as [`Platform::bora`] but with a network slowed by
+    /// `factor` (bandwidth divided, overhead multiplied). Used by tests and
+    /// ablations to reach the communication-bound regime at small scales.
+    pub fn bora_slow_network(nodes: usize, factor: f64) -> Self {
+        let mut p = Self::bora(nodes);
+        p.nic_bandwidth /= factor;
+        p.per_message_overhead *= factor;
+        p
+    }
+
+    /// Time a message occupies a NIC port (one direction): host overhead
+    /// plus serialization.
+    pub fn port_seconds(&self, bytes: u64) -> f64 {
+        self.per_message_overhead + bytes as f64 / self.nic_bandwidth
+    }
+
+    /// Execution time of a task on one core, in seconds.
+    pub fn task_seconds(&self, kind: &TaskKind, b: usize) -> f64 {
+        let flops = kind.flops(b);
+        if flops == 0.0 {
+            return 0.0;
+        }
+        let eff = self.efficiency.efficiency(kind, b).max(1e-3);
+        flops / (self.core_gflops * 1e9 * eff)
+    }
+
+    /// Wire time of one tile message (excluding queueing), in seconds.
+    pub fn message_seconds(&self, bytes: u64) -> f64 {
+        self.nic_latency + bytes as f64 / self.nic_bandwidth
+    }
+
+    /// Node peak in GFlop/s (all worker cores).
+    pub fn node_peak_gflops(&self) -> f64 {
+        self.cores_per_node as f64 * self.core_gflops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bora_matches_paper_constants() {
+        let p = Platform::bora(28);
+        assert_eq!(p.nodes, 28);
+        assert_eq!(p.cores_per_node, 34);
+        // "1414.4 GFlop/s for 34 cores"
+        assert!((p.node_peak_gflops() - 1414.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_increases_with_tile_size_and_saturates() {
+        let e = KernelEfficiency::default();
+        let g100 = e.efficiency(&TaskKind::Gemm { i: 0, j: 2, k: 1 }, 100);
+        let g500 = e.efficiency(&TaskKind::Gemm { i: 0, j: 2, k: 1 }, 500);
+        let g1000 = e.efficiency(&TaskKind::Gemm { i: 0, j: 2, k: 1 }, 1000);
+        assert!(g100 < g500 && g500 < g1000);
+        // saturation: b=500 within 8% of asymptote (Fig 7: "almost maximum
+        // performance ... as soon as tile size is at least 500")
+        assert!(g500 > 0.92 * e.gemm);
+        assert!(g1000 < e.gemm);
+    }
+
+    #[test]
+    fn gemm_time_scales_cubically() {
+        let p = Platform::bora(1);
+        let t250 = p.task_seconds(&TaskKind::Gemm { i: 0, j: 2, k: 1 }, 250);
+        let t500 = p.task_seconds(&TaskKind::Gemm { i: 0, j: 2, k: 1 }, 500);
+        let ratio = t500 / t250;
+        assert!(ratio > 7.0 && ratio < 9.0, "ratio={ratio}"); // ~8x minus efficiency gain
+    }
+
+    #[test]
+    fn tile_message_time_matches_hand_computation() {
+        let p = Platform::bora(2);
+        // 2 MB tile (b=500 doubles) over 1.7 GB/s effective
+        let t = p.message_seconds(500 * 500 * 8);
+        assert!((t - (1.5e-6 + 2e6 / 1.7e9)).abs() < 1e-12);
+        // port occupancy adds the 200 us host overhead
+        let port = p.port_seconds(500 * 500 * 8);
+        assert!((port - (200e-6 + 2e6 / 1.7e9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_network_scales_both_knobs() {
+        let p = Platform::bora_slow_network(4, 10.0);
+        assert!((p.nic_bandwidth - 0.17e9).abs() < 1e-3);
+        assert!((p.per_message_overhead - 2000e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn move_tasks_are_free() {
+        let p = Platform::bora(1);
+        assert_eq!(p.task_seconds(&TaskKind::Move { i: 1, j: 0 }, 500), 0.0);
+    }
+}

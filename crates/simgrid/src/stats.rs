@@ -1,0 +1,149 @@
+//! Simulation results and execution traces.
+
+/// One executed task in a recorded trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Task index in the graph.
+    pub task: u32,
+    /// Executing node.
+    pub node: u32,
+    /// Start time (seconds).
+    pub start: f64,
+    /// End time (seconds).
+    pub end: f64,
+}
+
+/// Renders a per-node utilization Gantt strip as text: `width` buckets per
+/// node, each showing the fraction of busy worker-core time in that time
+/// slice (' ' empty, '.' <25%, '-' <50%, '=' <75%, '#' full).
+pub fn render_gantt(events: &[TraceEvent], nodes: usize, cores: usize, width: usize) -> String {
+    let makespan = events.iter().fold(0.0f64, |m, e| m.max(e.end));
+    if makespan <= 0.0 || width == 0 {
+        return String::new();
+    }
+    let dt = makespan / width as f64;
+    let mut busy = vec![vec![0.0f64; width]; nodes];
+    for e in events {
+        if e.end <= e.start {
+            continue;
+        }
+        let b0 = ((e.start / dt) as usize).min(width - 1);
+        let b1 = ((e.end / dt) as usize).min(width - 1);
+        for bucket in b0..=b1 {
+            let lo = (bucket as f64 * dt).max(e.start);
+            let hi = ((bucket + 1) as f64 * dt).min(e.end);
+            if hi > lo {
+                busy[e.node as usize][bucket] += hi - lo;
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("gantt ({makespan:.3}s across {width} buckets):
+"));
+    for (n, row) in busy.iter().enumerate() {
+        out.push_str(&format!("node {n:>3} |"));
+        for &b in row {
+            let frac = b / (dt * cores as f64);
+            out.push(match frac {
+                f if f <= 0.01 => ' ',
+                f if f < 0.25 => '.',
+                f if f < 0.5 => '-',
+                f if f < 0.75 => '=',
+                _ => '#',
+            });
+        }
+        out.push_str("|
+");
+    }
+    out
+}
+
+/// Outcome of one simulated execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// End-to-end execution time in seconds (first task start is t = 0).
+    pub makespan: f64,
+    /// Number of inter-node messages (tiles) transferred.
+    pub messages: u64,
+    /// Bytes transferred between nodes.
+    pub bytes: u64,
+    /// Total flops executed.
+    pub flops: f64,
+    /// Per-node busy time (seconds of core-occupancy, summed over cores).
+    pub busy_per_node: Vec<f64>,
+    /// Per-node send-port occupancy (seconds).
+    pub send_port_per_node: Vec<f64>,
+    /// Per-node receive-port occupancy (seconds).
+    pub recv_port_per_node: Vec<f64>,
+    /// Number of tasks executed (equals the graph size on success).
+    pub tasks_executed: u64,
+    /// Worker cores per node (to compute utilization).
+    pub cores_per_node: usize,
+}
+
+impl SimReport {
+    /// GFlop/s per node, the paper's comparison metric
+    /// (`F = #flops / (t * P)`, Section V-E). `flops` defaults to the
+    /// executed task flops; pass the dense-operation count (e.g. `n^3/3`)
+    /// to match the paper's normalization exactly.
+    pub fn gflops_per_node(&self, flops: Option<f64>) -> f64 {
+        let f = flops.unwrap_or(self.flops);
+        let p = self.busy_per_node.len().max(1) as f64;
+        f / (self.makespan.max(f64::MIN_POSITIVE) * p) / 1e9
+    }
+
+    /// Mean worker utilization over nodes: busy core-seconds divided by
+    /// available core-seconds.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        let avail = self.makespan * self.cores_per_node as f64;
+        let busy: f64 = self.busy_per_node.iter().sum::<f64>() / self.busy_per_node.len() as f64;
+        busy / avail
+    }
+
+    /// Communication volume in gigabytes.
+    pub fn gigabytes(&self) -> f64 {
+        self.bytes as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gantt_renders_buckets() {
+        let events = vec![
+            TraceEvent { task: 0, node: 0, start: 0.0, end: 1.0 },
+            TraceEvent { task: 1, node: 1, start: 0.5, end: 1.0 },
+        ];
+        let g = render_gantt(&events, 2, 1, 4);
+        assert!(g.contains("node   0 |####|"), "{g}");
+        assert!(g.contains("node   1 |  ##|"), "{g}");
+    }
+
+    #[test]
+    fn gantt_empty_events() {
+        assert_eq!(render_gantt(&[], 2, 1, 4), "");
+    }
+
+    #[test]
+    fn gflops_per_node_normalizes_by_nodes_and_time() {
+        let r = SimReport {
+            makespan: 2.0,
+            messages: 0,
+            bytes: 0,
+            flops: 4e9,
+            busy_per_node: vec![1.0, 1.0],
+            send_port_per_node: vec![0.0, 0.0],
+            recv_port_per_node: vec![0.0, 0.0],
+            tasks_executed: 10,
+            cores_per_node: 4,
+        };
+        assert!((r.gflops_per_node(None) - 1.0).abs() < 1e-12);
+        assert!((r.gflops_per_node(Some(8e9)) - 2.0).abs() < 1e-12);
+        assert!((r.utilization() - 0.125).abs() < 1e-12);
+    }
+}

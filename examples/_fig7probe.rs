@@ -1,0 +1,17 @@
+fn main(){
+    use sbc::dist::TwoDBlockCyclic;
+    use sbc::simgrid::{Platform, SimConfig, Simulator};
+    use sbc::taskgraph::build_potrf;
+    for n in [12000usize, 24000, 50000] {
+        let d = TwoDBlockCyclic::new(1,1);
+        let p = Platform::bora(1);
+        print!("n={n}: ");
+        for b in [100,200,300,400,500,600,750,1000] {
+            let nt = n/b;
+            let g = build_potrf(&d, nt);
+            let r = Simulator::new(&g,&p,SimConfig::chameleon(b)).run();
+            print!("b{b}={:.0} ", r.gflops_per_node(Some(sbc::kernels::flops_cholesky_total(nt*b))));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,46 @@
+//! Distribution shoot-out on the simulated `bora` cluster: communication
+//! volume, simulated wall-clock and GFlop/s per node for SBC vs 2D
+//! block-cyclic vs their 2.5D variants — a miniature of Figure 9.
+//!
+//! Run with: `cargo run --release --example compare_distributions`
+
+use sbc::dist::{Distribution, SbcBasic, SbcExtended, TwoDBlockCyclic, TwoPointFiveD};
+use sbc::kernels::flops_cholesky_total;
+use sbc::simgrid::{Platform, SimConfig, Simulator};
+use sbc::taskgraph::{build_potrf, build_potrf_25d, TaskGraph};
+
+fn report(name: &str, graph: &TaskGraph, nodes: usize, b: usize, n: usize) {
+    let platform = Platform::bora(nodes);
+    let r = Simulator::new(graph, &platform, SimConfig::chameleon(b)).run();
+    println!(
+        "  {name:<22} P={nodes:<3} msgs={:<7} vol={:>7.1} GB  t={:>6.2} s  {:>7.1} GF/s/node",
+        r.messages,
+        r.gigabytes(),
+        r.makespan,
+        r.gflops_per_node(Some(flops_cholesky_total(n)))
+    );
+}
+
+fn main() {
+    let b = 500; // the paper's tile size
+    for nt in [50, 100, 150] {
+        let n = nt * b;
+        println!("n = {n} ({nt} x {nt} tiles of {b}):");
+
+        // ~28 nodes, the Fig 9 regime
+        let sbc = SbcExtended::new(8); // 28 nodes
+        let dbc74 = TwoDBlockCyclic::new(7, 4); // 28 nodes
+        let dbc65 = TwoDBlockCyclic::new(6, 5); // 30 nodes
+        let sbc25 = TwoPointFiveD::new(SbcBasic::new(4), 3); // 24 nodes
+        let dbc25 = TwoPointFiveD::new(TwoDBlockCyclic::new(3, 3), 3); // 27 nodes
+
+        report(&sbc.name(), &build_potrf(&sbc, nt), 28, b, n);
+        report(&dbc74.name(), &build_potrf(&dbc74, nt), 28, b, n);
+        report(&dbc65.name(), &build_potrf(&dbc65, nt), 30, b, n);
+        report(&sbc25.name(), &build_potrf_25d(&sbc25, nt), 24, b, n);
+        report(&dbc25.name(), &build_potrf_25d(&dbc25, nt), 27, b, n);
+        println!();
+    }
+    println!("(GFlop/s per node normalizes across the differing node counts,");
+    println!(" exactly as the paper's Section V-E metric does.)");
+}

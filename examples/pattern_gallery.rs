@@ -1,0 +1,88 @@
+//! Pattern gallery: renders the distribution patterns of Figures 1–6 of the
+//! paper as ASCII grids.
+//!
+//! Run with: `cargo run --example pattern_gallery`
+
+use sbc::dist::sbc::pair_of;
+use sbc::dist::{Distribution, SbcBasic, SbcExtended, TwoDBlockCyclic};
+
+/// Prints the lower triangle of the tile → node map.
+fn print_lower<D: Distribution>(d: &D, nt: usize) {
+    println!("{} over {nt} x {nt} tiles (lower triangle):", d.name());
+    for i in 0..nt {
+        print!("  ");
+        for j in 0..=i {
+            print!("{:>3}", d.owner(i, j));
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() {
+    // Fig 1: 2D block-cyclic, 2 x 3 pattern, P = 6, 12 x 12 tiles.
+    print_lower(&TwoDBlockCyclic::new(2, 3), 12);
+
+    // Fig 2: generic SBC pattern r = 4 (P = 6 pair nodes), 12 x 12 tiles.
+    // Diagonal positions use the extended construction here.
+    print_lower(&SbcExtended::new(4), 12);
+
+    // Fig 3: basic SBC for r = 4: two extra diagonal nodes (6 and 7).
+    println!("Basic SBC pattern (Fig 3), r = 4, full 4 x 4 pattern:");
+    let basic = SbcBasic::new(4);
+    for i in 0..4 {
+        print!("  ");
+        for j in 0..4 {
+            let o = if j <= i { basic.owner(i, j) } else { basic.owner(j, i) };
+            print!("{o:>3}");
+        }
+        println!();
+    }
+    println!();
+
+    // Figs 4-6: extended SBC diagonal patterns for r = 5 and r = 6.
+    for r in [5, 6] {
+        let d = SbcExtended::new(r);
+        println!(
+            "Extended SBC r = {r}: P = {} nodes, {} diagonal patterns:",
+            d.num_nodes(),
+            d.diagonal_patterns().len()
+        );
+        for (idx, pat) in d.diagonal_patterns().iter().enumerate() {
+            print!("  pattern {idx}: diag = [");
+            for (pos, &node) in pat.iter().enumerate() {
+                let (x, y) = pair_of(node);
+                let sep = if pos + 1 == pat.len() { "" } else { ", " };
+                print!("{node}={{{x},{y}}}{sep}");
+            }
+            println!("]");
+        }
+        println!();
+    }
+
+    // The communication set of one tile, as highlighted in Figs 1 and 2:
+    // consumers of the TRSM result A[7][1] (row 7 left of col 7 + col 7).
+    let nt = 12;
+    let j0 = 7;
+    let i0 = 1;
+    for (name, d) in [
+        ("2DBC 2x3".to_string(), Box::new(TwoDBlockCyclic::new(2, 3)) as Box<dyn Distribution>),
+        ("SBC r=4".to_string(), Box::new(SbcExtended::new(4))),
+    ] {
+        let mut consumers: Vec<usize> = Vec::new();
+        consumers.push(d.owner(j0, j0));
+        for k in i0 + 1..j0 {
+            consumers.push(d.owner(j0, k));
+        }
+        for j in j0 + 1..nt {
+            consumers.push(d.owner(j, j0));
+        }
+        consumers.sort_unstable();
+        consumers.dedup();
+        consumers.retain(|&n| n != d.owner(j0, i0));
+        println!(
+            "{name}: TRSM result A[{j0}][{i0}] must be sent to {} nodes: {consumers:?}",
+            consumers.len()
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! The LU substrate (Section III-E's comparison case): correctness, message
+//! agreement, and the arithmetic-intensity story — 2DBC is right for LU,
+//! SBC restores the same intensity for Cholesky.
+
+use sbc::dist::comm::{lu_messages, potrf_messages};
+use sbc::dist::{Distribution, SbcExtended, TwoDBlockCyclic};
+use sbc::kernels::{flops_cholesky_total, flops_lu_total};
+use sbc::matrix::{lu_residual, lu_tiled, random_general};
+use sbc::runtime::run_lu;
+use sbc::taskgraph::build_lu;
+
+const B: usize = 8;
+const SEED: u64 = 31415;
+
+#[test]
+fn distributed_lu_matches_sequential_bitwise() {
+    for (dist, nt) in [
+        (Box::new(TwoDBlockCyclic::new(2, 3)) as Box<dyn Distribution>, 11),
+        (Box::new(TwoDBlockCyclic::new(4, 4)), 12),
+        (Box::new(SbcExtended::new(5)), 10),
+    ] {
+        let (f, stats) = run_lu(&dist.as_ref(), nt, B, SEED);
+        let mut seq = random_general(SEED, nt, B);
+        lu_tiled(&mut seq).unwrap();
+        for i in 0..nt {
+            for j in 0..nt {
+                assert!(
+                    f.tile(i, j).max_abs_diff(seq.tile(i, j)) == 0.0,
+                    "{} tile ({i},{j})",
+                    dist.name()
+                );
+            }
+        }
+        assert_eq!(stats.messages, lu_messages(&dist.as_ref(), nt), "{}", dist.name());
+    }
+}
+
+#[test]
+fn distributed_lu_residual() {
+    let dist = TwoDBlockCyclic::new(3, 3);
+    let nt = 12;
+    let (f, _) = run_lu(&dist, nt, B, SEED);
+    let a0 = random_general(SEED, nt, B);
+    assert!(lu_residual(&a0, &f) < 1e-12);
+}
+
+#[test]
+fn lu_graph_messages_match_analytic() {
+    let nt = 16;
+    for d in [
+        Box::new(TwoDBlockCyclic::new(3, 2)) as Box<dyn Distribution>,
+        Box::new(TwoDBlockCyclic::new(4, 4)),
+        Box::new(SbcExtended::new(6)),
+    ] {
+        let g = build_lu(&d.as_ref(), nt);
+        g.validate().unwrap();
+        assert_eq!(g.count_messages(), lu_messages(&d.as_ref(), nt), "{}", d.name());
+    }
+}
+
+/// Section III-E: square 2DBC is the right distribution for LU — more
+/// square grids move less data, and SBC-style symmetric patterns bring no
+/// advantage to LU (no transpose reuse exists).
+#[test]
+fn square_2dbc_is_best_for_lu() {
+    let nt = 48;
+    let square = TwoDBlockCyclic::new(4, 4);
+    let skewed = TwoDBlockCyclic::new(8, 2);
+    assert!(lu_messages(&square, nt) < lu_messages(&skewed, nt));
+    // SBC's pattern (defined on the full index space) does not help LU:
+    // it behaves like a near-square grid at best.
+    let sbc = SbcExtended::new(6); // 15 nodes
+    let grid = TwoDBlockCyclic::new(5, 3); // 15 nodes
+    let s = lu_messages(&sbc, nt) as f64;
+    let g = lu_messages(&grid, nt) as f64;
+    assert!(
+        s > 0.85 * g,
+        "no sqrt(2)-style reduction for LU: sbc {s} vs grid {g}"
+    );
+}
+
+/// The arithmetic-intensity ladder of Section III-E, measured end to end.
+/// The paper's statement is at equal *per-node memory M*: both LU under
+/// square 2DBC and Cholesky under SBC reach `(2/3) sqrt(M)` — but LU stores
+/// the full matrix (`M = n^2/P`) while Cholesky stores half
+/// (`M = n^2/(2P)`), so the comparison normalizes intensities by `sqrt(M)`.
+/// Cholesky under 2DBC sits a factor `sqrt(2)` below both.
+#[test]
+fn intensity_ladder_measured() {
+    let nt = 64usize;
+
+    // normalized intensity rho / sqrt(M), in tile units (flops in tile-ops)
+    let norm = |flops: f64, messages: u64, m_tiles: f64| -> f64 {
+        (flops / messages as f64) / m_tiles.sqrt()
+    };
+
+    // LU on 16 nodes, square grid: M = nt^2 / P tiles per node
+    let p_lu = 16.0;
+    let lu_dist = TwoDBlockCyclic::new(4, 4);
+    let lu = norm(
+        flops_lu_total(nt),
+        lu_messages(&lu_dist, nt),
+        (nt * nt) as f64 / p_lu,
+    );
+
+    // Cholesky on 15 nodes SBC: M = nt^2 / (2P)
+    let sbc = SbcExtended::new(6);
+    let p_ch = sbc.num_nodes() as f64;
+    let chol_sbc = norm(
+        flops_cholesky_total(nt),
+        potrf_messages(&sbc, nt),
+        (nt * nt) as f64 / (2.0 * p_ch),
+    );
+
+    // Cholesky on 16 nodes 2DBC 4x4
+    let bc = TwoDBlockCyclic::new(4, 4);
+    let chol_bc = norm(
+        flops_cholesky_total(nt),
+        potrf_messages(&bc, nt),
+        (nt * nt) as f64 / (2.0 * 16.0),
+    );
+
+    // normalized: chol-SBC == LU-2DBC within edge effects
+    let ratio = chol_sbc / lu;
+    assert!(
+        (0.85..1.2).contains(&ratio),
+        "chol-SBC {chol_sbc:.3} vs LU-2DBC {lu:.3} (ratio {ratio:.3})"
+    );
+    // and beats chol-2DBC by ~sqrt(2)
+    let gain = chol_sbc / chol_bc;
+    assert!(
+        gain > 1.25,
+        "chol-SBC {chol_sbc:.3} vs chol-2DBC {chol_bc:.3} (gain {gain:.3})"
+    );
+}
+
+/// LU through the simulator: correct task count, measured messages.
+#[test]
+fn lu_simulates() {
+    use sbc::simgrid::{Platform, SimConfig, Simulator};
+    let nt = 24;
+    let d = TwoDBlockCyclic::new(4, 4);
+    let g = build_lu(&d, nt);
+    let p = Platform::bora(16);
+    let r = Simulator::new(&g, &p, SimConfig::chameleon(500)).run();
+    assert_eq!(r.tasks_executed as usize, g.len());
+    assert_eq!(r.messages, lu_messages(&d, nt));
+}

@@ -1,0 +1,65 @@
+//! The sequential two-level-memory story of Section III-E, end to end:
+//! the out-of-core intensity ladder and its relationship to the parallel
+//! distributions.
+
+use sbc::dist::comm::{intensity_cholesky_2dbc, intensity_cholesky_sbc};
+use sbc::outofcore::{
+    bereux_transfers, olivry_lower_bound, simulate_cholesky_ooc, symmetric_lower_bound,
+    LoopOrder,
+};
+
+/// The bound ladder: Olivry < symmetric (tight) < Béreux, with the √2 gap.
+#[test]
+fn bound_ladder() {
+    let (n, m) = (50_000, 1 << 22);
+    assert!(olivry_lower_bound(n, m) < symmetric_lower_bound(n, m));
+    assert!(symmetric_lower_bound(n, m) < bereux_transfers(n, m));
+    let gap = bereux_transfers(n, m) / symmetric_lower_bound(n, m);
+    assert!((gap - std::f64::consts::SQRT_2).abs() < 1e-12);
+}
+
+/// Simulated transfers sit above the proven lower bounds and below a small
+/// multiple of Béreux for the left-looking order.
+#[test]
+fn simulated_transfers_bracketed() {
+    let nt = 36;
+    let b = 8;
+    let cap = 48; // tiles
+    let n = nt * b;
+    let m = cap * b * b;
+    let r = simulate_cholesky_ooc(nt, b, cap, LoopOrder::LeftLooking);
+    assert!(
+        r.transfers() > 0.4 * olivry_lower_bound(n, m),
+        "{} vs bound {}",
+        r.transfers(),
+        olivry_lower_bound(n, m)
+    );
+    assert!(
+        r.transfers() < 6.0 * bereux_transfers(n, m),
+        "{} vs Bereux {}",
+        r.transfers(),
+        bereux_transfers(n, m)
+    );
+}
+
+/// The parallel arithmetic-intensity formulas of `sbc-dist` agree with the
+/// out-of-core maxima up to the paper's 2/3 shrinking factor and the √2
+/// symmetric gap.
+#[test]
+fn parallel_intensities_anchor_to_sequential_model() {
+    let m = 1 << 16;
+    // SBC reaches (2/3) sqrt(M); the sequential LU-style maximum is sqrt(M)
+    let sbc = intensity_cholesky_sbc(m as f64);
+    assert!((sbc / ((m as f64).sqrt()) - 2.0 / 3.0).abs() < 1e-12);
+    // 2DBC is a factor sqrt(2) below
+    let dbc = intensity_cholesky_2dbc(m as f64);
+    assert!((sbc / dbc - std::f64::consts::SQRT_2).abs() < 1e-12);
+}
+
+/// Determinism: the LRU simulation is a pure function of its parameters.
+#[test]
+fn simulation_is_deterministic() {
+    let a = simulate_cholesky_ooc(24, 4, 20, LoopOrder::RightLooking);
+    let b = simulate_cholesky_ooc(24, 4, 20, LoopOrder::RightLooking);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,121 @@
+//! Cross-crate property tests: for randomized distributions and matrix
+//! shapes, the three communication-model implementations agree and the
+//! execution engines respect their invariants.
+
+use proptest::prelude::*;
+use sbc::dist::comm;
+use sbc::dist::{Distribution, SbcBasic, SbcExtended, TwoDBlockCyclic};
+use sbc::simgrid::{Platform, SimConfig, Simulator};
+use sbc::taskgraph::{build_lauum, build_lu, build_potrf, build_trtri};
+
+/// A debuggable descriptor of a small distribution of varied family.
+#[derive(Debug, Clone)]
+enum DistSpec {
+    Bc(usize, usize),
+    Basic(usize),
+    Ext(usize),
+}
+
+impl DistSpec {
+    fn build(&self) -> Box<dyn Distribution> {
+        match *self {
+            DistSpec::Bc(p, q) => Box::new(TwoDBlockCyclic::new(p, q)),
+            DistSpec::Basic(r) => Box::new(SbcBasic::new(r)),
+            DistSpec::Ext(r) => Box::new(SbcExtended::new(r)),
+        }
+    }
+}
+
+fn arb_dist() -> impl Strategy<Value = DistSpec> {
+    prop_oneof![
+        (1usize..5, 1usize..5).prop_map(|(p, q)| DistSpec::Bc(p, q)),
+        (2usize..5).prop_map(|h| DistSpec::Basic(2 * h)),
+        (3usize..9).prop_map(DistSpec::Ext),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Graph-derived message counts equal the analytic counters, for every
+    /// operation, distribution family and matrix size.
+    #[test]
+    fn message_counts_agree(spec in arb_dist(), nt in 1usize..22) {
+        let d = spec.build();
+        let g = build_potrf(&d.as_ref(), nt);
+        prop_assert_eq!(g.count_messages(), comm::potrf_messages(&d.as_ref(), nt));
+        let g = build_trtri(&d.as_ref(), nt);
+        prop_assert_eq!(g.count_messages(), comm::trtri_messages(&d.as_ref(), nt));
+        let g = build_lauum(&d.as_ref(), nt);
+        prop_assert_eq!(g.count_messages(), comm::lauum_messages(&d.as_ref(), nt));
+        let g = build_lu(&d.as_ref(), nt);
+        prop_assert_eq!(g.count_messages(), comm::lu_messages(&d.as_ref(), nt));
+    }
+
+    /// Simulated makespan is sandwiched between its lower bounds (critical
+    /// path, per-node work) and the fully serial execution time.
+    #[test]
+    fn makespan_bounds(spec in arb_dist(), nt in 2usize..16) {
+        let d = spec.build();
+        let g = build_potrf(&d.as_ref(), nt);
+        let platform = Platform::bora(d.num_nodes());
+        let b = 256;
+        let cfg = SimConfig::chameleon(b);
+        let r = Simulator::new(&g, &platform, cfg).run();
+        prop_assert_eq!(r.tasks_executed as usize, g.len());
+
+        let cp = sbc::taskgraph::priority::critical_path_length(&g, |t| {
+            platform.task_seconds(&t.kind, b)
+        });
+        prop_assert!(r.makespan >= cp * 0.999, "makespan {} < cp {}", r.makespan, cp);
+
+        let work: f64 = g
+            .tasks()
+            .iter()
+            .map(|t| platform.task_seconds(&t.kind, b))
+            .sum();
+        let work_bound = work / (d.num_nodes() * platform.cores_per_node) as f64;
+        prop_assert!(r.makespan >= work_bound * 0.999);
+
+        // serial upper bound plus all communication fully serialized
+        let serial = work
+            + r.messages as f64 * (platform.port_seconds((b * b * 8) as u64) + platform.nic_latency);
+        prop_assert!(r.makespan <= serial * 1.001, "makespan {} > serial {}", r.makespan, serial);
+    }
+
+    /// The graph validates and its task count matches the closed form for
+    /// POTRF under any distribution.
+    #[test]
+    fn potrf_graph_structure(spec in arb_dist(), nt in 1usize..24) {
+        let d = spec.build();
+        let g = build_potrf(&d.as_ref(), nt);
+        g.validate().unwrap();
+        let expect = nt + nt * (nt - 1) + nt * (nt - 1) * (nt.max(2) - 2) / 6;
+        prop_assert_eq!(g.len(), expect);
+        // owner-computes: every task's output tile owner is its node
+        for t in g.tasks() {
+            match t.output(1) {
+                sbc::taskgraph::TileRef::A { i, j, .. } => {
+                    prop_assert_eq!(t.node as usize, d.owner(i as usize, j as usize));
+                }
+                _ => prop_assert!(false, "potrf writes A tiles only"),
+            }
+        }
+    }
+
+    /// The distributed runtime reproduces the sequential factor bit-for-bit
+    /// and measures exactly the analytic traffic (small sizes to keep
+    /// thread counts sane).
+    #[test]
+    fn runtime_agrees_with_sequential(seed in any::<u64>(), r in 3usize..6, nt in 2usize..10) {
+        let d = SbcExtended::new(r);
+        let b = 4;
+        let (l, stats) = sbc::runtime::run_potrf(&d, nt, b, seed);
+        let mut seq = sbc::matrix::random_spd(seed, nt, b);
+        sbc::matrix::potrf_tiled(&mut seq).unwrap();
+        for (i, j) in seq.tile_coords() {
+            prop_assert!(l.tile(i, j).max_abs_diff(seq.tile(i, j)) == 0.0);
+        }
+        prop_assert_eq!(stats.messages, comm::potrf_messages(&d, nt));
+    }
+}
