@@ -24,7 +24,12 @@ fn bench_schedule_variants(c: &mut Criterion) {
         ("bulk_sync", ScheduleMode::BulkSynchronous, true, false),
     ];
     for (name, mode, prio, pcomm) in variants {
-        let cfg = SimConfig { tile_b: 500, mode, use_priorities: prio, priority_comms: pcomm };
+        let cfg = SimConfig {
+            tile_b: 500,
+            mode,
+            use_priorities: prio,
+            priority_comms: pcomm,
+        };
         g.bench_function(name, |bench| {
             bench.iter(|| Simulator::new(&graph, &p, cfg).run());
         });

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sbc_kernels::reference::{random_lower_tile, random_spd_tile, random_tile};
-use sbc_kernels::{gemm, lauum, potrf, syrk, trmm_left_lower_trans, trsm_right_lower_trans, trtri, Tile, Trans};
+use sbc_kernels::{
+    gemm, lauum, potrf, syrk, trmm_left_lower_trans, trsm_right_lower_trans, trtri, Tile, Trans,
+};
 
 fn bench_gemm(c: &mut Criterion) {
     let mut g = c.benchmark_group("gemm_nt");

@@ -1,0 +1,28 @@
+//! Plan-cache speedup: a warm cache hit must be orders of magnitude
+//! (>= 100x) faster than the cold candidate search it memoizes, or the
+//! cache is not paying for its locks.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbc_planner::{Op, Planner};
+use sbc_simgrid::Platform;
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner");
+    let b = 500;
+
+    for nt in [20usize, 40] {
+        let planner = Planner::new(Platform::bora(28));
+        planner.plan(Op::Potrf, nt, b); // warm the cache
+
+        group.bench_with_input(BenchmarkId::new("cache_hit", nt), &nt, |bench, &nt| {
+            bench.iter(|| planner.plan(Op::Potrf, black_box(nt), b))
+        });
+        group.bench_with_input(BenchmarkId::new("cold_search", nt), &nt, |bench, &nt| {
+            bench.iter(|| planner.plan_uncached(Op::Potrf, black_box(nt), b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

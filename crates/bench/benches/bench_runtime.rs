@@ -10,13 +10,21 @@ fn bench_distributed_potrf(c: &mut Criterion) {
     g.sample_size(10);
     for (name, nt, b) in [("nt12_b16", 12usize, 16usize), ("nt16_b24", 16, 24)] {
         let d = SbcExtended::new(5); // 10 node-threads
-        g.bench_with_input(BenchmarkId::new("sbc5", name), &(nt, b), |bench, &(nt, b)| {
-            bench.iter(|| run_potrf(&d, nt, b, 42));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("sbc5", name),
+            &(nt, b),
+            |bench, &(nt, b)| {
+                bench.iter(|| run_potrf(&d, nt, b, 42));
+            },
+        );
         let d2 = TwoDBlockCyclic::new(5, 2);
-        g.bench_with_input(BenchmarkId::new("2dbc_5x2", name), &(nt, b), |bench, &(nt, b)| {
-            bench.iter(|| run_potrf(&d2, nt, b, 42));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("2dbc_5x2", name),
+            &(nt, b),
+            |bench, &(nt, b)| {
+                bench.iter(|| run_potrf(&d2, nt, b, 42));
+            },
+        );
     }
     g.finish();
 }

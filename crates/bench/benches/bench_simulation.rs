@@ -28,8 +28,18 @@ fn bench_fig9_miniature(c: &mut Criterion) {
     g.sample_size(10);
     let nt = 40;
     let schemes: Vec<(&str, sbc_taskgraph::TaskGraph, usize, ScheduleMode)> = vec![
-        ("sbc_r8", build_potrf(&SbcExtended::new(8), nt), 28, ScheduleMode::Async),
-        ("2dbc_7x4", build_potrf(&TwoDBlockCyclic::new(7, 4), nt), 28, ScheduleMode::Async),
+        (
+            "sbc_r8",
+            build_potrf(&SbcExtended::new(8), nt),
+            28,
+            ScheduleMode::Async,
+        ),
+        (
+            "2dbc_7x4",
+            build_potrf(&TwoDBlockCyclic::new(7, 4), nt),
+            28,
+            ScheduleMode::Async,
+        ),
         (
             "25d_sbc_c3",
             build_potrf_25d(&TwoPointFiveD::new(SbcBasic::new(4), 3), nt),
@@ -45,7 +55,12 @@ fn bench_fig9_miniature(c: &mut Criterion) {
     ];
     for (name, graph, nodes, mode) in &schemes {
         let p = Platform::bora(*nodes);
-        let cfg = SimConfig { tile_b: 500, mode: *mode, use_priorities: true, priority_comms: false };
+        let cfg = SimConfig {
+            tile_b: 500,
+            mode: *mode,
+            use_priorities: true,
+            priority_comms: false,
+        };
         g.bench_function(*name, |bench| {
             bench.iter(|| Simulator::new(graph, &p, cfg).run());
         });

@@ -3,7 +3,7 @@
 //! must stay scalable ("careful management of task submission").
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sbc_dist::{SbcExtended, TwoPointFiveD, SbcBasic};
+use sbc_dist::{SbcBasic, SbcExtended, TwoPointFiveD};
 use sbc_taskgraph::{build_potrf, build_potrf_25d, critical_path_priorities};
 
 fn bench_build(c: &mut Criterion) {

@@ -17,7 +17,11 @@ fn main() {
     let full = args.iter().any(|a| a == "--full");
     let csv = args.iter().any(|a| a == "--csv");
     let scale = if full { Scale::Full } else { Scale::Quick };
-    let targets: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let target = targets.first().copied().unwrap_or("all");
 
     let all = target == "all";
@@ -59,12 +63,81 @@ fn main() {
         trace_demo();
         ran = true;
     }
+    if all || target == "planner" {
+        planner_report(full);
+        ran = true;
+    }
 
     if !ran {
         eprintln!(
-            "unknown target '{target}'. Use one of: all, table1, patterns, fig7..fig14, ablations [--full]"
+            "unknown target '{target}'. Use one of: all, table1, patterns, fig7..fig14, ablations, planner, trace [--full]"
         );
         std::process::exit(2);
+    }
+}
+
+/// The `sbc-planner` subsystem vs. the paper: for each operation and node
+/// count, print the automatically chosen distribution next to the winner
+/// the paper reports in Figs 9-12 and Table I.
+fn planner_report(full: bool) {
+    use sbc_planner::{DistChoice, Op, Planner};
+    use sbc_simgrid::Platform;
+
+    let b = 500;
+    let nt = if full { 200 } else { 100 };
+    println!(
+        "== Planner: automatic distribution choice, n = {} (b = {b}) ==",
+        nt * b
+    );
+    println!(
+        "{:>4}  {:6}  {:30}  {:24}  agrees",
+        "P", "op", "chosen plan", "paper winner"
+    );
+
+    // The paper's qualitative winners: SBC for the symmetric factorizations
+    // (Fig 9/10), 2DBC for TRTRI and LU (Fig 12, Section VI), the remap
+    // strategy for POTRI (Fig 12), SBC for POSV (Fig 11).
+    let paper_family = |op: Op| match op {
+        Op::Potrf | Op::Posv | Op::Lauum => "SBC",
+        Op::Trtri | Op::Lu => "2DBC",
+        Op::Potri => "SBC remap 2DBC",
+    };
+    let family = |c: DistChoice| match c {
+        DistChoice::TwoDbc { .. } | DistChoice::TwoFiveDBc { .. } => "2DBC",
+        DistChoice::SbcBasic { .. }
+        | DistChoice::SbcExtended { .. }
+        | DistChoice::TwoFiveDSbc { .. } => "SBC",
+        DistChoice::PotriRemap { .. } => "SBC remap 2DBC",
+    };
+
+    for p in [15usize, 21, 28, 36] {
+        let planner = Planner::new(Platform::bora(p));
+        for op in Op::ALL {
+            let plan = planner.plan(op, nt, b);
+            let expected = paper_family(op);
+            let got = family(plan.choice);
+            println!(
+                "{p:>4}  {:6}  {:30}  {:24}  {}",
+                op.name(),
+                plan.choice.describe(),
+                expected,
+                if got == expected { "yes" } else { "NO" },
+            );
+        }
+    }
+
+    println!();
+    println!("POTRF candidate ranking at P = 28 (model seconds, fewer is better):");
+    let planner = Planner::new(Platform::bora(28));
+    for (choice, cost) in planner.scored_candidates(Op::Potrf, nt, b).iter().take(6) {
+        println!(
+            "  {:30} messages = {:>8}  comm = {:>7.3}s  compute = {:>7.3}s  total = {:>7.3}s",
+            choice.describe(),
+            cost.messages,
+            cost.comm_seconds,
+            cost.compute_seconds,
+            cost.total_seconds
+        );
     }
 }
 
@@ -79,10 +152,17 @@ fn trace_demo() {
     let p = Platform::bora(15);
     for (name, g) in [
         ("SBC r=6".to_string(), build_potrf(&SbcExtended::new(6), 40)),
-        ("2DBC 5x3".to_string(), build_potrf(&TwoDBlockCyclic::new(5, 3), 40)),
+        (
+            "2DBC 5x3".to_string(),
+            build_potrf(&TwoDBlockCyclic::new(5, 3), 40),
+        ),
     ] {
         let (report, trace) = Simulator::new(&g, &p, SimConfig::chameleon(500)).run_traced();
-        println!("{name}: makespan {:.3}s, util {:.0}%", report.makespan, 100.0 * report.utilization());
+        println!(
+            "{name}: makespan {:.3}s, util {:.0}%",
+            report.makespan,
+            100.0 * report.utilization()
+        );
         println!("{}", render_gantt(&trace, 15, p.cores_per_node, 72));
     }
 }
@@ -111,7 +191,11 @@ fn patterns() {
     for i in 0..4 {
         print!(" ");
         for j in 0..4 {
-            let o = if j <= i { basic.owner(i, j) } else { basic.owner(j, i) };
+            let o = if j <= i {
+                basic.owner(i, j)
+            } else {
+                basic.owner(j, i)
+            };
             print!(" {o}");
         }
         println!();

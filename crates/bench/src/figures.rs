@@ -2,9 +2,7 @@
 
 use crate::render::{Figure, Series};
 use sbc_dist::comm;
-use sbc_dist::{
-    Distribution, RowCyclic, SbcBasic, SbcExtended, TwoDBlockCyclic, TwoPointFiveD,
-};
+use sbc_dist::{Distribution, RowCyclic, SbcBasic, SbcExtended, TwoDBlockCyclic, TwoPointFiveD};
 use sbc_kernels::{flops_cholesky_total, flops_posv_total, flops_potri_total};
 use sbc_simgrid::{Platform, ScheduleMode, SimConfig, Simulator};
 use sbc_taskgraph::{
@@ -34,9 +32,19 @@ fn nts(scale: Scale) -> Vec<usize> {
     }
 }
 
-fn simulate(graph: &TaskGraph, nodes: usize, b: usize, mode: ScheduleMode) -> sbc_simgrid::SimReport {
+fn simulate(
+    graph: &TaskGraph,
+    nodes: usize,
+    b: usize,
+    mode: ScheduleMode,
+) -> sbc_simgrid::SimReport {
     let platform = Platform::bora(nodes);
-    let cfg = SimConfig { tile_b: b, mode, use_priorities: true, priority_comms: false };
+    let cfg = SimConfig {
+        tile_b: b,
+        mode,
+        use_priorities: true,
+        priority_comms: false,
+    };
     Simulator::new(graph, &platform, cfg).run()
 }
 
@@ -68,17 +76,21 @@ pub fn fig7(scale: Scale) -> Figure {
         let nt = n / b;
         let g = build_potrf(&d, nt);
         let r = Simulator::new(&g, &platform, SimConfig::chameleon(b)).run();
-        points.push((b as f64, r.gflops_per_node(Some(flops_cholesky_total(nt * b)))));
+        points.push((
+            b as f64,
+            r.gflops_per_node(Some(flops_cholesky_total(nt * b))),
+        ));
         eprintln!("  fig7: b = {b} done");
     }
     Figure {
         title: format!("Fig 7: single-node POTRF performance vs tile size (n = {n})"),
         xlabel: "tile b".into(),
         ylabel: "GFlop/s (one node, 34 cores)".into(),
-        series: vec![Series { name: "1 node".into(), points }],
-        notes: vec![
-            "paper: almost maximum performance reached as soon as b >= 500".into(),
-        ],
+        series: vec![Series {
+            name: "1 node".into(),
+            points,
+        }],
+        notes: vec!["paper: almost maximum performance reached as soon as b >= 500".into()],
     }
 }
 
@@ -87,8 +99,14 @@ pub fn fig8(scale: Scale) -> Figure {
     let tile_gb = (TILE_B * TILE_B * 8) as f64 / 1e9;
     let schemes: Vec<(String, Box<dyn Distribution>)> = vec![
         ("SBC r=7 (P=21)".into(), Box::new(SbcExtended::new(7))),
-        ("2DBC 5x4 (P=20)".into(), Box::new(TwoDBlockCyclic::new(5, 4))),
-        ("2DBC 7x3 (P=21)".into(), Box::new(TwoDBlockCyclic::new(7, 3))),
+        (
+            "2DBC 5x4 (P=20)".into(),
+            Box::new(TwoDBlockCyclic::new(5, 4)),
+        ),
+        (
+            "2DBC 7x3 (P=21)".into(),
+            Box::new(TwoDBlockCyclic::new(7, 3)),
+        ),
     ];
     let mut series = Vec::new();
     for (name, d) in &schemes {
@@ -99,7 +117,10 @@ pub fn fig8(scale: Scale) -> Figure {
                 ((nt * TILE_B) as f64, msgs as f64 * tile_gb)
             })
             .collect();
-        series.push(Series { name: name.clone(), points });
+        series.push(Series {
+            name: name.clone(),
+            points,
+        });
     }
     Figure {
         title: "Fig 8: measured communication volume during POTRF (GB)".into(),
@@ -122,11 +143,36 @@ fn fig9_schemes(nt: usize) -> Vec<(String, TaskGraph, usize, ScheduleMode)> {
     let bc25 = TwoPointFiveD::new(TwoDBlockCyclic::new(3, 3), 3); // 27
     let confchox = TwoDBlockCyclic::new(8, 4); // 32, power of two as in the paper
     vec![
-        ("2D SBC r=8".into(), build_potrf(&sbc, nt), 28, ScheduleMode::Async),
-        ("2DBC 7x4".into(), build_potrf(&bc74, nt), 28, ScheduleMode::Async),
-        ("2DBC 6x5".into(), build_potrf(&bc65, nt), 30, ScheduleMode::Async),
-        ("2.5D SBC c=3".into(), build_potrf_25d(&sbc25, nt), 24, ScheduleMode::Async),
-        ("2.5D BC c=3".into(), build_potrf_25d(&bc25, nt), 27, ScheduleMode::Async),
+        (
+            "2D SBC r=8".into(),
+            build_potrf(&sbc, nt),
+            28,
+            ScheduleMode::Async,
+        ),
+        (
+            "2DBC 7x4".into(),
+            build_potrf(&bc74, nt),
+            28,
+            ScheduleMode::Async,
+        ),
+        (
+            "2DBC 6x5".into(),
+            build_potrf(&bc65, nt),
+            30,
+            ScheduleMode::Async,
+        ),
+        (
+            "2.5D SBC c=3".into(),
+            build_potrf_25d(&sbc25, nt),
+            24,
+            ScheduleMode::Async,
+        ),
+        (
+            "2.5D BC c=3".into(),
+            build_potrf_25d(&bc25, nt),
+            27,
+            ScheduleMode::Async,
+        ),
         (
             "COnfCHOX-like".into(),
             build_potrf(&confchox, nt),
@@ -144,7 +190,10 @@ pub fn fig9(scale: Scale) -> Figure {
             let (gf, _) = gflops_potrf(&graph, nodes, nt, mode);
             match series.iter_mut().find(|s| s.name == name) {
                 Some(s) => s.points.push(((nt * TILE_B) as f64, gf)),
-                None => series.push(Series { name, points: vec![((nt * TILE_B) as f64, gf)] }),
+                None => series.push(Series {
+                    name,
+                    points: vec![((nt * TILE_B) as f64, gf)],
+                }),
             }
         }
         eprintln!("  fig9: n = {} done", nt * TILE_B);
@@ -194,8 +243,8 @@ pub fn fig10(scale: Scale) -> Figure {
 /// Fig 11: strong scaling at fixed n.
 pub fn fig11(scale: Scale) -> Figure {
     let nt = match scale {
-        Scale::Quick => 120,  // n = 60 000
-        Scale::Full => 400,   // n = 200 000 as in the paper
+        Scale::Quick => 120, // n = 60 000
+        Scale::Full => 400,  // n = 200 000 as in the paper
     };
     let mut sbc_pts = Vec::new();
     let mut dbc_pts = Vec::new();
@@ -215,8 +264,14 @@ pub fn fig11(scale: Scale) -> Figure {
         xlabel: "P (nodes)".into(),
         ylabel: "GFlop/s per node".into(),
         series: vec![
-            Series { name: "SBC".into(), points: sbc_pts },
-            Series { name: "2DBC".into(), points: dbc_pts },
+            Series {
+                name: "SBC".into(),
+                points: sbc_pts,
+            },
+            Series {
+                name: "2DBC".into(),
+                points: dbc_pts,
+            },
         ],
         notes: vec![
             "paper: SBC with P=36 matches 2DBC with ~half the nodes per-node throughput".into(),
@@ -330,10 +385,19 @@ pub fn ablations(scale: Scale) -> Figure {
         priority_comms: pcomm,
     };
     let configs = [
-        ("baseline (async, prio tasks, fifo msgs)", mk(ScheduleMode::Async, true, false)),
+        (
+            "baseline (async, prio tasks, fifo msgs)",
+            mk(ScheduleMode::Async, true, false),
+        ),
         ("fifo ready queues", mk(ScheduleMode::Async, false, false)),
-        ("priority-ordered messages", mk(ScheduleMode::Async, true, true)),
-        ("bulk-synchronous barrier", mk(ScheduleMode::BulkSynchronous, true, false)),
+        (
+            "priority-ordered messages",
+            mk(ScheduleMode::Async, true, true),
+        ),
+        (
+            "bulk-synchronous barrier",
+            mk(ScheduleMode::BulkSynchronous, true, false),
+        ),
     ];
     let mut points = Vec::new();
     let mut notes = vec![format!("SBC r=8, nt = {nt}, P = 28; y = makespan seconds")];
@@ -347,12 +411,18 @@ pub fn ablations(scale: Scale) -> Figure {
     let g2 = build_potrf(&anti, nt);
     let r = Simulator::new(&g2, &platform, mk(ScheduleMode::Async, true, false)).run();
     points.push((configs.len() as f64, r.makespan));
-    notes.push(format!("x={}: anti-diagonal pattern cycling", configs.len()));
+    notes.push(format!(
+        "x={}: anti-diagonal pattern cycling",
+        configs.len()
+    ));
     Figure {
         title: "Ablations: scheduling and construction choices".into(),
         xlabel: "variant".into(),
         ylabel: "makespan (s)".into(),
-        series: vec![Series { name: "makespan".into(), points }],
+        series: vec![Series {
+            name: "makespan".into(),
+            points,
+        }],
         notes,
     }
 }
@@ -360,7 +430,10 @@ pub fn ablations(scale: Scale) -> Figure {
 fn push_point(series: &mut Vec<Series>, name: &str, x: f64, y: f64) {
     match series.iter_mut().find(|s| s.name == name) {
         Some(s) => s.points.push((x, y)),
-        None => series.push(Series { name: name.to_string(), points: vec![(x, y)] }),
+        None => series.push(Series {
+            name: name.to_string(),
+            points: vec![(x, y)],
+        }),
     }
 }
 

@@ -38,7 +38,13 @@ pub fn render_figure(fig: &Figure) -> String {
     xs.sort_by(f64::total_cmp);
     xs.dedup_by(|a, b| a.to_bits() == b.to_bits());
 
-    let name_width = fig.series.iter().map(|s| s.name.len()).max().unwrap_or(8).max(8);
+    let name_width = fig
+        .series
+        .iter()
+        .map(|s| s.name.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
     out.push_str(&format!("{:>12}", fig.xlabel));
     for s in &fig.series {
         out.push_str(&format!("  {:>w$}", s.name, w = name_width));
@@ -47,7 +53,11 @@ pub fn render_figure(fig: &Figure) -> String {
     for &x in &xs {
         out.push_str(&format!("{:>12}", trim_float(x)));
         for s in &fig.series {
-            match s.points.iter().find(|&&(px, _)| px.to_bits() == x.to_bits()) {
+            match s
+                .points
+                .iter()
+                .find(|&&(px, _)| px.to_bits() == x.to_bits())
+            {
                 Some(&(_, y)) => out.push_str(&format!("  {:>w$}", trim_float(y), w = name_width)),
                 None => out.push_str(&format!("  {:>w$}", "-", w = name_width)),
             }
@@ -81,7 +91,11 @@ pub fn render_csv(fig: &Figure) -> String {
         out.push_str(&format!("{x}"));
         for s in &fig.series {
             out.push(',');
-            if let Some(&(_, y)) = s.points.iter().find(|&&(px, _)| px.to_bits() == x.to_bits()) {
+            if let Some(&(_, y)) = s
+                .points
+                .iter()
+                .find(|&&(px, _)| px.to_bits() == x.to_bits())
+            {
                 out.push_str(&format!("{y}"));
             }
         }
@@ -111,8 +125,14 @@ mod tests {
             xlabel: "n".into(),
             ylabel: "GF/s".into(),
             series: vec![
-                Series { name: "SBC".into(), points: vec![(1.0, 10.0), (2.0, 20.0)] },
-                Series { name: "2DBC".into(), points: vec![(1.0, 8.0)] },
+                Series {
+                    name: "SBC".into(),
+                    points: vec![(1.0, 10.0), (2.0, 20.0)],
+                },
+                Series {
+                    name: "2DBC".into(),
+                    points: vec![(1.0, 8.0)],
+                },
             ],
             notes: vec!["test".into()],
         };
@@ -129,7 +149,10 @@ mod tests {
             title: "t".into(),
             xlabel: "n".into(),
             ylabel: "y".into(),
-            series: vec![Series { name: "a,b".into(), points: vec![(1.0, 2.5)] }],
+            series: vec![Series {
+                name: "a,b".into(),
+                points: vec![(1.0, 2.5)],
+            }],
             notes: vec![],
         };
         let csv = render_csv(&fig);

@@ -30,7 +30,12 @@ impl BalanceStats {
         } else {
             per_node.iter().sum::<u64>() as f64 / per_node.len() as f64
         };
-        BalanceStats { per_node, min, max, mean }
+        BalanceStats {
+            per_node,
+            min,
+            max,
+            mean,
+        }
     }
 
     /// `max / mean`: 1.0 is perfect balance.

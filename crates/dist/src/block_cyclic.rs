@@ -63,7 +63,7 @@ mod tests {
         assert_eq!(d.owner(0, 0), 0);
         assert_eq!(d.owner(0, 0), d.owner(2, 3)); // periodicity
         assert_eq!(d.owner(1, 2), 5);
-        assert_eq!(d.owner(7, 4), (7 % 2) * 3 + (4 % 3));
+        assert_eq!(d.owner(7, 4), 3 + (4 % 3));
     }
 
     #[test]
@@ -98,7 +98,7 @@ mod tests {
     #[test]
     fn all_nodes_used() {
         let d = TwoDBlockCyclic::new(5, 4);
-        let mut seen = vec![false; 20];
+        let mut seen = [false; 20];
         for i in 0..20 {
             for j in 0..=i {
                 seen[d.owner(i, j)] = true;

@@ -343,11 +343,7 @@ pub fn potri_messages<D: Distribution>(dist: &D, nt: usize) -> u64 {
 /// (Section V-F.2): POTRF and LAUUM under `sym` (an SBC distribution),
 /// TRTRI under `bc` (a 2DBC distribution), with full redistributions
 /// before and after the TRTRI step.
-pub fn potri_remap_messages<A: Distribution, B: Distribution>(
-    sym: &A,
-    bc: &B,
-    nt: usize,
-) -> u64 {
+pub fn potri_remap_messages<A: Distribution, B: Distribution>(sym: &A, bc: &B, nt: usize) -> u64 {
     potrf_messages(sym, nt)
         + redistribution_messages(sym, bc, nt)
         + trtri_messages(bc, nt)
@@ -409,14 +405,17 @@ pub fn potrf_25d_messages<D: Distribution>(d25: &TwoPointFiveD<D>, nt: usize) ->
     for k in 0..nt {
         let contributing = k.min(c) as u64;
         let sigma_contributes = k >= c || (k % c) < k; // sigma(k)=k%c had an earlier iteration?
-        // sigma(k) = k mod c contributes iff exists i < k with i ≡ k (mod c),
-        // i.e. iff k >= c (the smallest such i is k - c).
+                                                       // sigma(k) = k mod c contributes iff exists i < k with i ≡ k (mod c),
+                                                       // i.e. iff k >= c (the smallest such i is k - c).
         let _ = sigma_contributes;
         let senders = if k >= c { c as u64 - 1 } else { contributing };
         let tiles_in_column = (nt - k) as u64;
         reductions += senders * tiles_in_column;
     }
-    TwoFiveDMessages { broadcasts, reductions }
+    TwoFiveDMessages {
+        broadcasts,
+        reductions,
+    }
 }
 
 /// Total size of the symmetric matrix in tiles: `S = nt (nt + 1) / 2`.
@@ -648,7 +647,10 @@ mod tests {
         let all_bc = 3.0 * (2 * p - 2) as f64;
         let remap = (2 * r + 2 * p - 4) as f64;
         let ratio = all_bc / remap;
-        assert!((ratio - 3.0 / (1.0 + std::f64::consts::SQRT_2)).abs() < 0.08, "ratio={ratio}");
+        assert!(
+            (ratio - 3.0 / (1.0 + std::f64::consts::SQRT_2)).abs() < 0.08,
+            "ratio={ratio}"
+        );
     }
 
     #[test]
@@ -698,7 +700,11 @@ mod tests {
         let m = potrf_25d_messages(&d25, nt);
         let closed = potrf_25d_sbc_closed_form(nt, r, c);
         assert!(m.total() <= closed);
-        assert!(m.total() as f64 / closed as f64 > 0.85, "{} vs {closed}", m.total());
+        assert!(
+            m.total() as f64 / closed as f64 > 0.85,
+            "{} vs {closed}",
+            m.total()
+        );
         // reductions alone ~ S (c - 1)
         let red_closed = matrix_tiles(nt) * (c as u64 - 1);
         assert!(m.reductions <= red_closed);

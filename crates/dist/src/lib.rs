@@ -29,8 +29,8 @@
 
 pub mod balance;
 pub mod block_cyclic;
-pub mod pattern;
 pub mod comm;
+pub mod pattern;
 pub mod row_cyclic;
 pub mod sbc;
 pub mod table1;

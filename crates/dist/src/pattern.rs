@@ -66,7 +66,12 @@ impl PatternDistribution {
         if let Some(missing) = seen.iter().position(|&s| !s) {
             return Err(format!("node id {missing} never appears in the pattern"));
         }
-        Ok(PatternDistribution { rows, cols, pattern: flat, num_nodes })
+        Ok(PatternDistribution {
+            rows,
+            cols,
+            pattern: flat,
+            num_nodes,
+        })
     }
 
     /// Pattern height.
@@ -160,12 +165,7 @@ mod tests {
     #[test]
     fn replicates_2dbc_exactly() {
         let bc = TwoDBlockCyclic::new(3, 2);
-        let pat = PatternDistribution::new(vec![
-            vec![0, 1],
-            vec![2, 3],
-            vec![4, 5],
-        ])
-        .unwrap();
+        let pat = PatternDistribution::new(vec![vec![0, 1], vec![2, 3], vec![4, 5]]).unwrap();
         let nt = 24;
         for i in 0..nt {
             for j in 0..=i {
@@ -200,12 +200,8 @@ mod tests {
     #[test]
     fn symmetric_property_detection() {
         // symmetric matrix pattern => symmetric property holds
-        let sym = PatternDistribution::new(vec![
-            vec![0, 1, 2],
-            vec![1, 0, 2],
-            vec![2, 2, 1],
-        ])
-        .unwrap();
+        let sym =
+            PatternDistribution::new(vec![vec![0, 1, 2], vec![1, 0, 2], vec![2, 2, 1]]).unwrap();
         assert!(sym.is_symmetric_pattern());
         // non-square is never "symmetric"
         let rect = PatternDistribution::new(vec![vec![0, 1, 2]]).unwrap();

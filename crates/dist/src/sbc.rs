@@ -75,7 +75,10 @@ impl SbcBasic {
     /// # Panics
     /// Panics if `r` is odd or `< 2`.
     pub fn new(r: usize) -> Self {
-        assert!(r >= 2 && r % 2 == 0, "basic SBC requires even r >= 2");
+        assert!(
+            r >= 2 && r.is_multiple_of(2),
+            "basic SBC requires even r >= 2"
+        );
         SbcBasic { r }
     }
 
@@ -158,7 +161,11 @@ impl SbcExtended {
         } else {
             Self::even_patterns(r)
         };
-        let s = SbcExtended { r, patterns, cycling };
+        let s = SbcExtended {
+            r,
+            patterns,
+            cycling,
+        };
         debug_assert!(s.validate().is_ok());
         s
     }
@@ -220,7 +227,7 @@ impl SbcExtended {
         left_list.extend(lefts);
         let mut right_list: Vec<Vec<NodeId>> = rights;
         right_list.push(bonus);
-        for (l, rgt) in left_list.into_iter().zip(right_list.into_iter()) {
+        for (l, rgt) in left_list.into_iter().zip(right_list) {
             let mut p = l;
             p.extend(rgt);
             patterns.push(p);
@@ -354,15 +361,10 @@ mod tests {
         //   3 4 5 7
         let d = SbcBasic::new(4);
         assert_eq!(d.num_nodes(), 8);
-        let expect = [
-            [6, 0, 1, 3],
-            [0, 7, 2, 4],
-            [1, 2, 6, 5],
-            [3, 4, 5, 7],
-        ];
-        for i in 0..4 {
-            for j in 0..=i {
-                assert_eq!(d.owner(i, j), expect[i][j], "({i},{j})");
+        let expect = [[6, 0, 1, 3], [0, 7, 2, 4], [1, 2, 6, 5], [3, 4, 5, 7]];
+        for (i, row) in expect.iter().enumerate() {
+            for (j, &want) in row.iter().enumerate().take(i + 1) {
+                assert_eq!(d.owner(i, j), want, "({i},{j})");
             }
         }
     }

@@ -27,7 +27,7 @@ pub fn best_grid(n: usize) -> (usize, usize) {
     let mut best = (n, 1);
     let mut q = 1;
     while q * q <= n {
-        if n % q == 0 {
+        if n.is_multiple_of(q) {
             best = (n / q, q);
         }
         q += 1;

@@ -1,9 +1,7 @@
 //! Property tests on distribution invariants.
 
 use proptest::prelude::*;
-use sbc_dist::comm::{
-    potrf_messages, theorem1_basic, theorem1_extended, trtri_messages,
-};
+use sbc_dist::comm::{potrf_messages, theorem1_basic, theorem1_extended, trtri_messages};
 use sbc_dist::sbc::{pair_id, pair_of};
 use sbc_dist::{Distribution, SbcBasic, SbcExtended, TwoDBlockCyclic};
 
@@ -60,7 +58,7 @@ proptest! {
         let mut best = (p_nodes, 1);
         let mut q = 1;
         while q * q <= p_nodes {
-            if p_nodes % q == 0 { best = (p_nodes / q, q); }
+            if p_nodes.is_multiple_of(q) { best = (p_nodes / q, q); }
             q += 1;
         }
         let dbc = TwoDBlockCyclic::new(best.0, best.1);
@@ -79,7 +77,7 @@ proptest! {
         let mut best = (p_nodes, 1);
         let mut q = 1;
         while q * q <= p_nodes {
-            if p_nodes % q == 0 { best = (p_nodes / q, q); }
+            if p_nodes.is_multiple_of(q) { best = (p_nodes / q, q); }
             q += 1;
         }
         let dbc = TwoDBlockCyclic::new(best.0, best.1);

@@ -25,15 +25,7 @@ pub enum Trans {
 ///
 /// # Panics
 /// Panics if the tiles do not all share the same dimension.
-pub fn gemm(
-    transa: Trans,
-    transb: Trans,
-    alpha: f64,
-    a: &Tile,
-    b: &Tile,
-    beta: f64,
-    c: &mut Tile,
-) {
+pub fn gemm(transa: Trans, transb: Trans, alpha: f64, a: &Tile, b: &Tile, beta: f64, c: &mut Tile) {
     let n = c.dim();
     assert_eq!(a.dim(), n, "gemm: A dimension mismatch");
     assert_eq!(b.dim(), n, "gemm: B dimension mismatch");

@@ -30,8 +30,8 @@ pub fn getrf(a: &mut Tile) -> Result<(), KernelError> {
         // scale the column below the pivot
         {
             let col = a.col_mut(kk);
-            for i in kk + 1..n {
-                col[i] /= pivot;
+            for v in &mut col[kk + 1..n] {
+                *v /= pivot;
             }
         }
         // trailing update: A[kk+1.., j] -= A[kk+1.., kk] * A[kk, j]

@@ -25,10 +25,7 @@ pub fn lauum(a: &mut Tile) {
             }
             // A[i,i] := dot(A[i.., i], A[i.., i])
             let col = a.col(i);
-            let mut d = 0.0;
-            for k in i..n {
-                d += col[k] * col[k];
-            }
+            let d: f64 = col[i..n].iter().map(|v| v * v).sum();
             a.set(i, i, d);
         } else {
             // last row: scale by aii

@@ -39,9 +39,8 @@ pub mod trsm;
 pub mod trtri;
 
 pub use flops::{
-    flops_cholesky_total, flops_gemm, flops_getrf, flops_lauum, flops_lu_total,
-    flops_posv_total, flops_potrf, flops_potri_total, flops_syrk, flops_trmm, flops_trsm,
-    flops_trtri,
+    flops_cholesky_total, flops_gemm, flops_getrf, flops_lauum, flops_lu_total, flops_posv_total,
+    flops_potrf, flops_potri_total, flops_syrk, flops_trmm, flops_trsm, flops_trtri,
 };
 pub use gemm::{gemm, Trans};
 pub use getrf::getrf;
@@ -84,7 +83,10 @@ impl std::fmt::Display for KernelError {
                 write!(f, "singular triangular matrix (diagonal {i})")
             }
             KernelError::DimensionMismatch { expected, found } => {
-                write!(f, "tile dimension mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "tile dimension mismatch: expected {expected}, found {found}"
+                )
             }
         }
     }

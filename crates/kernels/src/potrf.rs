@@ -26,8 +26,8 @@ pub fn potrf(a: &mut Tile) -> Result<(), KernelError> {
         // scale the column below the pivot
         {
             let col = a.col_mut(k);
-            for i in k + 1..n {
-                col[i] /= pivot;
+            for v in &mut col[k + 1..n] {
+                *v /= pivot;
             }
         }
         // trailing update: for j > k, A[j.., j] -= A[j,k] * A[j.., k]
@@ -85,7 +85,13 @@ mod tests {
 
     #[test]
     fn potrf_diagonal_tile() {
-        let mut a = Tile::from_fn(4, |i, j| if i == j { ((i + 2) * (i + 2)) as f64 } else { 0.0 });
+        let mut a = Tile::from_fn(4, |i, j| {
+            if i == j {
+                ((i + 2) * (i + 2)) as f64
+            } else {
+                0.0
+            }
+        });
         potrf(&mut a).unwrap();
         for i in 0..4 {
             assert!((a.get(i, i) - (i + 2) as f64).abs() < 1e-14);

@@ -35,7 +35,10 @@ impl std::fmt::Debug for Tile {
 impl Tile {
     /// Creates a zero-filled tile of dimension `b`.
     pub fn zeros(b: usize) -> Self {
-        Tile { b, data: vec![0.0; b * b] }
+        Tile {
+            b,
+            data: vec![0.0; b * b],
+        }
     }
 
     /// Creates an identity tile of dimension `b`.

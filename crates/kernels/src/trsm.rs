@@ -295,7 +295,13 @@ mod tests {
             trsm_left_unit_lower(&l, &mut x);
             // build the unit-lower matrix explicitly and multiply back
             let lu = Tile::from_fn(n, |i, j| {
-                if i == j { 1.0 } else if i > j { l.get(i, j) } else { 0.0 }
+                if i == j {
+                    1.0
+                } else if i > j {
+                    l.get(i, j)
+                } else {
+                    0.0
+                }
             });
             let mut prod = Tile::zeros(n);
             gemm(Trans::No, Trans::No, 1.0, &lu, &x, 0.0, &mut prod);

@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use sbc_kernels::reference::{random_lower_tile, random_spd_tile, ref_gemm};
-use sbc_kernels::{gemm, lauum, potrf, syrk, trmm_left_lower_trans, trsm_left_lower, trsm_left_lower_trans, trsm_right_lower, trsm_right_lower_trans, trtri, Tile, Trans};
+use sbc_kernels::{
+    gemm, lauum, potrf, syrk, trmm_left_lower_trans, trsm_left_lower, trsm_left_lower_trans,
+    trsm_right_lower, trsm_right_lower_trans, trtri, Tile, Trans,
+};
 
 fn arb_tile(max_b: usize) -> impl Strategy<Value = Tile> {
     (1..=max_b, any::<u64>()).prop_map(|(b, seed)| {

@@ -335,10 +335,7 @@ mod tests {
                 for t in r..n {
                     s += lower_elem(&l, t, r) * lower_elem(&l, t, c);
                 }
-                assert!(
-                    (lower_elem(&out, r, c) - s).abs() < 1e-9,
-                    "({r},{c})"
-                );
+                assert!((lower_elem(&out, r, c) - s).abs() < 1e-9, "({r},{c})");
             }
         }
     }

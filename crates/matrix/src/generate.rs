@@ -15,7 +15,8 @@ use sbc_kernels::Tile;
 /// Mixes a global seed with a tile coordinate to get a per-tile stream.
 fn tile_seed(seed: u64, i: usize, j: usize) -> u64 {
     let mut h = SplitMix64::new(
-        seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+        seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (j as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
     );
     h.next_u64()
 }

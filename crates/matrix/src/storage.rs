@@ -199,7 +199,11 @@ pub struct FullTiledMatrix {
 impl FullTiledMatrix {
     /// Creates a zero matrix of `nt x nt` tiles of dimension `b`.
     pub fn zeros(nt: usize, b: usize) -> Self {
-        FullTiledMatrix { nt, b, tiles: vec![Tile::zeros(b); nt * nt] }
+        FullTiledMatrix {
+            nt,
+            b,
+            tiles: vec![Tile::zeros(b); nt * nt],
+        }
     }
 
     /// Builds a matrix by evaluating `f(i, j)` for every tile.
@@ -235,7 +239,10 @@ impl FullTiledMatrix {
 
     #[inline]
     fn idx(&self, i: usize, j: usize) -> usize {
-        assert!(i < self.nt && j < self.nt, "tile index ({i},{j}) out of range");
+        assert!(
+            i < self.nt && j < self.nt,
+            "tile index ({i},{j}) out of range"
+        );
         i * self.nt + j
     }
 
@@ -294,7 +301,8 @@ impl FullTiledMatrix {
 
     /// Scalar element `(r, c)` in `0..n`.
     pub fn element(&self, r: usize, c: usize) -> f64 {
-        self.tile(r / self.b, c / self.b).get(r % self.b, c % self.b)
+        self.tile(r / self.b, c / self.b)
+            .get(r % self.b, c % self.b)
     }
 
     /// Frobenius norm.
@@ -328,8 +336,8 @@ impl TiledPanel {
     }
 
     /// Builds a panel by evaluating `f(i)` for each tile row.
-    pub fn from_tile_fn(nt: usize, b: usize, mut f: impl FnMut(usize) -> Tile) -> Self {
-        let tiles: Vec<Tile> = (0..nt).map(|i| f(i)).collect();
+    pub fn from_tile_fn(nt: usize, b: usize, f: impl FnMut(usize) -> Tile) -> Self {
+        let tiles: Vec<Tile> = (0..nt).map(f).collect();
         for t in &tiles {
             assert_eq!(t.dim(), b);
         }

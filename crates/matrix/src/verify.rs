@@ -94,7 +94,13 @@ pub fn lu_residual(a0: &FullTiledMatrix, f: &FullTiledMatrix) -> f64 {
             0.0
         }
     };
-    let u = |r: usize, c: usize| -> f64 { if r <= c { f.element(r, c) } else { 0.0 } };
+    let u = |r: usize, c: usize| -> f64 {
+        if r <= c {
+            f.element(r, c)
+        } else {
+            0.0
+        }
+    };
     let mut err = 0.0_f64;
     for r in 0..n {
         for c in 0..n {

@@ -49,7 +49,7 @@ proptest! {
         let coarse = sbc_matrix::SymmetricTiledMatrix::from_tile_fn(nt, b, |i, j| {
             sbc_kernels::Tile::from_fn(b, |r, c| {
                 let (rr, cc) = (i * b + r, j * b + c);
-                if cc > rr { fine.element(rr, cc) } else { fine.element(rr, cc) }
+                fine.element(rr, cc)
             })
         });
         let mut lf = fine.clone();

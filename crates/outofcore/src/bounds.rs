@@ -54,10 +54,10 @@ mod tests {
     #[test]
     fn intensity_gap_is_sqrt2() {
         let m = 4096;
-        assert!((max_intensity_cholesky(m) / max_intensity_lu(m)
-            - std::f64::consts::SQRT_2)
-            .abs()
-            < 1e-12);
+        assert!(
+            (max_intensity_cholesky(m) / max_intensity_lu(m) - std::f64::consts::SQRT_2).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -161,7 +161,10 @@ mod tests {
         let ll = gain(LoopOrder::LeftLooking);
         assert!((1.4..3.0).contains(&ll), "left-looking gain {ll}");
         let rl = gain(LoopOrder::RightLooking);
-        assert!(rl < ll, "right-looking {rl} should scale worse than left-looking {ll}");
+        assert!(
+            rl < ll,
+            "right-looking {rl} should scale worse than left-looking {ll}"
+        );
         assert!(rl < 1.5, "right-looking barely benefits from memory: {rl}");
     }
 

@@ -1,0 +1,150 @@
+//! Closed-form cost model ranking distribution candidates.
+//!
+//! The model mirrors the paper's performance analysis (Section V-E) with
+//! two terms:
+//!
+//! * **Compute**: `op` flops divided by the aggregate effective throughput
+//!   of the nodes the candidate occupies (worker cores x per-core peak x
+//!   GEMM efficiency at tile size `b`), stretched by the candidate's
+//!   trailing-update load imbalance. This is what separates a 28-node SBC
+//!   from a 20-node grid at the same budget.
+//! * **Communication**: the exact per-op message count from
+//!   [`sbc_dist::comm`], times the NIC port time of one `b x b` tile,
+//!   spread over the candidate's NICs. This is the Theorem 1 term: fewer
+//!   sends, faster factorization.
+//!
+//! The two are **summed**, not maxed. A max would assume perfect
+//! compute/communication overlap, under which the comm term vanishes in
+//! the compute-bound regime and the model would rank purely by load
+//! balance — contradicting the paper's measurement that fewer messages
+//! still win at compute-bound sizes, because every message costs host
+//! overhead on the communication core and imperfect overlap leaks into
+//! the critical path (Sections V-C/V-E). The sum is a serialization bound
+//! that preserves the paper's ordering; the planner's optional simulation
+//! refinement supplies the overlap-aware makespan.
+//!
+//! Ranking is lexicographic `(total_seconds, messages)`: on a time tie the
+//! candidate that communicates less wins — the paper's whole point.
+
+use std::cmp::Ordering;
+
+use sbc_simgrid::Platform;
+use sbc_taskgraph::TaskKind;
+
+use crate::candidates::{DistChoice, Op};
+
+/// Scored cost of one candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostBreakdown {
+    /// Exact message count of the operation under the candidate.
+    pub messages: u64,
+    /// Seconds the busiest NIC spends porting messages.
+    pub comm_seconds: f64,
+    /// Seconds the busiest node spends computing.
+    pub compute_seconds: f64,
+    /// Trailing-update load imbalance (>= 1.0) folded into
+    /// `compute_seconds`.
+    pub imbalance: f64,
+    /// Model makespan: `compute_seconds + comm_seconds` (serialization
+    /// bound, see module docs).
+    pub total_seconds: f64,
+}
+
+impl CostBreakdown {
+    /// Lexicographic ranking: smaller model makespan first, fewer messages
+    /// as tie-break.
+    pub fn rank(&self, other: &CostBreakdown) -> Ordering {
+        self.total_seconds
+            .total_cmp(&other.total_seconds)
+            .then(self.messages.cmp(&other.messages))
+    }
+}
+
+/// The analytic scorer: a [`Platform`] plus the arithmetic above.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    platform: Platform,
+}
+
+impl CostModel {
+    /// Builds a model over `platform`'s constants.
+    pub fn new(platform: Platform) -> Self {
+        CostModel { platform }
+    }
+
+    /// The platform being modelled.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Scores `choice` executing `op` on an `nt x nt` tile matrix with
+    /// tile size `b`.
+    pub fn score(&self, choice: DistChoice, op: Op, nt: usize, b: usize) -> CostBreakdown {
+        let nodes = choice.nodes_used() as f64;
+        let messages = choice.messages(op, nt);
+        let tile_bytes = (b * b * 8) as u64;
+        // Each message occupies a sender NIC and a receiver NIC for
+        // port_seconds; with P nodes the aggregate port work spreads over P
+        // full-duplex ports.
+        let comm_seconds = messages as f64 * self.platform.port_seconds(tile_bytes) / nodes;
+
+        let imbalance = choice.gemm_imbalance(nt);
+        let eff = self
+            .platform
+            .efficiency
+            .efficiency(&TaskKind::Gemm { i: 0, j: 1, k: 0 }, b);
+        let node_flops = self.platform.cores_per_node as f64 * self.platform.core_gflops * 1e9;
+        let compute_seconds = op.total_flops(nt, b) / (nodes * node_flops * eff) * imbalance;
+
+        CostBreakdown {
+            messages,
+            comm_seconds,
+            compute_seconds,
+            imbalance,
+            total_seconds: compute_seconds + comm_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(nodes: usize) -> CostModel {
+        CostModel::new(Platform::bora(nodes))
+    }
+
+    #[test]
+    fn more_nodes_less_compute_time() {
+        let m = model(28);
+        let big = m.score(DistChoice::SbcExtended { r: 8 }, Op::Potrf, 64, 500);
+        let small = m.score(DistChoice::TwoDbc { p: 5, q: 4 }, Op::Potrf, 64, 500);
+        assert!(big.compute_seconds < small.compute_seconds);
+    }
+
+    #[test]
+    fn comm_term_tracks_message_count() {
+        let m = model(28);
+        // Same node count, SBC sends fewer POTRF messages (Theorem 1).
+        let sbc = m.score(DistChoice::SbcExtended { r: 8 }, Op::Potrf, 40, 500);
+        let bc = m.score(DistChoice::TwoDbc { p: 7, q: 4 }, Op::Potrf, 40, 500);
+        assert!(sbc.messages < bc.messages);
+        assert!(sbc.comm_seconds < bc.comm_seconds);
+    }
+
+    #[test]
+    fn rank_breaks_ties_on_messages() {
+        let a = CostBreakdown {
+            messages: 10,
+            comm_seconds: 1.0,
+            compute_seconds: 2.0,
+            imbalance: 1.0,
+            total_seconds: 2.0,
+        };
+        let mut b = a;
+        b.messages = 20;
+        assert_eq!(a.rank(&b), Ordering::Less);
+        assert_eq!(b.rank(&a), Ordering::Greater);
+        assert_eq!(a.rank(&a), Ordering::Equal);
+    }
+}

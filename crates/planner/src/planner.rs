@@ -1,0 +1,227 @@
+//! The planner: search, optional simulation refinement, and the [`Plan`]
+//! handed to the simulator or the threaded runtime.
+
+use std::sync::Arc;
+
+use sbc_simgrid::{Platform, ScheduleMode, SimConfig, SimReport, Simulator};
+use sbc_taskgraph::TaskGraph;
+
+use crate::cache::{PlanCache, PlanKey};
+use crate::candidates::{enumerate, DistChoice, Op};
+use crate::model::{CostBreakdown, CostModel};
+
+/// Tunables of the search.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerConfig {
+    /// Simulate this many of the analytically best candidates and pick the
+    /// one with the smallest simulated makespan. `0` or `1` keeps the
+    /// purely analytic winner (fast; the default). Refinement walks the
+    /// whole task graph per candidate, so reserve it for shapes that will
+    /// be executed many times.
+    pub refine_top_k: usize,
+    /// Maximum number of memoized plans (strict bound).
+    pub cache_capacity: usize,
+    /// Schedule tasks by critical-path priority (the paper's Chameleon
+    /// configuration) rather than FIFO.
+    pub use_priorities: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            refine_top_k: 0,
+            cache_capacity: 256,
+            use_priorities: true,
+        }
+    }
+}
+
+/// The planner's answer: a distribution choice plus the schedule settings
+/// to run it with, and the model's reasoning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plan {
+    /// Operation planned for.
+    pub op: Op,
+    /// Matrix size in tiles.
+    pub nt: usize,
+    /// Tile dimension.
+    pub b: usize,
+    /// The selected distribution.
+    pub choice: DistChoice,
+    /// Release mode for the scheduler.
+    pub mode: ScheduleMode,
+    /// Whether to schedule by critical-path priority.
+    pub use_priorities: bool,
+    /// The analytic score that won the search.
+    pub cost: CostBreakdown,
+    /// Simulated makespan in seconds, when refinement ran.
+    pub refined_makespan: Option<f64>,
+    /// `true` when this plan came from the cache rather than a search.
+    pub cached: bool,
+}
+
+impl Plan {
+    /// Builds the task graph executing this plan.
+    pub fn build_graph(&self) -> TaskGraph {
+        self.choice.build_graph(self.op, self.nt)
+    }
+
+    /// Simulator configuration matching this plan's schedule settings.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut c = SimConfig::chameleon(self.b);
+        c.mode = self.mode;
+        c.use_priorities = self.use_priorities;
+        c
+    }
+}
+
+/// Distribution autotuner: enumerate, score, optionally simulate, memoize.
+pub struct Planner {
+    model: CostModel,
+    config: PlannerConfig,
+    cache: PlanCache,
+}
+
+impl Planner {
+    /// Planner over `platform` with the default [`PlannerConfig`].
+    pub fn new(platform: Platform) -> Self {
+        Self::with_config(platform, PlannerConfig::default())
+    }
+
+    /// Planner over `platform` with explicit tunables.
+    pub fn with_config(platform: Platform, config: PlannerConfig) -> Self {
+        Planner {
+            cache: PlanCache::new(config.cache_capacity),
+            model: CostModel::new(platform),
+            config,
+        }
+    }
+
+    /// The platform being planned for.
+    pub fn platform(&self) -> &Platform {
+        self.model.platform()
+    }
+
+    /// The plan cache (exposed for inspection in tests and benches).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Plans `op` on an `nt x nt` tile matrix with tile size `b`, serving
+    /// a memoized plan when one exists (`plan.cached` tells which).
+    pub fn plan(&self, op: Op, nt: usize, b: usize) -> Plan {
+        let key = PlanKey::new(op, nt, b, self.platform());
+        if let Some(hit) = self.cache.get(&key) {
+            let mut plan = *hit;
+            plan.cached = true;
+            return plan;
+        }
+        let plan = self.plan_uncached(op, nt, b);
+        self.cache.insert(key, Arc::new(plan));
+        plan
+    }
+
+    /// The cold path: full candidate search (and refinement, if enabled),
+    /// bypassing the cache entirely.
+    pub fn plan_uncached(&self, op: Op, nt: usize, b: usize) -> Plan {
+        let mut scored = self.scored_candidates(op, nt, b);
+        assert!(
+            !scored.is_empty(),
+            "no feasible distribution for {} nodes",
+            self.platform().nodes
+        );
+
+        let (choice, cost, refined) = if self.config.refine_top_k > 1 {
+            let k = self.config.refine_top_k.min(scored.len());
+            let mut best: Option<(DistChoice, CostBreakdown, f64)> = None;
+            for &(choice, cost) in &scored[..k] {
+                let makespan = self.simulate(choice, op, nt, b).makespan;
+                if best.is_none_or(|(_, _, m)| makespan < m) {
+                    best = Some((choice, cost, makespan));
+                }
+            }
+            let (choice, cost, makespan) = best.unwrap();
+            (choice, cost, Some(makespan))
+        } else {
+            let (choice, cost) = scored.remove(0);
+            (choice, cost, None)
+        };
+
+        Plan {
+            op,
+            nt,
+            b,
+            choice,
+            mode: ScheduleMode::Async,
+            use_priorities: self.config.use_priorities,
+            cost,
+            refined_makespan: refined,
+            cached: false,
+        }
+    }
+
+    /// Every feasible candidate with its analytic score, best first.
+    pub fn scored_candidates(
+        &self,
+        op: Op,
+        nt: usize,
+        b: usize,
+    ) -> Vec<(DistChoice, CostBreakdown)> {
+        let mut scored: Vec<_> = enumerate(op, self.platform().nodes)
+            .into_iter()
+            .map(|c| (c, self.model.score(c, op, nt, b)))
+            .collect();
+        scored.sort_by(|a, b| a.1.rank(&b.1));
+        scored
+    }
+
+    /// Discrete-event simulation of one candidate under this planner's
+    /// schedule settings, on a platform shrunk to the nodes it uses.
+    pub fn simulate(&self, choice: DistChoice, op: Op, nt: usize, b: usize) -> SimReport {
+        let graph = choice.build_graph(op, nt);
+        let mut platform = self.platform().clone();
+        platform.nodes = choice.nodes_used();
+        let mut config = SimConfig::chameleon(b);
+        config.use_priorities = self.config.use_priorities;
+        Simulator::new(&graph, &platform, config).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_memoized() {
+        let planner = Planner::new(Platform::bora(15));
+        let first = planner.plan(Op::Potrf, 20, 500);
+        assert!(!first.cached);
+        let second = planner.plan(Op::Potrf, 20, 500);
+        assert!(second.cached);
+        assert_eq!(first.choice, second.choice);
+        assert_eq!(planner.cache().len(), 1);
+    }
+
+    #[test]
+    fn refinement_reports_a_makespan() {
+        let planner = Planner::with_config(
+            Platform::bora(10),
+            PlannerConfig {
+                refine_top_k: 2,
+                ..PlannerConfig::default()
+            },
+        );
+        let plan = planner.plan(Op::Potrf, 12, 500);
+        let makespan = plan.refined_makespan.expect("refined");
+        assert!(makespan > 0.0);
+    }
+
+    #[test]
+    fn plan_graph_matches_choice() {
+        let planner = Planner::new(Platform::bora(6));
+        let plan = planner.plan(Op::Potrf, 8, 320);
+        let g = plan.build_graph();
+        assert_eq!(g.count_messages(), plan.cost.messages);
+        assert_eq!(plan.sim_config().tile_b, 320);
+    }
+}

@@ -44,7 +44,11 @@ pub struct ExecError {
 
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "task {} on node {} failed: {}", self.task, self.node, self.error)
+        write!(
+            f,
+            "task {} on node {} failed: {}",
+            self.task, self.node, self.error
+        )
     }
 }
 
@@ -110,12 +114,20 @@ impl<'g> Executor<'g> {
         b: usize,
         provider: impl Fn(TileRef) -> Tile + Sync + 'g,
     ) -> Self {
-        Executor { graph, b, provider: Box::new(provider) }
+        Executor {
+            graph,
+            b,
+            provider: Box::new(provider),
+        }
     }
 
     fn original(&self, r: TileRef) -> Tile {
         let t = (self.provider)(r);
-        assert_eq!(t.dim(), self.b, "provider returned a tile of wrong dimension");
+        assert_eq!(
+            t.dim(),
+            self.b,
+            "provider returned a tile of wrong dimension"
+        );
         t
     }
 
@@ -202,8 +214,17 @@ impl<'g> Executor<'g> {
                 let exec = &*self;
                 scope.spawn(move || {
                     node_main(
-                        exec, node as u32, c, rx, &senders, my_deps, ready0, waits,
-                        fetch_sends, count, &result_tx,
+                        exec,
+                        node as u32,
+                        c,
+                        rx,
+                        &senders,
+                        my_deps,
+                        ready0,
+                        waits,
+                        fetch_sends,
+                        count,
+                        &result_tx,
                     );
                 });
             }
@@ -337,7 +358,11 @@ fn node_main(
     'outer: while remaining > 0 {
         while let Some(std::cmp::Reverse(t)) = ready.pop() {
             if let Err(e) = execute_task(exec, g, t, c, &mut local, &cache) {
-                error = Some(ExecError { task: t, node: me, error: e });
+                error = Some(ExecError {
+                    task: t,
+                    node: me,
+                    error: e,
+                });
                 // poison every other node so they stop waiting on us
                 for (n, s) in senders.iter().enumerate() {
                     if n != me as usize {
@@ -367,7 +392,14 @@ fn node_main(
                     .expect("task output in local store")
                     .clone();
                 for &dest in &consumer_nodes {
-                    send(dest, Msg::Data { producer: t, tile: out.clone() }, &mut sent);
+                    send(
+                        dest,
+                        Msg::Data {
+                            producer: t,
+                            tile: out.clone(),
+                        },
+                        &mut sent,
+                    );
                 }
             }
         }
@@ -386,7 +418,12 @@ fn node_main(
         }
     }
 
-    let _ = result_tx.send(NodeResult { node: me as usize, store: local, sent, error });
+    let _ = result_tx.send(NodeResult {
+        node: me as usize,
+        store: local,
+        sent,
+        error,
+    });
 }
 
 /// Resolves a read operand: remote original (fetch cache), remote producer
@@ -406,7 +443,10 @@ fn resolve_read(
     for (p, kind) in g.preds(t) {
         if kind == EdgeKind::Data && g.tasks()[p as usize].output(c) == r {
             return if g.tasks()[p as usize].node == me {
-                local.get(&r).expect("local producer wrote the tile").clone()
+                local
+                    .get(&r)
+                    .expect("local producer wrote the tile")
+                    .clone()
             } else {
                 cache
                     .get(&WaitKey::Task(p))

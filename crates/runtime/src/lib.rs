@@ -27,9 +27,10 @@
 
 pub mod executor;
 pub mod ops;
+pub mod planned;
 
 pub use executor::{CommStats, ExecError, ExecOutcome, Executor, TileProvider};
 pub use ops::{
-    run_lauum, run_lu, run_posv, run_potrf, run_potrf_25d, run_potri, run_potri_remap,
-    run_trtri,
+    run_lauum, run_lu, run_posv, run_potrf, run_potrf_25d, run_potri, run_potri_remap, run_trtri,
 };
+pub use planned::{run_plan, PlannedExecutor};

@@ -184,7 +184,12 @@ impl<'a> Simulator<'a> {
         } else {
             vec![0.0; graph.len()]
         };
-        Simulator { graph, platform, config, priorities }
+        Simulator {
+            graph,
+            platform,
+            config,
+            priorities,
+        }
     }
 
     /// Runs the simulation to completion.
@@ -249,7 +254,11 @@ impl<'a> Simulator<'a> {
         let mut seq = 0u64;
         let push = |heap: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, kind: EventKind| {
             *seq += 1;
-            heap.push(Event { time, seq: *seq, kind });
+            heap.push(Event {
+                time,
+                seq: *seq,
+                kind,
+            });
         };
 
         let mut messages = 0u64;
@@ -298,7 +307,9 @@ impl<'a> Simulator<'a> {
         ) {
             let ns = &mut nodes[node_id as usize];
             while ns.idle_workers > 0 {
-                let Some((_, std::cmp::Reverse(t))) = ns.ready.pop() else { break };
+                let Some((_, std::cmp::Reverse(t))) = ns.ready.pop() else {
+                    break;
+                };
                 ns.idle_workers -= 1;
                 let dur = platform.task_seconds(&g.tasks()[t as usize].kind, b);
                 ns.busy_seconds += dur;
@@ -306,7 +317,10 @@ impl<'a> Simulator<'a> {
                 heap.push(Event {
                     time: now + dur,
                     seq: *seq,
-                    kind: EventKind::TaskDone { node: node_id, task: t },
+                    kind: EventKind::TaskDone {
+                        node: node_id,
+                        task: t,
+                    },
                 });
             }
         }
@@ -349,7 +363,11 @@ impl<'a> Simulator<'a> {
             ns.send_port_seconds += port;
             let send_end = now + port;
             *seq += 1;
-            heap.push(Event { time: send_end, seq: *seq, kind: EventKind::SendFree { node: from } });
+            heap.push(Event {
+                time: send_end,
+                seq: *seq,
+                kind: EventKind::SendFree { node: from },
+            });
             *seq += 1;
             heap.push(Event {
                 time: send_end + platform.nic_latency,
@@ -379,7 +397,15 @@ impl<'a> Simulator<'a> {
         }
         for t in 0..g.len() as TaskId {
             if deps[t as usize] == 0 {
-                make_ready(t, g, &self.priorities, &mut nodes, self.config.mode, current_iter, &mut parked);
+                make_ready(
+                    t,
+                    g,
+                    &self.priorities,
+                    &mut nodes,
+                    self.config.mode,
+                    current_iter,
+                    &mut parked,
+                );
             }
         }
         for n in 0..n_nodes as u32 {
@@ -396,7 +422,12 @@ impl<'a> Simulator<'a> {
                     flops_total += tk.kind.flops(b);
                     if let Some(tr) = trace.as_deref_mut() {
                         let dur = self.platform.task_seconds(&tk.kind, b);
-                        tr.push(TraceEvent { task, node, start: time - dur, end: time });
+                        tr.push(TraceEvent {
+                            task,
+                            node,
+                            start: time - dur,
+                            end: time,
+                        });
                     }
                     nodes[node as usize].idle_workers += 1;
 
@@ -407,7 +438,15 @@ impl<'a> Simulator<'a> {
                         if snode == node {
                             deps[s as usize] -= 1;
                             if deps[s as usize] == 0 {
-                                make_ready(s, g, &self.priorities, &mut nodes, self.config.mode, current_iter, &mut parked);
+                                make_ready(
+                                    s,
+                                    g,
+                                    &self.priorities,
+                                    &mut nodes,
+                                    self.config.mode,
+                                    current_iter,
+                                    &mut parked,
+                                );
                             }
                         } else {
                             debug_assert_eq!(ekind, EdgeKind::Data);
@@ -430,7 +469,12 @@ impl<'a> Simulator<'a> {
                         };
                         enqueue_send(
                             node,
-                            Msg { dest, bytes: tile_bytes, prio, consumers },
+                            Msg {
+                                dest,
+                                bytes: tile_bytes,
+                                prio,
+                                consumers,
+                            },
                             time,
                             self.platform,
                             &mut nodes,
@@ -448,18 +492,37 @@ impl<'a> Simulator<'a> {
                             if current_iter <= max_iter {
                                 for t in std::mem::take(&mut parked[current_iter]) {
                                     let tn = g.tasks()[t as usize].node as usize;
-                                    nodes[tn]
-                                        .ready
-                                        .push((OrdF64(self.priorities[t as usize] as f64), std::cmp::Reverse(t)));
+                                    nodes[tn].ready.push((
+                                        OrdF64(self.priorities[t as usize] as f64),
+                                        std::cmp::Reverse(t),
+                                    ));
                                 }
                             }
                         }
                         // release may have fed every node
                         for n in 0..n_nodes as u32 {
-                            try_start(n, time, g, self.platform, b, &mut nodes, &mut heap, &mut seq);
+                            try_start(
+                                n,
+                                time,
+                                g,
+                                self.platform,
+                                b,
+                                &mut nodes,
+                                &mut heap,
+                                &mut seq,
+                            );
                         }
                     } else {
-                        try_start(node, time, g, self.platform, b, &mut nodes, &mut heap, &mut seq);
+                        try_start(
+                            node,
+                            time,
+                            g,
+                            self.platform,
+                            b,
+                            &mut nodes,
+                            &mut heap,
+                            &mut seq,
+                        );
                     }
                 }
                 EventKind::SendFree { node } => {
@@ -480,10 +543,27 @@ impl<'a> Simulator<'a> {
                     for t in msg.consumers {
                         deps[t as usize] -= 1;
                         if deps[t as usize] == 0 {
-                            make_ready(t, g, &self.priorities, &mut nodes, self.config.mode, current_iter, &mut parked);
+                            make_ready(
+                                t,
+                                g,
+                                &self.priorities,
+                                &mut nodes,
+                                self.config.mode,
+                                current_iter,
+                                &mut parked,
+                            );
                         }
                     }
-                    try_start(dest, time, g, self.platform, b, &mut nodes, &mut heap, &mut seq);
+                    try_start(
+                        dest,
+                        time,
+                        g,
+                        self.platform,
+                        b,
+                        &mut nodes,
+                        &mut heap,
+                        &mut seq,
+                    );
                 }
             }
         }
@@ -514,7 +594,7 @@ impl<'a> Simulator<'a> {
 mod tests {
     use super::*;
     use crate::platform::Platform;
-    use sbc_dist::{SbcExtended, TwoDBlockCyclic, TwoPointFiveD, SbcBasic};
+    use sbc_dist::{SbcBasic, SbcExtended, TwoDBlockCyclic, TwoPointFiveD};
     use sbc_taskgraph::{build_potrf, build_potrf_25d};
 
     fn sim(graph: &TaskGraph, platform: &Platform, b: usize) -> SimReport {
@@ -550,11 +630,14 @@ mod tests {
         let g = build_potrf(&d, 16);
         let p = Platform::bora(10);
         let cfg = SimConfig::chameleon(500);
-        let cp = sbc_taskgraph::priority::critical_path_length(&g, |t| {
-            p.task_seconds(&t.kind, 500)
-        });
+        let cp =
+            sbc_taskgraph::priority::critical_path_length(&g, |t| p.task_seconds(&t.kind, 500));
         let r = Simulator::new(&g, &p, cfg).run();
-        assert!(r.makespan >= cp * 0.999, "makespan {} < cp {cp}", r.makespan);
+        assert!(
+            r.makespan >= cp * 0.999,
+            "makespan {} < cp {cp}",
+            r.makespan
+        );
     }
 
     #[test]
@@ -574,7 +657,12 @@ mod tests {
             },
         )
         .run();
-        assert!(s.makespan > a.makespan, "sync {} vs async {}", s.makespan, a.makespan);
+        assert!(
+            s.makespan > a.makespan,
+            "sync {} vs async {}",
+            s.makespan,
+            a.makespan
+        );
         // same work, same communication
         assert_eq!(s.messages, a.messages);
         assert_eq!(s.tasks_executed, a.tasks_executed);

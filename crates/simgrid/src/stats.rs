@@ -29,17 +29,20 @@ pub fn render_gantt(events: &[TraceEvent], nodes: usize, cores: usize, width: us
         }
         let b0 = ((e.start / dt) as usize).min(width - 1);
         let b1 = ((e.end / dt) as usize).min(width - 1);
-        for bucket in b0..=b1 {
+        let row = &mut busy[e.node as usize];
+        for (bucket, cell) in row.iter_mut().enumerate().take(b1 + 1).skip(b0) {
             let lo = (bucket as f64 * dt).max(e.start);
             let hi = ((bucket + 1) as f64 * dt).min(e.end);
             if hi > lo {
-                busy[e.node as usize][bucket] += hi - lo;
+                *cell += hi - lo;
             }
         }
     }
     let mut out = String::new();
-    out.push_str(&format!("gantt ({makespan:.3}s across {width} buckets):
-"));
+    out.push_str(&format!(
+        "gantt ({makespan:.3}s across {width} buckets):
+"
+    ));
     for (n, row) in busy.iter().enumerate() {
         out.push_str(&format!("node {n:>3} |"));
         for &b in row {
@@ -52,8 +55,10 @@ pub fn render_gantt(events: &[TraceEvent], nodes: usize, cores: usize, width: us
                 _ => '#',
             });
         }
-        out.push_str("|
-");
+        out.push_str(
+            "|
+",
+        );
     }
     out
 }
@@ -116,8 +121,18 @@ mod tests {
     #[test]
     fn gantt_renders_buckets() {
         let events = vec![
-            TraceEvent { task: 0, node: 0, start: 0.0, end: 1.0 },
-            TraceEvent { task: 1, node: 1, start: 0.5, end: 1.0 },
+            TraceEvent {
+                task: 0,
+                node: 0,
+                start: 0.0,
+                end: 1.0,
+            },
+            TraceEvent {
+                task: 1,
+                node: 1,
+                start: 0.5,
+                end: 1.0,
+            },
         ];
         let g = render_gantt(&events, 2, 1, 4);
         assert!(g.contains("node   0 |####|"), "{g}");

@@ -263,7 +263,10 @@ impl GraphBuilder {
     /// Returns the new task's id.
     pub fn submit(&mut self, task: Task, reads: &[TileRef], target: TileRef) -> TaskId {
         let tid = self.tasks.len() as TaskId;
-        assert!((task.node as usize) < self.num_nodes, "task node out of range");
+        assert!(
+            (task.node as usize) < self.num_nodes,
+            "task node out of range"
+        );
         self.scratch.clear();
         for r in reads {
             debug_assert_ne!(*r, target, "target must not be listed in reads");
@@ -285,7 +288,11 @@ impl GraphBuilder {
             st.readers.push((tid, task.node));
         }
         {
-            if self.data.get(&target).map_or(true, |st| st.last_writer.is_none()) {
+            if self
+                .data
+                .get(&target)
+                .is_none_or(|st| st.last_writer.is_none())
+            {
                 // first write read-modifies the original: remote home needs a fetch
                 if let Some(&home) = self.homes.get(&target) {
                     if home != task.node {
@@ -309,7 +316,8 @@ impl GraphBuilder {
             st.readers.clear();
         }
         // dedup, preferring Data over Ordering when both exist
-        self.scratch.sort_unstable_by_key(|&e| (e & !WAR_BIT, e & WAR_BIT));
+        self.scratch
+            .sort_unstable_by_key(|&e| (e & !WAR_BIT, e & WAR_BIT));
         let mut last: Option<u32> = None;
         for &e in &self.scratch {
             let id = e & !WAR_BIT;
@@ -388,8 +396,14 @@ impl GraphBuilder {
 
         TaskGraph {
             tasks: self.tasks,
-            preds: Csr { offsets: pred_offsets, edges: pred_edges },
-            succs: Csr { offsets: succ_offsets, edges: succ_edges },
+            preds: Csr {
+                offsets: pred_offsets,
+                edges: pred_edges,
+            },
+            succs: Csr {
+                offsets: succ_offsets,
+                edges: succ_edges,
+            },
             initial_fetches,
             num_nodes: self.num_nodes,
             nt: self.nt,
@@ -404,11 +418,20 @@ mod tests {
     use crate::task::TaskKind;
 
     fn a(i: u32, j: u32) -> TileRef {
-        TileRef::A { phase: 0, slice: 0, i, j }
+        TileRef::A {
+            phase: 0,
+            slice: 0,
+            i,
+            j,
+        }
     }
 
     fn mk(kind: TaskKind, node: u32) -> Task {
-        Task { kind, node, phase: 0 }
+        Task {
+            kind,
+            node,
+            phase: 0,
+        }
     }
 
     #[test]
@@ -426,7 +449,11 @@ mod tests {
     #[test]
     fn write_chain_inferred() {
         let mut b = GraphBuilder::new(1, 3, 1);
-        let t0 = b.submit(mk(TaskKind::Gemm { i: 0, j: 2, k: 1 }, 0), &[a(2, 0), a(1, 0)], a(2, 1));
+        let t0 = b.submit(
+            mk(TaskKind::Gemm { i: 0, j: 2, k: 1 }, 0),
+            &[a(2, 0), a(1, 0)],
+            a(2, 1),
+        );
         let t1 = b.submit(mk(TaskKind::Trsm { k: 1, i: 2 }, 0), &[a(1, 1)], a(2, 1));
         let g = b.finish();
         let preds: Vec<_> = g.preds(t1).collect();
@@ -454,7 +481,11 @@ mod tests {
         let mut b = GraphBuilder::new(2, 3, 1);
         let p = b.submit(mk(TaskKind::Trsm { k: 0, i: 1 }, 0), &[], a(1, 0));
         // syrk reads the same tile "twice" (A A^T)
-        let s = b.submit(mk(TaskKind::Syrk { i: 0, k: 1 }, 1), &[a(1, 0), a(1, 0)], a(1, 1));
+        let s = b.submit(
+            mk(TaskKind::Syrk { i: 0, k: 1 }, 1),
+            &[a(1, 0), a(1, 0)],
+            a(1, 1),
+        );
         let g = b.finish();
         assert_eq!(g.preds(s).count(), 1);
         assert_eq!(g.count_messages(), 1);
@@ -467,7 +498,11 @@ mod tests {
         let mut b = GraphBuilder::new(2, 4, 1);
         let p = b.submit(mk(TaskKind::Trsm { k: 0, i: 1 }, 0), &[], a(1, 0));
         b.submit(mk(TaskKind::Syrk { i: 0, k: 1 }, 1), &[a(1, 0)], a(1, 1));
-        b.submit(mk(TaskKind::Gemm { i: 0, j: 2, k: 1 }, 1), &[a(2, 0), a(1, 0)], a(2, 1));
+        b.submit(
+            mk(TaskKind::Gemm { i: 0, j: 2, k: 1 }, 1),
+            &[a(2, 0), a(1, 0)],
+            a(2, 1),
+        );
         let g = b.finish();
         let mut buf = Vec::new();
         g.remote_consumer_nodes(p, &mut buf);

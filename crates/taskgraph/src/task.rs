@@ -285,13 +285,22 @@ impl ReadSet {
     const EMPTY_SLOT: TileRef = TileRef::B { i: u32::MAX };
 
     fn none() -> Self {
-        ReadSet { arr: [Self::EMPTY_SLOT; 2], len: 0 }
+        ReadSet {
+            arr: [Self::EMPTY_SLOT; 2],
+            len: 0,
+        }
     }
     fn one(a: TileRef) -> Self {
-        ReadSet { arr: [a, Self::EMPTY_SLOT], len: 1 }
+        ReadSet {
+            arr: [a, Self::EMPTY_SLOT],
+            len: 1,
+        }
     }
     fn two(a: TileRef, b: TileRef) -> Self {
-        ReadSet { arr: [a, b], len: 2 }
+        ReadSet {
+            arr: [a, b],
+            len: 2,
+        }
     }
 
     /// The reads as a slice.
@@ -314,7 +323,12 @@ impl Task {
     /// dependence structure and the actual kernel operands cannot diverge.
     pub fn output(&self, c: usize) -> TileRef {
         let ph = self.phase;
-        let a = |slice: u8, i: u32, j: u32| TileRef::A { phase: ph, slice, i, j };
+        let a = |slice: u8, i: u32, j: u32| TileRef::A {
+            phase: ph,
+            slice,
+            i,
+            j,
+        };
         match self.kind {
             TaskKind::Potrf { k } => a(Self::sigma(k, c), k, k),
             TaskKind::Trsm { k, i } => a(Self::sigma(k, c), i, k),
@@ -323,7 +337,11 @@ impl Task {
                 if Self::sigma(k, c) == s {
                     a(s, k, k)
                 } else {
-                    TileRef::Buf { slice: s, i: k, j: k }
+                    TileRef::Buf {
+                        slice: s,
+                        i: k,
+                        j: k,
+                    }
                 }
             }
             TaskKind::Gemm { i, j, k } => {
@@ -331,7 +349,11 @@ impl Task {
                 if Self::sigma(k, c) == s {
                     a(s, j, k)
                 } else {
-                    TileRef::Buf { slice: s, i: j, j: k }
+                    TileRef::Buf {
+                        slice: s,
+                        i: j,
+                        j: k,
+                    }
                 }
             }
             TaskKind::Reduce { i, j, .. } => a(Self::sigma(j, c), i, j),
@@ -358,15 +380,18 @@ impl Task {
     /// kernel dispatch expects.
     pub fn reads(&self, c: usize) -> ReadSet {
         let ph = self.phase;
-        let a = |slice: u8, i: u32, j: u32| TileRef::A { phase: ph, slice, i, j };
+        let a = |slice: u8, i: u32, j: u32| TileRef::A {
+            phase: ph,
+            slice,
+            i,
+            j,
+        };
         match self.kind {
             TaskKind::Potrf { .. }
             | TaskKind::TrtriDiag { .. }
             | TaskKind::LauumDiag { .. }
             | TaskKind::Getrf { .. } => ReadSet::none(),
-            TaskKind::TrsmRow { k, .. } | TaskKind::TrsmCol { k, .. } => {
-                ReadSet::one(a(0, k, k))
-            }
+            TaskKind::TrsmRow { k, .. } | TaskKind::TrsmCol { k, .. } => ReadSet::one(a(0, k, k)),
             TaskKind::GemmTrail { k, i, j } => ReadSet::two(a(0, i, k), a(0, k, j)),
             TaskKind::Trsm { k, .. } => ReadSet::one(a(Self::sigma(k, c), k, k)),
             TaskKind::Syrk { i, k } => ReadSet::one(a(Self::sigma(i, c), k, i)),
@@ -374,9 +399,11 @@ impl Task {
                 let s = Self::sigma(i, c);
                 ReadSet::two(a(s, j, i), a(s, k, i))
             }
-            TaskKind::Reduce { i, j, from_slice } => {
-                ReadSet::one(TileRef::Buf { slice: from_slice as u8, i, j })
-            }
+            TaskKind::Reduce { i, j, from_slice } => ReadSet::one(TileRef::Buf {
+                slice: from_slice as u8,
+                i,
+                j,
+            }),
             TaskKind::TrsmFwd { i } | TaskKind::TrsmBwd { i } => ReadSet::one(a(0, i, i)),
             TaskKind::GemmFwd { i, j } => ReadSet::two(a(0, j, i), TileRef::B { i }),
             TaskKind::GemmBwd { i, j } => ReadSet::two(a(0, i, j), TileRef::B { i }),
@@ -386,9 +413,12 @@ impl Task {
             TaskKind::SyrkLu { k, n } => ReadSet::one(a(0, k, n)),
             TaskKind::GemmLu { k, m, n } => ReadSet::two(a(0, k, m), a(0, k, n)),
             TaskKind::TrmmLu { k, .. } => ReadSet::one(a(0, k, k)),
-            TaskKind::Move { i, j } => {
-                ReadSet::one(TileRef::A { phase: ph - 1, slice: 0, i, j })
-            }
+            TaskKind::Move { i, j } => ReadSet::one(TileRef::A {
+                phase: ph - 1,
+                slice: 0,
+                i,
+                j,
+            }),
         }
     }
 }
@@ -403,7 +433,15 @@ mod tests {
         assert!(TaskKind::Potrf { k: 0 }.flops(b) > 0.0);
         assert!(TaskKind::Gemm { i: 0, j: 2, k: 1 }.flops(b) > 0.0);
         assert_eq!(TaskKind::Move { i: 1, j: 0 }.flops(b), 0.0);
-        assert!(TaskKind::Reduce { i: 1, j: 0, from_slice: 1 }.flops(b) > 0.0);
+        assert!(
+            TaskKind::Reduce {
+                i: 1,
+                j: 0,
+                from_slice: 1
+            }
+            .flops(b)
+                > 0.0
+        );
     }
 
     #[test]
@@ -423,7 +461,15 @@ mod tests {
     fn iterations() {
         assert_eq!(TaskKind::Potrf { k: 3 }.iteration(), 3);
         assert_eq!(TaskKind::Gemm { i: 2, j: 5, k: 4 }.iteration(), 2);
-        assert_eq!(TaskKind::Reduce { i: 5, j: 4, from_slice: 0 }.iteration(), 4);
+        assert_eq!(
+            TaskKind::Reduce {
+                i: 5,
+                j: 4,
+                from_slice: 0
+            }
+            .iteration(),
+            4
+        );
         assert_eq!(TaskKind::GemmBwd { i: 4, j: 1 }.iteration(), 4);
     }
 
@@ -431,11 +477,30 @@ mod tests {
     fn tileref_equality_and_hash() {
         use std::collections::HashSet;
         let mut s = HashSet::new();
-        s.insert(TileRef::A { phase: 0, slice: 0, i: 1, j: 0 });
-        s.insert(TileRef::A { phase: 0, slice: 1, i: 1, j: 0 });
-        s.insert(TileRef::Buf { slice: 1, i: 1, j: 0 });
+        s.insert(TileRef::A {
+            phase: 0,
+            slice: 0,
+            i: 1,
+            j: 0,
+        });
+        s.insert(TileRef::A {
+            phase: 0,
+            slice: 1,
+            i: 1,
+            j: 0,
+        });
+        s.insert(TileRef::Buf {
+            slice: 1,
+            i: 1,
+            j: 0,
+        });
         s.insert(TileRef::B { i: 1 });
         assert_eq!(s.len(), 4);
-        assert!(s.contains(&TileRef::A { phase: 0, slice: 0, i: 1, j: 0 }));
+        assert!(s.contains(&TileRef::A {
+            phase: 0,
+            slice: 0,
+            i: 1,
+            j: 0
+        }));
     }
 }

@@ -1,0 +1,33 @@
+//! Fig 7 probe: single-node POTRF throughput vs. tile size.
+//!
+//! Sweeps the tile dimension `b` on one simulated `bora` node and prints
+//! the resulting GFlop/s per node, reproducing the shape of the paper's
+//! Fig 7: throughput rises with `b` (better kernel efficiency) and
+//! saturates around `b = 500`. This is the calibration the simulator's
+//! `KernelEfficiency` model is fitted against.
+//!
+//! Run with: `cargo run --release --example fig7_probe`
+
+use sbc::dist::TwoDBlockCyclic;
+use sbc::kernels::flops_cholesky_total;
+use sbc::simgrid::{Platform, SimConfig, Simulator};
+use sbc::taskgraph::build_potrf;
+
+fn main() {
+    let d = TwoDBlockCyclic::new(1, 1);
+    let p = Platform::bora(1);
+    println!("single-node POTRF GFlop/s vs tile size (Fig 7)");
+    for n in [12_000usize, 24_000, 50_000] {
+        print!("n = {n:>6}: ");
+        for b in [100, 200, 300, 400, 500, 600, 750, 1000] {
+            let nt = n / b;
+            let g = build_potrf(&d, nt);
+            let r = Simulator::new(&g, &p, SimConfig::chameleon(b)).run();
+            print!(
+                "b{b}={:.0} ",
+                r.gflops_per_node(Some(flops_cholesky_total(nt * b)))
+            );
+        }
+        println!();
+    }
+}

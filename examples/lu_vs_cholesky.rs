@@ -40,8 +40,14 @@ fn main() {
 
     // Cholesky on SBC r=6 (15 nodes) and 2DBC 4x4 (16 nodes)
     for (name, stats) in [
-        ("chol SBC r=6", run_potrf(&SbcExtended::new(6), nt, b, seed).1),
-        ("chol 2DBC 4x4", run_potrf(&TwoDBlockCyclic::new(4, 4), nt, b, seed).1),
+        (
+            "chol SBC r=6",
+            run_potrf(&SbcExtended::new(6), nt, b, seed).1,
+        ),
+        (
+            "chol 2DBC 4x4",
+            run_potrf(&TwoDBlockCyclic::new(4, 4), nt, b, seed).1,
+        ),
     ] {
         let p = if name.contains("SBC") { 15.0 } else { 16.0 };
         let m = (nt * nt) as f64 / (2.0 * p); // tiles per node (half matrix)

@@ -10,8 +10,8 @@
 //! Run with: `cargo run --release --example matrix_inversion`
 
 use sbc::dist::comm::{
-    lauum_messages, potri_messages, potri_remap_messages, potrf_messages,
-    redistribution_messages, trtri_messages,
+    lauum_messages, potrf_messages, potri_messages, potri_remap_messages, redistribution_messages,
+    trtri_messages,
 };
 use sbc::dist::{Distribution, SbcExtended, TwoDBlockCyclic};
 use sbc::matrix::{inverse_residual, random_spd};
@@ -25,7 +25,12 @@ fn main() {
     // Fig 14's setup scaled down: SBC r = 8 needs P = 28; use r = 6 / 5x3.
     let sym = SbcExtended::new(6);
     let bc = TwoDBlockCyclic::new(5, 3);
-    println!("inverting an SPD matrix of {} x {} tiles on P = {}", nt, nt, sym.num_nodes());
+    println!(
+        "inverting an SPD matrix of {} x {} tiles on P = {}",
+        nt,
+        nt,
+        sym.num_nodes()
+    );
 
     // Strategy 1: everything under 2DBC.
     let (inv_bc, stats_bc) = run_potri(&bc, nt, b, seed);

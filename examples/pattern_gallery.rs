@@ -33,7 +33,11 @@ fn main() {
     for i in 0..4 {
         print!("  ");
         for j in 0..4 {
-            let o = if j <= i { basic.owner(i, j) } else { basic.owner(j, i) };
+            let o = if j <= i {
+                basic.owner(i, j)
+            } else {
+                basic.owner(j, i)
+            };
             print!("{o:>3}");
         }
         println!();
@@ -66,7 +70,10 @@ fn main() {
     let j0 = 7;
     let i0 = 1;
     for (name, d) in [
-        ("2DBC 2x3".to_string(), Box::new(TwoDBlockCyclic::new(2, 3)) as Box<dyn Distribution>),
+        (
+            "2DBC 2x3".to_string(),
+            Box::new(TwoDBlockCyclic::new(2, 3)) as Box<dyn Distribution>,
+        ),
         ("SBC r=4".to_string(), Box::new(SbcExtended::new(4))),
     ] {
         let mut consumers: Vec<usize> = Vec::new();

@@ -21,7 +21,10 @@ fn main() {
     let sbc = SbcExtended::new(7);
     println!("distribution : {}", sbc.name());
     println!("nodes        : {}", sbc.num_nodes());
-    println!("matrix       : {nt} x {nt} tiles of {b} x {b} (n = {})", nt * b);
+    println!(
+        "matrix       : {nt} x {nt} tiles of {b} x {b} (n = {})",
+        nt * b
+    );
 
     let (factor, stats) = run_potrf(&sbc, nt, b, seed);
 
@@ -29,7 +32,10 @@ fn main() {
     let a0 = random_spd(seed, nt, b);
     let residual = cholesky_residual(&a0, &factor);
     println!("residual     : {residual:.2e}");
-    assert!(residual < 1e-12, "factorization must be numerically correct");
+    assert!(
+        residual < 1e-12,
+        "factorization must be numerically correct"
+    );
 
     // Communication: measured == analytic, and lower than 2DBC's.
     let analytic = potrf_messages(&sbc, nt);

@@ -41,6 +41,20 @@
 //! | [`simgrid`] | discrete-event cluster simulator (the paper's `bora` platform model) |
 //! | [`runtime`] | threads-as-nodes distributed runtime with byte-exact communication accounting |
 //! | [`outofcore`] | sequential two-level-memory model (Section III-E): LRU transfer simulation and I/O bounds |
+//! | [`planner`] | autotuning distribution planner: candidate search, analytic cost model, simulation refinement, concurrent plan cache |
+//!
+//! ## Choosing a distribution automatically
+//!
+//! The [`planner`] module removes the need to hard-code a distribution:
+//!
+//! ```
+//! use sbc::planner::{Op, Planner};
+//! use sbc::simgrid::Platform;
+//!
+//! let planner = Planner::new(Platform::bora(21));
+//! let plan = planner.plan(Op::Potrf, 60, 500);
+//! assert_eq!(plan.choice.describe(), "SBC ext r=7 (P=21)");
+//! ```
 
 #![warn(missing_docs)]
 
@@ -48,6 +62,7 @@ pub use sbc_dist as dist;
 pub use sbc_kernels as kernels;
 pub use sbc_matrix as matrix;
 pub use sbc_outofcore as outofcore;
+pub use sbc_planner as planner;
 pub use sbc_runtime as runtime;
 pub use sbc_simgrid as simgrid;
 pub use sbc_taskgraph as taskgraph;

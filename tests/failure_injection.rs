@@ -17,9 +17,7 @@ fn poisoned_spd(nt: usize, bad: (u32, u32)) -> impl Fn(TileRef) -> Tile + Sync {
             // negative diagonal => not positive definite
             Tile::from_fn(B, |r, c| if r == c { -1.0 } else { 0.0 })
         }
-        TileRef::A { phase: 0, i, j, .. } => {
-            generate::spd_tile(7, nt, B, i as usize, j as usize)
-        }
+        TileRef::A { phase: 0, i, j, .. } => generate::spd_tile(7, nt, B, i as usize, j as usize),
         TileRef::Buf { .. } => Tile::zeros(B),
         TileRef::B { i } => generate::rhs_tile(8, B, i as usize),
         _ => unreachable!("no later phases in these graphs"),
@@ -34,7 +32,10 @@ fn non_spd_input_is_reported_not_deadlocked() {
     // poison a later diagonal tile so plenty of tasks run first
     let exec = Executor::with_provider(&g, B, poisoned_spd(nt, (4, 4)));
     let err = exec.try_run().expect_err("poisoned input must fail");
-    assert!(matches!(err.error, KernelError::NotPositiveDefinite(_)), "{err}");
+    assert!(
+        matches!(err.error, KernelError::NotPositiveDefinite(_)),
+        "{err}"
+    );
     // the failing task is the POTRF of tile (4,4) or a downstream victim on
     // the same column; either way it runs on a real node of the platform
     assert!((err.node as usize) < dist_nodes(&dist));
@@ -62,13 +63,14 @@ fn singular_triangle_in_trtri() {
     // provider with an exactly singular diagonal tile
     let exec = Executor::with_provider(&g, B, move |r| match r {
         TileRef::A { phase: 0, i, j, .. } if i == j && i == 2 => Tile::zeros(B),
-        TileRef::A { phase: 0, i, j, .. } => {
-            generate::spd_tile(9, nt, B, i as usize, j as usize)
-        }
+        TileRef::A { phase: 0, i, j, .. } => generate::spd_tile(9, nt, B, i as usize, j as usize),
         _ => Tile::zeros(B),
     });
     let err = exec.try_run().expect_err("singular triangle must fail");
-    assert!(matches!(err.error, KernelError::SingularTriangle(_)), "{err}");
+    assert!(
+        matches!(err.error, KernelError::SingularTriangle(_)),
+        "{err}"
+    );
 }
 
 #[test]

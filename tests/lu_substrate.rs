@@ -15,7 +15,10 @@ const SEED: u64 = 31415;
 #[test]
 fn distributed_lu_matches_sequential_bitwise() {
     for (dist, nt) in [
-        (Box::new(TwoDBlockCyclic::new(2, 3)) as Box<dyn Distribution>, 11),
+        (
+            Box::new(TwoDBlockCyclic::new(2, 3)) as Box<dyn Distribution>,
+            11,
+        ),
         (Box::new(TwoDBlockCyclic::new(4, 4)), 12),
         (Box::new(SbcExtended::new(5)), 10),
     ] {
@@ -31,7 +34,12 @@ fn distributed_lu_matches_sequential_bitwise() {
                 );
             }
         }
-        assert_eq!(stats.messages, lu_messages(&dist.as_ref(), nt), "{}", dist.name());
+        assert_eq!(
+            stats.messages,
+            lu_messages(&dist.as_ref(), nt),
+            "{}",
+            dist.name()
+        );
     }
 }
 
@@ -54,7 +62,12 @@ fn lu_graph_messages_match_analytic() {
     ] {
         let g = build_lu(&d.as_ref(), nt);
         g.validate().unwrap();
-        assert_eq!(g.count_messages(), lu_messages(&d.as_ref(), nt), "{}", d.name());
+        assert_eq!(
+            g.count_messages(),
+            lu_messages(&d.as_ref(), nt),
+            "{}",
+            d.name()
+        );
     }
 }
 

@@ -4,8 +4,7 @@
 
 use sbc::dist::comm::{intensity_cholesky_2dbc, intensity_cholesky_sbc};
 use sbc::outofcore::{
-    bereux_transfers, olivry_lower_bound, simulate_cholesky_ooc, symmetric_lower_bound,
-    LoopOrder,
+    bereux_transfers, olivry_lower_bound, simulate_cholesky_ooc, symmetric_lower_bound, LoopOrder,
 };
 
 /// The bound ladder: Olivry < symmetric (tight) < Béreux, with the √2 gap.

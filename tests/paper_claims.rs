@@ -44,7 +44,10 @@ fn sqrt2_improvement_over_square_2dbc() {
         let p = r * (r - 1) / 2;
         let side = (p as f64).sqrt();
         let ratio = (2.0 * side - 2.0) / (r as f64 - 2.0);
-        assert!((ratio - std::f64::consts::SQRT_2).abs() < 0.08, "r={r}: {ratio}");
+        assert!(
+            (ratio - std::f64::consts::SQRT_2).abs() < 0.08,
+            "r={r}: {ratio}"
+        );
     }
     // exact counts at the paper's experimental scale (r = 7, P = 21 vs 21)
     let nt = 70;

@@ -5,7 +5,12 @@ use sbc::dist::{Distribution, SbcBasic, SbcExtended, TwoDBlockCyclic, TwoPointFi
 use sbc::simgrid::{Platform, ScheduleMode, SimConfig, Simulator};
 use sbc::taskgraph::{build_posv, build_potrf, build_potrf_25d};
 
-fn run_async<D: Distribution>(dist: &D, nt: usize, b: usize, nodes: usize) -> sbc::simgrid::SimReport {
+fn run_async<D: Distribution>(
+    dist: &D,
+    nt: usize,
+    b: usize,
+    nodes: usize,
+) -> sbc::simgrid::SimReport {
     let g = build_potrf(dist, nt);
     let p = Platform::bora(nodes);
     Simulator::new(&g, &p, SimConfig::chameleon(b)).run()
@@ -41,7 +46,10 @@ fn gap_narrows_at_large_n() {
     };
     let mid = gap(100);
     let large = gap(200);
-    assert!(mid > large, "mid gap {mid:.3} should exceed large-n gap {large:.3}");
+    assert!(
+        mid > large,
+        "mid gap {mid:.3} should exceed large-n gap {large:.3}"
+    );
     assert!(large < 1.06);
 }
 
@@ -127,15 +135,23 @@ fn posv_advantage_smaller_than_potrf() {
     let potrf_gain = {
         let gs = build_potrf(&sbc, nt);
         let gd = build_potrf(&bc, nt);
-        let ms = Simulator::new(&gs, &p, SimConfig::chameleon(b)).run().makespan;
-        let md = Simulator::new(&gd, &p, SimConfig::chameleon(b)).run().makespan;
+        let ms = Simulator::new(&gs, &p, SimConfig::chameleon(b))
+            .run()
+            .makespan;
+        let md = Simulator::new(&gd, &p, SimConfig::chameleon(b))
+            .run()
+            .makespan;
         md / ms
     };
     let posv_gain = {
         let gs = build_posv(&sbc, &rhs, nt);
         let gd = build_posv(&bc, &rhs, nt);
-        let ms = Simulator::new(&gs, &p, SimConfig::chameleon(b)).run().makespan;
-        let md = Simulator::new(&gd, &p, SimConfig::chameleon(b)).run().makespan;
+        let ms = Simulator::new(&gs, &p, SimConfig::chameleon(b))
+            .run()
+            .makespan;
+        let md = Simulator::new(&gd, &p, SimConfig::chameleon(b))
+            .run()
+            .makespan;
         md / ms
     };
     assert!(potrf_gain > 1.0, "potrf gain {potrf_gain:.3}");

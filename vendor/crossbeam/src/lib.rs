@@ -1,0 +1,42 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace pins `[patch.crates-io]` entries to small local crates that
+//! provide exactly the API surface the workspace uses. `sbc-runtime` uses
+//! `crossbeam::channel::{unbounded, Sender, Receiver}` as an MPMC-ish mailbox
+//! per node thread; `std::sync::mpsc` (itself crossbeam-based since Rust
+//! 1.72, with a `Sync` `Sender`) covers that use exactly.
+
+/// Multi-producer channels, mirroring `crossbeam-channel`'s `unbounded`.
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Unbounded FIFO channel sender (clonable, shareable across threads).
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+    /// Unbounded FIFO channel receiver.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn unbounded_roundtrip_and_clone() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || tx.send(1).unwrap());
+            s.spawn(move || tx2.send(2).unwrap());
+        });
+        let mut got: Vec<u32> = rx.iter().take(2).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        assert!(rx.try_recv().is_err());
+    }
+}

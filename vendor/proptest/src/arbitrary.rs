@@ -1,0 +1,100 @@
+//! `any::<T>()` — whole-domain strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over a type's whole domain; created by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Any<T> {}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_uints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uints!(u8, u16, u32, u64, usize);
+
+macro_rules! arbitrary_ints {
+    ($($t:ty as $u:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                (rng.next_u64() as $u) as $t
+            }
+        }
+    )*};
+}
+arbitrary_ints!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite values spanning many magnitudes (not raw bit patterns: the
+    /// tests here feed these into numeric kernels, where NaN/Inf inputs
+    /// would only test error paths).
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let mag = (rng.unit_f64() * 2.0 - 1.0) * 64.0;
+        (rng.unit_f64() * 2.0 - 1.0) * mag.exp2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u64_varies() {
+        let mut rng = TestRng::from_seed(9);
+        let a = any::<u64>().generate(&mut rng);
+        let b = any::<u64>().generate(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn any_bool_hits_both() {
+        let mut rng = TestRng::from_seed(10);
+        let draws: Vec<bool> = (0..100).map(|_| any::<bool>().generate(&mut rng)).collect();
+        assert!(draws.contains(&true) && draws.contains(&false));
+    }
+
+    #[test]
+    fn any_f64_is_finite() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..1000 {
+            assert!(any::<f64>().generate(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Boolean strategies (`prop::bool::ANY`).
+
+use crate::arbitrary::Any;
+use std::marker::PhantomData;
+
+/// Uniform true/false.
+pub const ANY: Any<bool> = Any(PhantomData);
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn any_const_generates_both() {
+        let mut rng = TestRng::from_seed(4);
+        let draws: Vec<bool> = (0..64).map(|_| super::ANY.generate(&mut rng)).collect();
+        assert!(draws.contains(&true) && draws.contains(&false));
+    }
+}

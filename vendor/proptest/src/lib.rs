@@ -1,0 +1,107 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment for this repository cannot reach crates.io, so the
+//! workspace patches `proptest` to this local crate. It implements the
+//! subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]` support),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * [`prop_oneof!`],
+//! * range strategies (`0usize..40`, `-2.0f64..2.0`, `1..=max`), tuples,
+//!   `any::<T>()`, `prop::bool::ANY`, `Just`, and `.prop_map(...)`,
+//!
+//! with two deliberate simplifications: values are drawn from a
+//! deterministic per-test RNG (seeded from the test's module path and name,
+//! so failures reproduce across runs), and there is no shrinking — a failing
+//! case panics with the generated inputs' `Debug` rendering when available
+//! via assertion messages.
+
+pub mod arbitrary;
+pub mod bool;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of the `prop` module alias exposed by proptest's prelude.
+    pub mod prop {
+        pub use crate::bool;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that draws `cases` inputs and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal muncher for [`proptest!`]; expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let __strategy = ($($strat,)+);
+            for __case in 0..__config.cases {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
