@@ -29,6 +29,31 @@ fn bench_distributed_potrf(c: &mut Criterion) {
     g.finish();
 }
 
+/// Recorder overhead: the same POTRF execution bare vs. with an `sbc-obs`
+/// recorder attached (acceptance: tracing costs <= 5%, disabled ~0%).
+fn bench_recorded_potrf(c: &mut Criterion) {
+    use sbc_obs::Recorder;
+    use sbc_runtime::Executor;
+    use sbc_taskgraph::build_potrf;
+
+    let mut g = c.benchmark_group("runtime_recorded");
+    g.sample_size(10);
+    let d = SbcExtended::new(5);
+    let (nt, b) = (12usize, 16usize);
+    let graph = build_potrf(&d, nt);
+    g.bench_function("bare", |bench| {
+        bench.iter(|| Executor::new(&graph, b, 42, 43).run());
+    });
+    g.bench_function("recorded", |bench| {
+        bench.iter(|| {
+            let rec = Recorder::new();
+            let out = Executor::new(&graph, b, 42, 43).with_recorder(&rec).run();
+            (out, rec.drain())
+        });
+    });
+    g.finish();
+}
+
 fn bench_distributed_posv(c: &mut Criterion) {
     let mut g = c.benchmark_group("runtime_posv");
     g.sample_size(10);
@@ -43,6 +68,6 @@ fn bench_distributed_posv(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_distributed_potrf, bench_distributed_posv
+    targets = bench_distributed_potrf, bench_recorded_potrf, bench_distributed_posv
 );
 criterion_main!(benches);

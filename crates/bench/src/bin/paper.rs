@@ -6,8 +6,9 @@
 //! ```
 //!
 //! Targets: `table1`, `patterns`, `fig7` … `fig14`, `ablations`, `trace`,
-//! `all`. `--full` switches to the paper's full sweep sizes (slow);
-//! `--csv` emits figures as CSV instead of text tables.
+//! `planner`, `obs`, `all`. `--full` switches to the paper's full sweep
+//! sizes (slow); `--csv` emits figures as CSV instead of text tables;
+//! `--out <path>` sets where `obs` writes its Chrome-trace JSON.
 
 use sbc_bench::figures::{self, Scale};
 use sbc_bench::{render_csv, render_figure};
@@ -17,9 +18,26 @@ fn main() {
     let full = args.iter().any(|a| a == "--full");
     let csv = args.iter().any(|a| a == "--csv");
     let scale = if full { Scale::Full } else { Scale::Quick };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "obs-trace.json".to_string());
+    // Skip flags and the value consumed by `--out`.
+    let mut skip_next = false;
     let targets: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--out" {
+                skip_next = true;
+            }
+            !a.starts_with("--")
+        })
         .map(|s| s.as_str())
         .collect();
     let target = targets.first().copied().unwrap_or("all");
@@ -67,13 +85,67 @@ fn main() {
         planner_report(full);
         ran = true;
     }
+    if all || target == "obs" {
+        observed_run(&out_path, full);
+        ran = true;
+    }
 
     if !ran {
         eprintln!(
-            "unknown target '{target}'. Use one of: all, table1, patterns, fig7..fig14, ablations, planner, trace [--full]"
+            "unknown target '{target}'. Use one of: all, table1, patterns, fig7..fig14, ablations, planner, trace, obs [--full] [--out <path>]"
         );
         std::process::exit(2);
     }
+}
+
+/// The observability pipeline end to end: plan a POTRF, execute it on the
+/// real threaded runtime with a recorder attached, then emit every export
+/// `sbc-obs` offers — Chrome trace (open in Perfetto / chrome://tracing),
+/// measured Gantt, metrics report, and the planner's drift report.
+fn observed_run(out_path: &str, full: bool) {
+    use sbc_obs::{
+        chrome_trace, json, metrics_from_recording, render_gantt, task_spans, ExecProfile, Recorder,
+    };
+    use sbc_planner::{Op, Planner};
+    use sbc_runtime::PlannedExecutor;
+    use sbc_simgrid::Platform;
+
+    let (nt, b) = if full { (40, 64) } else { (20, 32) };
+    let p = 10;
+    println!("== Observed run: POTRF nt={nt} b={b} on {p} virtual nodes ==");
+
+    let planner = Planner::new(Platform::bora(p));
+    let plan = planner.plan(Op::Potrf, nt, b);
+    println!("plan: {}", plan.choice.describe());
+
+    let exec = PlannedExecutor::new(plan, 0xB10C, 0xCAFE);
+    let recorder = Recorder::new();
+    let outcome = exec.run_recorded(&recorder);
+    let recording = recorder.drain();
+    let nodes = recording.nodes();
+
+    let trace_json = chrome_trace(&recording);
+    json::validate(&trace_json).expect("chrome trace must be valid JSON");
+    std::fs::write(out_path, &trace_json).expect("failed to write trace file");
+    println!(
+        "chrome trace: {out_path} ({} bytes, {} events over {nodes} nodes) — load in Perfetto or chrome://tracing",
+        trace_json.len(),
+        recording.events.len(),
+    );
+
+    println!("\nmeasured per-node occupancy:");
+    let spans = task_spans(&recording);
+    print!("{}", render_gantt(&spans, nodes, 1, 72));
+
+    let profile = ExecProfile::from_recording(&recording);
+    println!(
+        "\n{}",
+        metrics_from_recording(&recording).snapshot().render()
+    );
+
+    let report = sbc_planner::compare(exec.plan(), &profile);
+    print!("{}", report.render());
+    assert_eq!(outcome.stats.messages, profile.messages);
 }
 
 /// The `sbc-planner` subsystem vs. the paper: for each operation and node

@@ -1,0 +1,231 @@
+//! Chrome-trace (`chrome://tracing` / Perfetto) JSON export.
+//!
+//! Emits the JSON Object Format: `{"traceEvents": [...]}` with one *pid*
+//! per node and one *tid* per worker, so Perfetto renders each node as a
+//! process lane. Task spans become complete events (`"ph": "X"`), message
+//! sends/receives become thread-scoped instant events (`"ph": "i"`), and
+//! gauges become counter tracks (`"ph": "C"`). Timestamps are microseconds,
+//! as the format requires. Everything is hand-serialized — the offline
+//! build has no serde — and [`crate::json::validate`] checks the output in
+//! tests and in the CI smoke job.
+
+use crate::recorder::{Event, Recording};
+use crate::trace::TraceEvent;
+
+fn push_escaped(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Microseconds with sub-microsecond fraction preserved.
+fn us(seconds: f64) -> f64 {
+    seconds * 1e6
+}
+
+struct Writer {
+    out: String,
+    first: bool,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer {
+            out: String::from("{\"traceEvents\":[\n"),
+            first: true,
+        }
+    }
+
+    /// Appends one event object given its pre-rendered interior fields.
+    fn event(&mut self, fields: std::fmt::Arguments<'_>) {
+        if !self.first {
+            self.out.push_str(",\n");
+        }
+        self.first = false;
+        self.out.push('{');
+        self.out.push_str(&fields.to_string());
+        self.out.push('}');
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        self.out
+    }
+}
+
+fn process_names(w: &mut Writer, nodes: usize) {
+    for n in 0..nodes {
+        w.event(format_args!(
+            "\"ph\":\"M\",\"pid\":{n},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"node {n}\"}}"
+        ));
+    }
+}
+
+/// Exports a full [`Recording`] (the threaded runtime's measured events).
+pub fn chrome_trace(rec: &Recording) -> String {
+    let mut w = Writer::new();
+    process_names(&mut w, rec.nodes());
+    for e in &rec.events {
+        match *e {
+            Event::Task {
+                task,
+                kind,
+                node,
+                worker,
+                start,
+                end,
+            } => {
+                let mut name = String::new();
+                push_escaped(&mut name, kind.name());
+                w.event(format_args!(
+                    "\"ph\":\"X\",\"pid\":{node},\"tid\":{worker},\"ts\":{:.3},\
+                     \"dur\":{:.3},\"name\":\"{name}\",\"cat\":\"task\",\
+                     \"args\":{{\"task\":{task}}}",
+                    us(start),
+                    us(end - start),
+                ));
+            }
+            Event::Send {
+                node,
+                dest,
+                bytes,
+                orig,
+                at,
+            } => {
+                w.event(format_args!(
+                    "\"ph\":\"i\",\"pid\":{node},\"tid\":0,\"ts\":{:.3},\"s\":\"t\",\
+                     \"name\":\"send to {dest}\",\"cat\":\"comm\",\
+                     \"args\":{{\"bytes\":{bytes},\"orig\":{orig}}}",
+                    us(at),
+                ));
+            }
+            Event::Recv {
+                node,
+                bytes,
+                orig,
+                at,
+            } => {
+                w.event(format_args!(
+                    "\"ph\":\"i\",\"pid\":{node},\"tid\":0,\"ts\":{:.3},\"s\":\"t\",\
+                     \"name\":\"recv\",\"cat\":\"comm\",\
+                     \"args\":{{\"bytes\":{bytes},\"orig\":{orig}}}",
+                    us(at),
+                ));
+            }
+            Event::DepWait { node, start, end } => {
+                w.event(format_args!(
+                    "\"ph\":\"X\",\"pid\":{node},\"tid\":0,\"ts\":{:.3},\"dur\":{:.3},\
+                     \"name\":\"wait\",\"cat\":\"idle\",\"args\":{{}}",
+                    us(start),
+                    us(end - start),
+                ));
+            }
+            Event::Gauge {
+                node,
+                gauge,
+                value,
+                at,
+            } => {
+                w.event(format_args!(
+                    "\"ph\":\"C\",\"pid\":{node},\"tid\":0,\"ts\":{:.3},\
+                     \"name\":\"{}\",\"args\":{{\"value\":{value}}}",
+                    us(at),
+                    gauge.name(),
+                ));
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Exports bare task spans (e.g. the simulator's trace) with `labeler`
+/// naming each span — typically the task's kernel name.
+pub fn chrome_trace_from_spans(
+    spans: &[TraceEvent],
+    labeler: impl Fn(&TraceEvent) -> String,
+) -> String {
+    let mut w = Writer::new();
+    let nodes = spans.iter().map(|e| e.node as usize + 1).max().unwrap_or(0);
+    process_names(&mut w, nodes);
+    for e in spans {
+        let mut name = String::new();
+        push_escaped(&mut name, &labeler(e));
+        w.event(format_args!(
+            "\"ph\":\"X\",\"pid\":{},\"tid\":0,\"ts\":{:.3},\"dur\":{:.3},\
+             \"name\":\"{name}\",\"cat\":\"task\",\"args\":{{\"task\":{}}}",
+            e.node,
+            us(e.start),
+            us(e.end - e.start),
+            e.task,
+        ));
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use crate::recorder::{GaugeKind, Recorder};
+    use sbc_taskgraph::TaskKind;
+
+    #[test]
+    fn exported_trace_is_valid_json_with_all_event_kinds() {
+        let rec = Recorder::new();
+        let mut h = rec.node(0);
+        h.task(0, TaskKind::Gemm { i: 0, j: 2, k: 1 }, 0.0, 0.25);
+        h.send(1, 2048, true);
+        h.recv(2048, false);
+        h.dep_wait(0.25, 0.5);
+        h.gauge(GaugeKind::TileStore, 12.0);
+        drop(h);
+        let json = chrome_trace(&rec.drain());
+        validate(&json).unwrap();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"gemm\""));
+        assert!(json.contains("\"name\":\"send to 1\""));
+        assert!(json.contains("tile_store_tiles"));
+    }
+
+    #[test]
+    fn empty_recording_exports_valid_empty_trace() {
+        let json = chrome_trace(&Recording::default());
+        validate(&json).unwrap();
+        assert!(json.contains("\"traceEvents\":[\n\n]"));
+    }
+
+    #[test]
+    fn span_export_names_and_validates() {
+        let spans = vec![TraceEvent {
+            task: 7,
+            node: 3,
+            start: 1.0,
+            end: 2.0,
+        }];
+        let json = chrome_trace_from_spans(&spans, |e| format!("task {}", e.task));
+        validate(&json).unwrap();
+        assert!(json.contains("\"name\":\"task 7\""));
+        assert!(json.contains("\"pid\":3"));
+        // four process_name metadata events (nodes 0..=3) plus the span
+        assert!(json.contains("\"name\":\"node 3\""));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        let spans = vec![TraceEvent {
+            task: 0,
+            node: 0,
+            start: 0.0,
+            end: 1.0,
+        }];
+        let json = chrome_trace_from_spans(&spans, |_| "a\"b\\c\nd".to_string());
+        validate(&json).unwrap();
+        assert!(json.contains("a\\\"b\\\\c\\u000ad"));
+    }
+}

@@ -1,0 +1,255 @@
+//! A minimal JSON *syntax* validator (RFC 8259), used to check exported
+//! Chrome traces without serde: the offline build vendors no JSON crate,
+//! and the exporters hand-serialize — so tests and the CI smoke step need
+//! an independent checker that the output actually parses.
+//!
+//! It validates structure only; it builds no DOM and allocates nothing but
+//! the error message.
+
+/// Where and why validation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending character.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError {
+            at: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            self.err(format!("expected '{lit}'"))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => self.err(format!("unexpected character '{}'", c as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), JsonError> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(()),
+                _ => {
+                    self.pos -= usize::from(self.pos > 0);
+                    return self.err("expected ',' or '}'");
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), JsonError> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(()),
+                _ => {
+                    self.pos -= usize::from(self.pos > 0);
+                    return self.err("expected ',' or ']'");
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), JsonError> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
+                    Some(b'u') => {
+                        for _ in 0..4 {
+                            match self.bump() {
+                                Some(c) if c.is_ascii_hexdigit() => {}
+                                _ => return self.err("invalid \\u escape"),
+                            }
+                        }
+                    }
+                    _ => return self.err("invalid escape"),
+                },
+                Some(c) if c < 0x20 => return self.err("raw control character in string"),
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn digits(&mut self) -> Result<(), JsonError> {
+        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            return self.err("expected digit");
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<(), JsonError> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => self.digits()?,
+            _ => return self.err("expected digit"),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        Ok(())
+    }
+}
+
+/// Validates that `input` is exactly one well-formed JSON value (plus
+/// optional surrounding whitespace).
+pub fn validate(input: &str) -> Result<(), JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters after JSON value");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            " -12.5e+3 ",
+            r#"{"a": [1, 2.5, -3e2, "x\n\"yé", {"b": null}], "c": false}"#,
+            "{\"traceEvents\":[\n{\"ph\":\"X\",\"ts\":1.5}\n]}",
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "[1] trailing",
+            "\"raw\u{0001}control\"",
+            "{\"a\":1,}",
+        ] {
+            assert!(validate(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let e = validate("[1, x]").unwrap_err();
+        assert_eq!(e.at, 4);
+        assert!(e.to_string().contains("byte 4"));
+    }
+}

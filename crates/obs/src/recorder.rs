@@ -1,0 +1,341 @@
+//! The execution recorder: typed events, per-thread buffers, one merge.
+//!
+//! Every node thread of the runtime (and, in principle, any other
+//! instrumented component) asks the shared [`Recorder`] for a
+//! [`NodeRecorder`] handle and appends events to it. A handle owns a plain
+//! `Vec` — recording an event is a timestamp read plus a push, no locks, no
+//! atomics — and flushes that buffer into the recorder exactly once, when
+//! the handle is dropped (or [`NodeRecorder::flush`] is called early). The
+//! only synchronized operation is that single per-thread flush, so the
+//! recorder's cost is O(events) memory and effectively zero contention.
+//!
+//! Timestamps are `f64` seconds relative to the recorder's creation
+//! ([`Recorder::now`]), the same unit the simulator's virtual clock uses —
+//! which is what lets measured and simulated timelines share one trace
+//! type, one Gantt renderer and one Chrome-trace exporter.
+
+use parking_lot::Mutex;
+use sbc_taskgraph::TaskKind;
+use std::time::Instant;
+
+/// A periodically sampled quantity (as opposed to a span or a point event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GaugeKind {
+    /// Number of tiles resident in a node's local tile store.
+    TileStore,
+    /// Number of dependency-free tasks queued on a node's scheduler.
+    ReadyQueue,
+}
+
+impl GaugeKind {
+    /// Stable display name (also the Chrome-trace counter name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            GaugeKind::TileStore => "tile_store_tiles",
+            GaugeKind::ReadyQueue => "ready_queue_depth",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            GaugeKind::TileStore => 0,
+            GaugeKind::ReadyQueue => 1,
+        }
+    }
+}
+
+/// One recorded observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A task executed on a node: the span of the kernel call itself.
+    Task {
+        /// Task index in the graph.
+        task: u32,
+        /// What was computed (kind + coordinates).
+        kind: TaskKind,
+        /// Executing node.
+        node: u32,
+        /// Worker within the node (the threaded runtime has one).
+        worker: u32,
+        /// Start time in seconds.
+        start: f64,
+        /// End time in seconds.
+        end: f64,
+    },
+    /// A message left a node towards `dest`.
+    Send {
+        /// Sending node.
+        node: u32,
+        /// Destination node.
+        dest: u32,
+        /// Payload size.
+        bytes: u64,
+        /// `true` for an original-tile fetch, `false` for a producer output.
+        orig: bool,
+        /// Time of the send.
+        at: f64,
+    },
+    /// A message was received and applied on a node.
+    Recv {
+        /// Receiving node.
+        node: u32,
+        /// Payload size.
+        bytes: u64,
+        /// `true` for an original-tile fetch, `false` for a producer output.
+        orig: bool,
+        /// Time of the receive.
+        at: f64,
+    },
+    /// A node sat idle blocking on a dependency that had not arrived yet.
+    DepWait {
+        /// Waiting node.
+        node: u32,
+        /// When the node started blocking.
+        start: f64,
+        /// When the awaited message arrived.
+        end: f64,
+    },
+    /// A sampled gauge value.
+    Gauge {
+        /// Sampling node.
+        node: u32,
+        /// Which quantity.
+        gauge: GaugeKind,
+        /// The sampled value.
+        value: f64,
+        /// Sampling time.
+        at: f64,
+    },
+}
+
+impl Event {
+    /// The time this event is ordered by (span start for spans).
+    pub fn at(&self) -> f64 {
+        match *self {
+            Event::Task { start, .. } | Event::DepWait { start, .. } => start,
+            Event::Send { at, .. } | Event::Recv { at, .. } | Event::Gauge { at, .. } => at,
+        }
+    }
+
+    /// The node the event belongs to.
+    pub fn node(&self) -> u32 {
+        match *self {
+            Event::Task { node, .. }
+            | Event::Send { node, .. }
+            | Event::Recv { node, .. }
+            | Event::DepWait { node, .. }
+            | Event::Gauge { node, .. } => node,
+        }
+    }
+}
+
+/// The merged, time-ordered result of one recorded execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Recording {
+    /// All events, sorted by [`Event::at`].
+    pub events: Vec<Event>,
+}
+
+impl Recording {
+    /// Number of events recorded on `node`.
+    pub fn events_on(&self, node: u32) -> usize {
+        self.events.iter().filter(|e| e.node() == node).count()
+    }
+
+    /// Highest node index observed plus one (0 for an empty recording).
+    pub fn nodes(&self) -> usize {
+        self.events
+            .iter()
+            .map(|e| e.node() as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Shared event sink for one instrumented execution.
+///
+/// Cheap to create, cheap to carry: the hot path lives entirely in the
+/// [`NodeRecorder`] handles. Dropping all handles and calling
+/// [`Recorder::drain`] yields the merged [`Recording`].
+pub struct Recorder {
+    epoch: Instant,
+    sink: Mutex<Vec<Vec<Event>>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A fresh recorder; its clock starts now.
+    pub fn new() -> Self {
+        Recorder {
+            epoch: Instant::now(),
+            sink: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Seconds elapsed since the recorder was created.
+    pub fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// A per-thread handle recording on behalf of `node`.
+    pub fn node(&self, node: u32) -> NodeRecorder<'_> {
+        NodeRecorder {
+            rec: self,
+            node,
+            buf: Vec::with_capacity(256),
+            last_gauge: [None; 2],
+        }
+    }
+
+    /// Merges every flushed buffer into one time-ordered [`Recording`].
+    ///
+    /// Buffers of handles still alive are not included — drop (or `flush`)
+    /// all handles first; the runtime does this before returning.
+    pub fn drain(&self) -> Recording {
+        let mut bufs = self.sink.lock();
+        let mut events: Vec<Event> = bufs.drain(..).flatten().collect();
+        events.sort_by(|a, b| a.at().total_cmp(&b.at()));
+        Recording { events }
+    }
+}
+
+/// A node thread's private recording handle. All methods are lock-free
+/// appends; the buffer reaches the [`Recorder`] on drop (or `flush`).
+pub struct NodeRecorder<'r> {
+    rec: &'r Recorder,
+    node: u32,
+    buf: Vec<Event>,
+    last_gauge: [Option<f64>; 2],
+}
+
+impl NodeRecorder<'_> {
+    /// Seconds on the shared recorder clock.
+    pub fn now(&self) -> f64 {
+        self.rec.now()
+    }
+
+    /// Records a completed task span.
+    pub fn task(&mut self, task: u32, kind: TaskKind, start: f64, end: f64) {
+        self.buf.push(Event::Task {
+            task,
+            kind,
+            node: self.node,
+            worker: 0,
+            start,
+            end,
+        });
+    }
+
+    /// Records an outgoing message.
+    pub fn send(&mut self, dest: u32, bytes: u64, orig: bool) {
+        let at = self.now();
+        self.buf.push(Event::Send {
+            node: self.node,
+            dest,
+            bytes,
+            orig,
+            at,
+        });
+    }
+
+    /// Records an applied incoming message.
+    pub fn recv(&mut self, bytes: u64, orig: bool) {
+        let at = self.now();
+        self.buf.push(Event::Recv {
+            node: self.node,
+            bytes,
+            orig,
+            at,
+        });
+    }
+
+    /// Records a blocking wait for a dependency.
+    pub fn dep_wait(&mut self, start: f64, end: f64) {
+        self.buf.push(Event::DepWait {
+            node: self.node,
+            start,
+            end,
+        });
+    }
+
+    /// Records a gauge sample. Consecutive samples with an unchanged value
+    /// are coalesced — the timeline is identical, the event stream smaller.
+    pub fn gauge(&mut self, gauge: GaugeKind, value: f64) {
+        if self.last_gauge[gauge.idx()] == Some(value) {
+            return;
+        }
+        self.last_gauge[gauge.idx()] = Some(value);
+        let at = self.now();
+        self.buf.push(Event::Gauge {
+            node: self.node,
+            gauge,
+            value,
+            at,
+        });
+    }
+
+    /// Pushes the buffered events into the recorder early (drop does the
+    /// same once).
+    pub fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            self.rec.sink.lock().push(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+impl Drop for NodeRecorder<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_merge_time_ordered_across_handles() {
+        let rec = Recorder::new();
+        let mut a = rec.node(0);
+        let mut b = rec.node(1);
+        a.task(0, TaskKind::Potrf { k: 0 }, 0.5, 0.6);
+        b.task(1, TaskKind::Trsm { k: 0, i: 1 }, 0.1, 0.2);
+        a.send(1, 128, false);
+        drop(a);
+        drop(b);
+        let r = rec.drain();
+        assert_eq!(r.events.len(), 3);
+        let times: Vec<f64> = r.events.iter().map(|e| e.at()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+        assert_eq!(r.nodes(), 2);
+        assert_eq!(r.events_on(0), 2);
+        assert_eq!(r.events_on(1), 1);
+    }
+
+    #[test]
+    fn drain_skips_unflushed_then_picks_up_after_flush() {
+        let rec = Recorder::new();
+        let mut h = rec.node(3);
+        h.gauge(GaugeKind::TileStore, 4.0);
+        assert_eq!(rec.drain().events.len(), 0);
+        h.flush();
+        let r = rec.drain();
+        assert_eq!(r.events.len(), 1);
+        assert_eq!(r.nodes(), 4);
+        drop(h); // second flush is a no-op
+        assert_eq!(rec.drain().events.len(), 0);
+    }
+
+    #[test]
+    fn recorder_clock_is_monotonic() {
+        let rec = Recorder::new();
+        let a = rec.now();
+        let b = rec.now();
+        assert!(b >= a && a >= 0.0);
+    }
+}

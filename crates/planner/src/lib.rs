@@ -21,7 +21,11 @@
 //! * [`cache`] amortizes planning across requests: a sharded,
 //!   capacity-bounded concurrent LRU keyed by
 //!   `(op, nt, b, P, platform fingerprint)` serves repeated requests with
-//!   two atomic ops and an `Arc` clone.
+//!   two atomic ops and an `Arc` clone;
+//! * [`drift`] closes the loop: given the measured [`sbc_obs::ExecProfile`]
+//!   of an instrumented run, it reports how far the model's predictions
+//!   drifted from reality (communication must be exact; time yields a
+//!   calibration factor).
 //!
 //! ```
 //! use sbc_planner::{Op, Planner};
@@ -40,10 +44,12 @@
 
 pub mod cache;
 pub mod candidates;
+pub mod drift;
 pub mod model;
 pub mod planner;
 
 pub use cache::{PlanCache, PlanKey};
 pub use candidates::{DistChoice, Op};
+pub use drift::{compare, DriftReport};
 pub use model::{CostBreakdown, CostModel};
 pub use planner::{Plan, Planner, PlannerConfig};

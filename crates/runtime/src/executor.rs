@@ -4,10 +4,17 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use sbc_kernels as k;
 use sbc_kernels::{KernelError, Tile, Trans};
 use sbc_matrix::generate;
+use sbc_obs::{GaugeKind, NodeRecorder, Recorder};
 use sbc_taskgraph::{EdgeKind, TaskGraph, TaskId, TaskKind, TileRef};
 use std::collections::{BinaryHeap, HashMap};
 
 /// Communication statistics of one distributed execution.
+///
+/// Every payload message — producer-output tiles (`Data`) *and*
+/// original-tile fetches (`Orig`) — is counted at its actual byte size on
+/// the sending and the receiving side. On a clean run the receive total
+/// equals `messages`; after an aborted run (kernel failure) it may be
+/// smaller, because poisoned nodes stop draining their channels.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommStats {
     /// Total inter-node messages (tiles sent).
@@ -16,6 +23,10 @@ pub struct CommStats {
     pub bytes: u64,
     /// Messages sent per node.
     pub sent_per_node: Vec<u64>,
+    /// Messages received (and applied) per node.
+    pub recv_per_node: Vec<u64>,
+    /// Bytes sent per node (sums to `bytes`).
+    pub bytes_per_node: Vec<u64>,
 }
 
 /// Result of a distributed execution: the final content of every node's
@@ -74,7 +85,17 @@ struct NodeResult {
     node: usize,
     store: HashMap<TileRef, Tile>,
     sent: u64,
+    sent_bytes: u64,
+    recv: u64,
     error: Option<ExecError>,
+}
+
+/// Per-node communication tally, updated at every send/receive.
+#[derive(Default)]
+struct CommTally {
+    sent: u64,
+    sent_bytes: u64,
+    recv: u64,
 }
 
 /// Provides original (input) tile contents to the executor.
@@ -91,6 +112,7 @@ pub struct Executor<'g> {
     /// Tile dimension.
     pub b: usize,
     provider: Box<TileProvider<'g>>,
+    recorder: Option<&'g Recorder>,
 }
 
 impl<'g> Executor<'g> {
@@ -103,6 +125,7 @@ impl<'g> Executor<'g> {
             graph,
             b,
             provider: Box::new(move |r| default_original(r, nt, b, seed, seed_rhs)),
+            recorder: None,
         }
     }
 
@@ -118,7 +141,18 @@ impl<'g> Executor<'g> {
             graph,
             b,
             provider: Box::new(provider),
+            recorder: None,
         }
+    }
+
+    /// Attaches an [`sbc_obs::Recorder`]: every node thread will record
+    /// task spans, message sends/receives, dependency waits and scheduler
+    /// gauges into it. Recording costs two clock reads and a buffer push
+    /// per task; without a recorder the instrumentation compiles down to a
+    /// branch on `None`.
+    pub fn with_recorder(mut self, recorder: &'g Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     fn original(&self, r: TileRef) -> Tile {
@@ -148,7 +182,6 @@ impl<'g> Executor<'g> {
         let g = self.graph;
         let n_nodes = g.num_nodes();
         let c = g.slices;
-        let tile_bytes = (self.b * self.b * 8) as u64;
 
         // global dependency counts
         let mut deps = g.in_degrees();
@@ -234,9 +267,13 @@ impl<'g> Executor<'g> {
         // gather results
         let mut tiles = HashMap::new();
         let mut sent_per_node = vec![0u64; n_nodes];
+        let mut recv_per_node = vec![0u64; n_nodes];
+        let mut bytes_per_node = vec![0u64; n_nodes];
         let mut first_error: Option<ExecError> = None;
         for res in result_rx.iter() {
             sent_per_node[res.node] = res.sent;
+            recv_per_node[res.node] = res.recv;
+            bytes_per_node[res.node] = res.sent_bytes;
             if let Some(e) = res.error {
                 match &first_error {
                     Some(cur) if cur.node <= e.node => {}
@@ -256,8 +293,10 @@ impl<'g> Executor<'g> {
             tiles,
             stats: CommStats {
                 messages,
-                bytes: messages * tile_bytes,
+                bytes: bytes_per_node.iter().sum(),
                 sent_per_node,
+                recv_per_node,
+                bytes_per_node,
             },
         })
     }
@@ -306,15 +345,27 @@ fn node_main(
     // close to the sequential schedule)
     let mut ready: BinaryHeap<std::cmp::Reverse<TaskId>> =
         ready0.into_iter().map(std::cmp::Reverse).collect();
-    let mut sent = 0u64;
+    let mut tally = CommTally::default();
+    let mut obs: Option<NodeRecorder<'_>> = exec.recorder.map(|r| r.node(me));
     let mut consumer_nodes: Vec<u32> = Vec::new();
     let mut error: Option<ExecError> = None;
 
     // sending may fail once peers have shut down after a poison; that is
-    // expected during teardown, so sends never unwrap.
-    let send = |dest: u32, msg: Msg, sent: &mut u64| {
+    // expected during teardown, so sends never unwrap. Both payload kinds
+    // (producer outputs and original fetches) count at their real byte
+    // size.
+    let send = |dest: u32, msg: Msg, tally: &mut CommTally, obs: &mut Option<NodeRecorder<'_>>| {
+        let (bytes, orig) = match &msg {
+            Msg::Data { tile, .. } => ((tile.dim() * tile.dim() * 8) as u64, false),
+            Msg::Orig { tile, .. } => ((tile.dim() * tile.dim() * 8) as u64, true),
+            Msg::Poison => (0, false),
+        };
         if senders[dest as usize].send(msg).is_ok() {
-            *sent += 1;
+            tally.sent += 1;
+            tally.sent_bytes += bytes;
+            if let Some(o) = obs.as_mut() {
+                o.send(dest, bytes, orig);
+            }
         }
     };
 
@@ -324,24 +375,30 @@ fn node_main(
             .entry(tile_ref)
             .or_insert_with(|| exec.original(tile_ref))
             .clone();
-        send(dest, Msg::Orig { tile_ref, tile }, &mut sent);
+        send(dest, Msg::Orig { tile_ref, tile }, &mut tally, &mut obs);
     }
 
     // returns false when poisoned
     let apply_msg = |msg: Msg,
                      cache: &mut HashMap<WaitKey, Tile>,
                      deps: &mut HashMap<TaskId, u32>,
-                     ready: &mut BinaryHeap<std::cmp::Reverse<TaskId>>|
+                     ready: &mut BinaryHeap<std::cmp::Reverse<TaskId>>,
+                     tally: &mut CommTally,
+                     obs: &mut Option<NodeRecorder<'_>>|
      -> bool {
-        let key = match &msg {
-            Msg::Data { producer, .. } => WaitKey::Task(*producer),
-            Msg::Orig { tile_ref, .. } => WaitKey::Orig(*tile_ref),
+        let (key, orig) = match &msg {
+            Msg::Data { producer, .. } => (WaitKey::Task(*producer), false),
+            Msg::Orig { tile_ref, .. } => (WaitKey::Orig(*tile_ref), true),
             Msg::Poison => return false,
         };
         let tile = match msg {
             Msg::Data { tile, .. } | Msg::Orig { tile, .. } => tile,
             Msg::Poison => unreachable!(),
         };
+        tally.recv += 1;
+        if let Some(o) = obs.as_mut() {
+            o.recv((tile.dim() * tile.dim() * 8) as u64, orig);
+        }
         cache.insert(key, tile);
         if let Some(waiting) = waits.get(&key) {
             for &t in waiting {
@@ -357,6 +414,7 @@ fn node_main(
 
     'outer: while remaining > 0 {
         while let Some(std::cmp::Reverse(t)) = ready.pop() {
+            let span_start = obs.as_ref().map(|o| o.now());
             if let Err(e) = execute_task(exec, g, t, c, &mut local, &cache) {
                 error = Some(ExecError {
                     task: t,
@@ -370,6 +428,15 @@ fn node_main(
                     }
                 }
                 break 'outer;
+            }
+            if let Some(o) = obs.as_mut() {
+                let end = o.now();
+                o.task(
+                    t,
+                    g.tasks()[t as usize].kind,
+                    span_start.unwrap_or(end),
+                    end,
+                );
             }
             remaining -= 1;
             // resolve successors
@@ -398,7 +465,8 @@ fn node_main(
                             producer: t,
                             tile: out.clone(),
                         },
-                        &mut sent,
+                        &mut tally,
+                        &mut obs,
                     );
                 }
             }
@@ -407,21 +475,34 @@ fn node_main(
             break;
         }
         // block until something arrives, then drain opportunistically
+        let wait_start = obs.as_ref().map(|o| o.now());
         let Ok(msg) = rx.recv() else { break };
-        if !apply_msg(msg, &mut cache, &mut deps, &mut ready) {
+        if let Some(o) = obs.as_mut() {
+            let end = o.now();
+            o.dep_wait(wait_start.unwrap_or(end), end);
+        }
+        if !apply_msg(msg, &mut cache, &mut deps, &mut ready, &mut tally, &mut obs) {
             break; // poisoned
         }
         while let Ok(m) = rx.try_recv() {
-            if !apply_msg(m, &mut cache, &mut deps, &mut ready) {
+            if !apply_msg(m, &mut cache, &mut deps, &mut ready, &mut tally, &mut obs) {
                 break 'outer;
             }
         }
+        // sample scheduler state once per wakeup, not per task
+        if let Some(o) = obs.as_mut() {
+            o.gauge(GaugeKind::TileStore, local.len() as f64);
+            o.gauge(GaugeKind::ReadyQueue, ready.len() as f64);
+        }
     }
 
+    drop(obs); // flush this node's event buffer into the recorder
     let _ = result_tx.send(NodeResult {
         node: me as usize,
         store: local,
-        sent,
+        sent: tally.sent,
+        sent_bytes: tally.sent_bytes,
+        recv: tally.recv,
         error,
     });
 }

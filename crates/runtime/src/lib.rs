@@ -22,6 +22,13 @@
 //! [`run_potri`], [`run_potri_remap`]) generate the input matrix per tile
 //! on its owner node, execute, gather, and return the result with
 //! [`CommStats`].
+//!
+//! Executions can be *observed*: attach an [`sbc_obs::Recorder`] via
+//! [`Executor::with_recorder`] (or [`PlannedExecutor::run_recorded`]) and
+//! every node thread records task spans, per-message send/receive events
+//! with byte counts, dependency-wait idle spans and scheduler gauges —
+//! the measured timeline behind `sbc_obs`'s Gantt/Chrome-trace exports and
+//! the planner's model-vs-measured drift report.
 
 #![warn(missing_docs)]
 

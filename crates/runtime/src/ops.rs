@@ -321,15 +321,65 @@ mod tests {
         let (l, stats) = run_potrf(&dist, 9, B, SEED);
         assert_eq!(stats.messages, 0);
         assert_eq!(stats.bytes, 0);
+        assert_eq!(stats.recv_per_node, vec![0]);
         let a0 = random_spd(SEED, 9, B);
         assert!(cholesky_residual(&a0, &l) < 1e-12);
     }
 
     #[test]
-    fn per_node_sent_sums_to_total() {
+    fn per_node_accounting_is_consistent() {
         let dist = SbcExtended::new(6); // 15 nodes
         let (_, stats) = run_potrf(&dist, 13, B, SEED);
         assert_eq!(stats.sent_per_node.iter().sum::<u64>(), stats.messages);
         assert_eq!(stats.sent_per_node.len(), 15);
+        // on a clean run every sent message is received and applied
+        assert_eq!(stats.recv_per_node.iter().sum::<u64>(), stats.messages);
+        // every payload is one b x b tile — fetches (Msg::Orig) included
+        assert_eq!(stats.bytes_per_node.iter().sum::<u64>(), stats.bytes);
+        assert_eq!(stats.bytes, stats.messages * (B * B * 8) as u64);
+        for (sent, bytes) in stats.sent_per_node.iter().zip(&stats.bytes_per_node) {
+            assert_eq!(*bytes, sent * (B * B * 8) as u64);
+        }
+    }
+
+    #[test]
+    fn fetch_traffic_is_counted_in_bytes() {
+        // TRTRI consumes original input tiles, so remote readers trigger
+        // Msg::Orig fetches — those must appear in both messages and bytes.
+        let dist = SbcExtended::new(5);
+        let nt = 9;
+        let g = sbc_taskgraph::build_trtri(&dist, nt);
+        assert!(!g.initial_fetches().is_empty());
+        let (_, stats) = run_trtri(&dist, nt, B, SEED);
+        assert_eq!(stats.messages, g.count_messages());
+        assert_eq!(stats.bytes, stats.messages * (B * B * 8) as u64);
+    }
+
+    #[test]
+    fn recorded_run_observes_every_task_and_message() {
+        use sbc_obs::{ExecProfile, Recorder};
+        use sbc_taskgraph::build_potrf;
+
+        let dist = SbcExtended::new(5); // 10 nodes
+        let nt = 10;
+        let g = build_potrf(&dist, nt);
+        let rec = Recorder::new();
+        let out = Executor::new(&g, B, SEED, SEED ^ 1)
+            .with_recorder(&rec)
+            .run();
+        let recording = rec.drain();
+        let profile = ExecProfile::from_recording(&recording);
+        // one task span per graph task, one send event per message
+        let spans = sbc_obs::task_spans(&recording);
+        assert_eq!(spans.len(), g.len());
+        assert_eq!(profile.messages, out.stats.messages);
+        assert_eq!(profile.bytes, out.stats.bytes);
+        assert_eq!(profile.nodes, 10);
+        // per-kind counts: nt potrf, nt*(nt-1)/2 trsm
+        assert_eq!(profile.per_kind["potrf"].count, nt as u64);
+        assert_eq!(profile.per_kind["trsm"].count, (nt * (nt - 1) / 2) as u64);
+        // timeline is sane: spans are within the recording's wall window
+        assert!(profile.wall_seconds > 0.0);
+        assert!(spans.iter().all(|s| s.end >= s.start));
     }
 }

@@ -7,6 +7,7 @@
 //! surface, so callers go from `(op, nt, b)` to a distributed execution
 //! without naming a distribution anywhere.
 
+use sbc_obs::Recorder;
 use sbc_planner::Plan;
 
 use crate::executor::{ExecError, ExecOutcome, Executor};
@@ -54,6 +55,23 @@ impl PlannedExecutor {
     /// Runs the plan to completion, propagating kernel failures.
     pub fn try_run(&self) -> Result<ExecOutcome, ExecError> {
         self.executor().try_run()
+    }
+
+    /// Runs the plan with every node thread recording into `recorder` —
+    /// the measured timeline the planner's drift report and the Chrome
+    /// exporter consume. Drain the recorder after this returns.
+    ///
+    /// # Panics
+    /// Panics on kernel failure; use [`Self::try_run_recorded`] to handle
+    /// it.
+    pub fn run_recorded(&self, recorder: &Recorder) -> ExecOutcome {
+        self.try_run_recorded(recorder)
+            .expect("distributed execution failed")
+    }
+
+    /// Recording variant of [`Self::try_run`].
+    pub fn try_run_recorded(&self, recorder: &Recorder) -> Result<ExecOutcome, ExecError> {
+        self.executor().with_recorder(recorder).try_run()
     }
 
     fn executor(&self) -> Executor<'_> {

@@ -1,67 +1,10 @@
 //! Simulation results and execution traces.
+//!
+//! The trace primitives ([`TraceEvent`], [`render_gantt`]) now live in
+//! [`sbc_obs`] so measured runs from the real runtime share them; they are
+//! re-exported here for compatibility.
 
-/// One executed task in a recorded trace.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TraceEvent {
-    /// Task index in the graph.
-    pub task: u32,
-    /// Executing node.
-    pub node: u32,
-    /// Start time (seconds).
-    pub start: f64,
-    /// End time (seconds).
-    pub end: f64,
-}
-
-/// Renders a per-node utilization Gantt strip as text: `width` buckets per
-/// node, each showing the fraction of busy worker-core time in that time
-/// slice (' ' empty, '.' <25%, '-' <50%, '=' <75%, '#' full).
-pub fn render_gantt(events: &[TraceEvent], nodes: usize, cores: usize, width: usize) -> String {
-    let makespan = events.iter().fold(0.0f64, |m, e| m.max(e.end));
-    if makespan <= 0.0 || width == 0 {
-        return String::new();
-    }
-    let dt = makespan / width as f64;
-    let mut busy = vec![vec![0.0f64; width]; nodes];
-    for e in events {
-        if e.end <= e.start {
-            continue;
-        }
-        let b0 = ((e.start / dt) as usize).min(width - 1);
-        let b1 = ((e.end / dt) as usize).min(width - 1);
-        let row = &mut busy[e.node as usize];
-        for (bucket, cell) in row.iter_mut().enumerate().take(b1 + 1).skip(b0) {
-            let lo = (bucket as f64 * dt).max(e.start);
-            let hi = ((bucket + 1) as f64 * dt).min(e.end);
-            if hi > lo {
-                *cell += hi - lo;
-            }
-        }
-    }
-    let mut out = String::new();
-    out.push_str(&format!(
-        "gantt ({makespan:.3}s across {width} buckets):
-"
-    ));
-    for (n, row) in busy.iter().enumerate() {
-        out.push_str(&format!("node {n:>3} |"));
-        for &b in row {
-            let frac = b / (dt * cores as f64);
-            out.push(match frac {
-                f if f <= 0.01 => ' ',
-                f if f < 0.25 => '.',
-                f if f < 0.5 => '-',
-                f if f < 0.75 => '=',
-                _ => '#',
-            });
-        }
-        out.push_str(
-            "|
-",
-        );
-    }
-    out
-}
+pub use sbc_obs::{render_gantt, TraceEvent};
 
 /// Outcome of one simulated execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,7 +62,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn gantt_renders_buckets() {
+    fn reexported_gantt_renders_sim_traces() {
         let events = vec![
             TraceEvent {
                 task: 0,
@@ -137,11 +80,6 @@ mod tests {
         let g = render_gantt(&events, 2, 1, 4);
         assert!(g.contains("node   0 |####|"), "{g}");
         assert!(g.contains("node   1 |  ##|"), "{g}");
-    }
-
-    #[test]
-    fn gantt_empty_events() {
-        assert_eq!(render_gantt(&[], 2, 1, 4), "");
     }
 
     #[test]

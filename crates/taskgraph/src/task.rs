@@ -229,6 +229,35 @@ impl TaskKind {
         }
     }
 
+    /// Stable lower-case kernel name, without coordinates — the key used by
+    /// per-kind metrics and trace exporters in `sbc-obs`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaskKind::Potrf { .. } => "potrf",
+            TaskKind::Trsm { .. } => "trsm",
+            TaskKind::Syrk { .. } => "syrk",
+            TaskKind::Gemm { .. } => "gemm",
+            TaskKind::Reduce { .. } => "reduce",
+            TaskKind::TrsmFwd { .. } => "trsm_fwd",
+            TaskKind::GemmFwd { .. } => "gemm_fwd",
+            TaskKind::TrsmBwd { .. } => "trsm_bwd",
+            TaskKind::GemmBwd { .. } => "gemm_bwd",
+            TaskKind::TrsmRInv { .. } => "trsm_rinv",
+            TaskKind::GemmInv { .. } => "gemm_inv",
+            TaskKind::TrsmLInv { .. } => "trsm_linv",
+            TaskKind::TrtriDiag { .. } => "trtri",
+            TaskKind::SyrkLu { .. } => "syrk_lu",
+            TaskKind::GemmLu { .. } => "gemm_lu",
+            TaskKind::TrmmLu { .. } => "trmm_lu",
+            TaskKind::LauumDiag { .. } => "lauum",
+            TaskKind::Getrf { .. } => "getrf",
+            TaskKind::TrsmRow { .. } => "trsm_row",
+            TaskKind::TrsmCol { .. } => "trsm_col",
+            TaskKind::GemmTrail { .. } => "gemm_trail",
+            TaskKind::Move { .. } => "move",
+        }
+    }
+
     /// The algorithm iteration this task belongs to — used by priorities and
     /// by the bulk-synchronous (COnfCHOX-like) scheduling mode.
     pub fn iteration(&self) -> u32 {

@@ -41,7 +41,8 @@
 //! | [`simgrid`] | discrete-event cluster simulator (the paper's `bora` platform model) |
 //! | [`runtime`] | threads-as-nodes distributed runtime with byte-exact communication accounting |
 //! | [`outofcore`] | sequential two-level-memory model (Section III-E): LRU transfer simulation and I/O bounds |
-//! | [`planner`] | autotuning distribution planner: candidate search, analytic cost model, simulation refinement, concurrent plan cache |
+//! | [`planner`] | autotuning distribution planner: candidate search, analytic cost model, simulation refinement, concurrent plan cache, drift reports |
+//! | [`obs`] | observability: execution recorder, metrics registry, text Gantt and Chrome-trace/Perfetto export for measured and simulated runs |
 //!
 //! ## Choosing a distribution automatically
 //!
@@ -61,6 +62,7 @@
 pub use sbc_dist as dist;
 pub use sbc_kernels as kernels;
 pub use sbc_matrix as matrix;
+pub use sbc_obs as obs;
 pub use sbc_outofcore as outofcore;
 pub use sbc_planner as planner;
 pub use sbc_runtime as runtime;

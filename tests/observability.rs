@@ -1,0 +1,97 @@
+//! End-to-end observability: a real (non-simulated) distributed Cholesky
+//! across many virtual nodes, recorded, exported, and cross-checked against
+//! the planner's predictions — the acceptance pipeline behind `paper obs`.
+
+use sbc::obs::{
+    chrome_trace, json, metrics_from_recording, render_gantt, task_spans, ExecProfile, Recorder,
+};
+use sbc::planner::{compare, Op, Planner};
+use sbc::runtime::PlannedExecutor;
+use sbc::simgrid::Platform;
+
+#[test]
+fn recorded_distributed_cholesky_exports_everything() {
+    // Plan a POTRF on the paper's 10-node bora platform and execute it for
+    // real: 10 OS threads, channels as the interconnect.
+    let planner = Planner::new(Platform::bora(10));
+    let plan = planner.plan(Op::Potrf, 12, 8);
+    let exec = PlannedExecutor::new(plan, 7, 11);
+
+    let recorder = Recorder::new();
+    let outcome = exec.run_recorded(&recorder);
+    let recording = recorder.drain();
+
+    // Every node participated and left events behind.
+    let nodes = recording.nodes();
+    assert!(nodes >= 4, "want a genuinely distributed run, got {nodes}");
+    for n in 0..nodes as u32 {
+        assert!(recording.events_on(n) > 0, "node {n} recorded nothing");
+    }
+
+    // Chrome trace: valid JSON with at least one event per node.
+    let trace = chrome_trace(&recording);
+    json::validate(&trace).expect("chrome trace must be valid JSON");
+    for n in 0..nodes {
+        assert!(
+            trace.contains(&format!("\"pid\":{n},")),
+            "no trace events for node {n}"
+        );
+    }
+
+    // Text Gantt over the measured spans.
+    let spans = task_spans(&recording);
+    assert_eq!(spans.len(), exec.graph().len());
+    let gantt = render_gantt(&spans, nodes, 1, 60);
+    assert!(gantt.contains("gantt ("));
+    assert_eq!(gantt.lines().count(), 1 + nodes);
+
+    // Metrics snapshot: per-kind latency histograms whose counts add up to
+    // the executed task count.
+    let metrics = metrics_from_recording(&recording);
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.counter("tasks.executed"),
+        Some(exec.graph().len() as u64)
+    );
+    assert_eq!(snap.counter("messages.sent"), Some(outcome.stats.messages));
+    let latency_total: u64 = ["potrf", "trsm", "syrk", "gemm"]
+        .iter()
+        .filter_map(|k| snap.histogram(&format!("latency.{k}")))
+        .map(|h| h.count)
+        .sum();
+    assert_eq!(latency_total, exec.graph().len() as u64);
+    let report = snap.render();
+    assert!(report.contains("latency.potrf"), "{report}");
+
+    // Drift: the measured run must hit the model's communication exactly.
+    let profile = ExecProfile::from_recording(&recording);
+    assert_eq!(profile.messages, outcome.stats.messages);
+    assert_eq!(profile.messages, exec.plan().cost.messages);
+    assert_eq!(profile.bytes, outcome.stats.bytes);
+    let drift = compare(exec.plan(), &profile);
+    assert!(drift.comm_exact(), "{}", drift.render());
+    assert!((drift.message_ratio() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn simulated_and_measured_traces_share_the_gantt() {
+    use sbc::simgrid::Simulator;
+
+    // The simulator's traces and the runtime's measured spans are the same
+    // type now — one renderer serves both.
+    let planner = Planner::new(Platform::bora(10));
+    let plan = planner.plan(Op::Potrf, 10, 8);
+    let graph = plan.build_graph();
+
+    let platform = Platform::bora(10);
+    let (_, sim_trace) = Simulator::new(&graph, &platform, plan.sim_config()).run_traced();
+    let sim_gantt = render_gantt(&sim_trace, 10, platform.cores_per_node, 40);
+    assert!(sim_gantt.contains("node   0 |"));
+
+    let recorder = Recorder::new();
+    PlannedExecutor::new(plan, 1, 2).run_recorded(&recorder);
+    let measured = task_spans(&recorder.drain());
+    assert_eq!(measured.len(), sim_trace.len());
+    let measured_gantt = render_gantt(&measured, 10, 1, 40);
+    assert!(measured_gantt.contains("node   0 |"));
+}

@@ -117,5 +117,11 @@ proptest! {
             prop_assert!(l.tile(i, j).max_abs_diff(seq.tile(i, j)) == 0.0);
         }
         prop_assert_eq!(stats.messages, comm::potrf_messages(&d, nt));
+        // per-node accounting closes: every sent message is received once,
+        // and every message carries exactly one b x b tile of f64s.
+        prop_assert_eq!(stats.sent_per_node.iter().sum::<u64>(), stats.messages);
+        prop_assert_eq!(stats.recv_per_node.iter().sum::<u64>(), stats.messages);
+        prop_assert_eq!(stats.bytes_per_node.iter().sum::<u64>(), stats.bytes);
+        prop_assert_eq!(stats.bytes, stats.messages * (b * b * 8) as u64);
     }
 }
