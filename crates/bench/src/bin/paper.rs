@@ -8,7 +8,9 @@
 //! Targets: `table1`, `patterns`, `fig7` … `fig14`, `ablations`, `trace`,
 //! `planner`, `obs`, `all`. `--full` switches to the paper's full sweep
 //! sizes (slow); `--csv` emits figures as CSV instead of text tables;
-//! `--out <path>` sets where `obs` writes its Chrome-trace JSON.
+//! `--out <path>` sets where `obs` writes its Chrome-trace JSON;
+//! `--workers <n>` sets the worker threads per virtual node for `obs`
+//! (default: the runtime's own default).
 
 use sbc_bench::figures::{self, Scale};
 use sbc_bench::{render_csv, render_figure};
@@ -24,7 +26,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "obs-trace.json".to_string());
-    // Skip flags and the value consumed by `--out`.
+    let workers: Option<usize> = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .map(|w| w.parse().expect("--workers takes a positive integer"));
+    // Skip flags and the values consumed by `--out` / `--workers`.
     let mut skip_next = false;
     let targets: Vec<&str> = args
         .iter()
@@ -33,7 +40,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--out" {
+            if *a == "--out" || *a == "--workers" {
                 skip_next = true;
             }
             !a.starts_with("--")
@@ -86,13 +93,13 @@ fn main() {
         ran = true;
     }
     if all || target == "obs" {
-        observed_run(&out_path, full);
+        observed_run(&out_path, full, workers);
         ran = true;
     }
 
     if !ran {
         eprintln!(
-            "unknown target '{target}'. Use one of: all, table1, patterns, fig7..fig14, ablations, planner, trace, obs [--full] [--out <path>]"
+            "unknown target '{target}'. Use one of: all, table1, patterns, fig7..fig14, ablations, planner, trace, obs [--full] [--out <path>] [--workers <n>]"
         );
         std::process::exit(2);
     }
@@ -102,7 +109,7 @@ fn main() {
 /// real threaded runtime with a recorder attached, then emit every export
 /// `sbc-obs` offers — Chrome trace (open in Perfetto / chrome://tracing),
 /// measured Gantt, metrics report, and the planner's drift report.
-fn observed_run(out_path: &str, full: bool) {
+fn observed_run(out_path: &str, full: bool, workers: Option<usize>) {
     use sbc_obs::{
         chrome_trace, json, metrics_from_recording, render_gantt, task_spans, ExecProfile, Recorder,
     };
@@ -117,8 +124,14 @@ fn observed_run(out_path: &str, full: bool) {
     let planner = Planner::new(Platform::bora(p));
     let plan = planner.plan(Op::Potrf, nt, b);
     println!("plan: {}", plan.choice.describe());
+    if let Some(w) = workers {
+        println!("workers per node: {w}");
+    }
 
-    let exec = PlannedExecutor::new(plan, 0xB10C, 0xCAFE);
+    let mut exec = PlannedExecutor::new(plan, 0xB10C, 0xCAFE);
+    if let Some(w) = workers {
+        exec = exec.workers(w);
+    }
     let recorder = Recorder::new();
     let outcome = exec.run_recorded(&recorder);
     let recording = recorder.drain();

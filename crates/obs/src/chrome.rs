@@ -71,6 +71,23 @@ fn process_names(w: &mut Writer, nodes: usize) {
 pub fn chrome_trace(rec: &Recording) -> String {
     let mut w = Writer::new();
     process_names(&mut w, rec.nodes());
+    // one named thread track per (node, worker) pair that executed tasks
+    let mut tracks: Vec<(u32, u32)> = rec
+        .events
+        .iter()
+        .filter_map(|e| match *e {
+            Event::Task { node, worker, .. } => Some((node, worker)),
+            _ => None,
+        })
+        .collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    for (node, worker) in tracks {
+        w.event(format_args!(
+            "\"ph\":\"M\",\"pid\":{node},\"tid\":{worker},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"worker {worker}\"}}"
+        ));
+    }
     for e in &rec.events {
         match *e {
             Event::Task {
@@ -191,6 +208,22 @@ mod tests {
         assert!(json.contains("\"name\":\"gemm\""));
         assert!(json.contains("\"name\":\"send to 1\""));
         assert!(json.contains("tile_store_tiles"));
+    }
+
+    #[test]
+    fn worker_tracks_are_named_and_separated() {
+        let rec = Recorder::new();
+        let mut w0 = rec.worker(1, 0);
+        let mut w1 = rec.worker(1, 1);
+        w0.task(0, TaskKind::Potrf { k: 0 }, 0.0, 0.1);
+        w1.task(1, TaskKind::Trsm { k: 0, i: 1 }, 0.05, 0.2);
+        drop(w0);
+        drop(w1);
+        let json = chrome_trace(&rec.drain());
+        validate(&json).unwrap();
+        assert!(json.contains("\"name\":\"worker 0\""));
+        assert!(json.contains("\"name\":\"worker 1\""));
+        assert!(json.contains("\"pid\":1,\"tid\":1,"));
     }
 
     #[test]

@@ -25,7 +25,12 @@ pub enum GaugeKind {
     TileStore,
     /// Number of dependency-free tasks queued on a node's scheduler.
     ReadyQueue,
+    /// Number of workers of a node currently executing a task.
+    ActiveWorkers,
 }
+
+/// How many [`GaugeKind`] variants exist (size of the coalescing cache).
+const GAUGE_KINDS: usize = 3;
 
 impl GaugeKind {
     /// Stable display name (also the Chrome-trace counter name).
@@ -33,6 +38,7 @@ impl GaugeKind {
         match self {
             GaugeKind::TileStore => "tile_store_tiles",
             GaugeKind::ReadyQueue => "ready_queue_depth",
+            GaugeKind::ActiveWorkers => "active_workers",
         }
     }
 
@@ -40,6 +46,7 @@ impl GaugeKind {
         match self {
             GaugeKind::TileStore => 0,
             GaugeKind::ReadyQueue => 1,
+            GaugeKind::ActiveWorkers => 2,
         }
     }
 }
@@ -55,7 +62,7 @@ pub enum Event {
         kind: TaskKind,
         /// Executing node.
         node: u32,
-        /// Worker within the node (the threaded runtime has one).
+        /// Worker within the node that ran the kernel.
         worker: u32,
         /// Start time in seconds.
         start: f64,
@@ -182,13 +189,20 @@ impl Recorder {
         self.epoch.elapsed().as_secs_f64()
     }
 
-    /// A per-thread handle recording on behalf of `node`.
+    /// A per-thread handle recording on behalf of `node` (worker 0).
     pub fn node(&self, node: u32) -> NodeRecorder<'_> {
+        self.worker(node, 0)
+    }
+
+    /// A per-thread handle recording on behalf of one `worker` of `node` —
+    /// task spans land on that worker's track in the Chrome trace.
+    pub fn worker(&self, node: u32, worker: u32) -> NodeRecorder<'_> {
         NodeRecorder {
             rec: self,
             node,
+            worker,
             buf: Vec::with_capacity(256),
-            last_gauge: [None; 2],
+            last_gauge: [None; GAUGE_KINDS],
         }
     }
 
@@ -209,8 +223,9 @@ impl Recorder {
 pub struct NodeRecorder<'r> {
     rec: &'r Recorder,
     node: u32,
+    worker: u32,
     buf: Vec<Event>,
-    last_gauge: [Option<f64>; 2],
+    last_gauge: [Option<f64>; GAUGE_KINDS],
 }
 
 impl NodeRecorder<'_> {
@@ -219,13 +234,13 @@ impl NodeRecorder<'_> {
         self.rec.now()
     }
 
-    /// Records a completed task span.
+    /// Records a completed task span on this handle's worker track.
     pub fn task(&mut self, task: u32, kind: TaskKind, start: f64, end: f64) {
         self.buf.push(Event::Task {
             task,
             kind,
             node: self.node,
-            worker: 0,
+            worker: self.worker,
             start,
             end,
         });
@@ -329,6 +344,33 @@ mod tests {
         assert_eq!(r.nodes(), 4);
         drop(h); // second flush is a no-op
         assert_eq!(rec.drain().events.len(), 0);
+    }
+
+    #[test]
+    fn worker_handles_tag_task_spans() {
+        let rec = Recorder::new();
+        let mut w0 = rec.worker(2, 0);
+        let mut w1 = rec.worker(2, 1);
+        w0.task(5, TaskKind::Potrf { k: 0 }, 0.0, 0.1);
+        w1.task(6, TaskKind::Syrk { i: 0, k: 1 }, 0.0, 0.2);
+        w1.gauge(GaugeKind::ActiveWorkers, 2.0);
+        drop(w0);
+        drop(w1);
+        let r = rec.drain();
+        let workers: Vec<u32> = r
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::Task { worker, .. } => Some(worker),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(workers.len(), 2);
+        assert!(workers.contains(&0) && workers.contains(&1));
+        assert!(r
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Gauge { gauge: GaugeKind::ActiveWorkers, value, .. } if *value == 2.0)));
     }
 
     #[test]

@@ -1,12 +1,27 @@
 //! The threaded execution engine.
+//!
+//! Every node of the virtual platform is a small **worker pool** draining a
+//! shared per-node ready heap ([`NodeScheduler`]): workers pull the
+//! highest-priority ready task, execute its kernel against the node's tile
+//! stores, resolve successors and push producer outputs to remote consumer
+//! nodes. The ready heap is keyed by upward-rank critical-path priorities
+//! ([`Policy::CriticalPath`], the StarPU list-scheduler heuristic) or by
+//! plain submission order ([`Policy::SubmissionOrder`]).
+//!
+//! Communication is *schedule-invariant*: which tiles cross node boundaries
+//! is decided by placement (the data edges of the graph plus the initial
+//! fetches), never by execution order, so [`CommStats`] is bit-identical at
+//! any worker count and under either policy.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use sbc_kernels as k;
 use sbc_kernels::{KernelError, Tile, Trans};
 use sbc_matrix::generate;
 use sbc_obs::{GaugeKind, NodeRecorder, Recorder};
-use sbc_taskgraph::{EdgeKind, TaskGraph, TaskId, TaskKind, TileRef};
+use sbc_taskgraph::{flops_priorities, EdgeKind, TaskGraph, TaskId, TaskKind, TileRef};
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock};
 
 /// Communication statistics of one distributed execution.
 ///
@@ -15,6 +30,10 @@ use std::collections::{BinaryHeap, HashMap};
 /// the sending and the receiving side. On a clean run the receive total
 /// equals `messages`; after an aborted run (kernel failure) it may be
 /// smaller, because poisoned nodes stop draining their channels.
+///
+/// These counts depend only on the task graph (placement), not on the
+/// schedule: they are identical at every `workers_per_node` and under
+/// either [`Policy`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommStats {
     /// Total inter-node messages (tiles sent).
@@ -40,30 +59,54 @@ pub struct ExecOutcome {
     pub stats: CommStats,
 }
 
-/// A kernel failure during distributed execution, localized to the task
-/// and node where it occurred. All other nodes are shut down cleanly
-/// before this is returned.
+/// A failure during (or after) distributed execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ExecError {
-    /// The failing task's index in the graph.
-    pub task: TaskId,
-    /// The node executing it.
-    pub node: u32,
-    /// The kernel error (e.g. a non-SPD pivot).
-    pub error: KernelError,
+pub enum ExecError {
+    /// A kernel failed on a node, localized to the task and node where it
+    /// occurred. All other nodes are shut down cleanly before this is
+    /// returned.
+    Kernel {
+        /// The failing task's index in the graph.
+        task: TaskId,
+        /// The node executing it.
+        node: u32,
+        /// The kernel error (e.g. a non-SPD pivot).
+        error: KernelError,
+    },
+    /// A tile expected in the gathered result was never produced by the
+    /// execution — the graph did not cover the requested output.
+    MissingTile {
+        /// The absent tile.
+        tile: TileRef,
+    },
 }
 
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "task {} on node {} failed: {}",
-            self.task, self.node, self.error
-        )
+        match self {
+            ExecError::Kernel { task, node, error } => {
+                write!(f, "task {task} on node {node} failed: {error}")
+            }
+            ExecError::MissingTile { tile } => {
+                write!(f, "result tile {tile:?} was never produced")
+            }
+        }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// Scheduling policy for each node's ready heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// Pop ready tasks in submission (TaskId) order — deterministic and
+    /// close to the sequential schedule; the historical behavior.
+    SubmissionOrder,
+    /// Pop ready tasks by upward-rank critical-path priority (flop-costed),
+    /// the paper's StarPU list-scheduler configuration. The default.
+    #[default]
+    CriticalPath,
+}
 
 enum Msg {
     /// Output tile of a remote producer task.
@@ -72,6 +115,9 @@ enum Msg {
     Orig { tile_ref: TileRef, tile: Tile },
     /// Another node failed; abort cleanly.
     Poison,
+    /// No-op used to unblock a node's own receiver at completion. Never
+    /// counted as traffic.
+    Wake,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -80,76 +126,220 @@ enum WaitKey {
     Orig(TileRef),
 }
 
-/// What a node thread reports back when it terminates.
-struct NodeResult {
-    node: usize,
-    store: HashMap<TileRef, Tile>,
-    sent: u64,
-    sent_bytes: u64,
-    recv: u64,
+/// A ready heap entry: priority (descending), then TaskId (ascending) so
+/// pops are deterministic. Priorities are non-negative f32s stored as raw
+/// bits, which preserves their order.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct ReadyTask {
+    prio: u32,
+    task: std::cmp::Reverse<TaskId>,
+}
+
+/// Mutable scheduler state shared by one node's workers, guarded by
+/// [`NodeScheduler::state`].
+struct SchedState {
+    ready: BinaryHeap<ReadyTask>,
+    deps: HashMap<TaskId, u32>,
+    /// Local tasks not yet completed; the node is done at zero.
+    remaining: u64,
+    /// Workers currently executing a kernel.
+    active: u32,
+    /// A worker is blocked on (or draining) the message channel.
+    receiving: bool,
+    /// Worker 0 has shipped the node's original-tile fetches. No task may
+    /// run before this: a local task could overwrite a tile whose original
+    /// value a remote consumer still needs.
+    shipped: bool,
+    /// Set on local kernel failure or a received poison; workers exit.
+    poisoned: bool,
     error: Option<ExecError>,
 }
 
-/// Per-node communication tally, updated at every send/receive.
-#[derive(Default)]
-struct CommTally {
-    sent: u64,
-    sent_bytes: u64,
-    recv: u64,
+/// Per-node scheduler: the dependency bookkeeping and message-apply loop
+/// factored out of the worker threads. Workers take the `state` lock only
+/// to pop/push ready tasks and update counters; tiles live in `RwLock`
+/// stores that readers share.
+struct NodeScheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    /// The node's message endpoint. Exactly one worker at a time holds this
+    /// lock and blocks in `recv` (the `receiving` flag routes the others to
+    /// the condvar instead).
+    rx: Mutex<Receiver<Msg>>,
+    /// Tiles owned (generated or written) by this node.
+    local: RwLock<HashMap<TileRef, Tile>>,
+    /// Tiles received from other nodes, keyed by producer task or fetched
+    /// original.
+    cache: RwLock<HashMap<WaitKey, Tile>>,
+    /// Which local tasks each remote arrival unblocks (immutable).
+    waits: HashMap<WaitKey, Vec<TaskId>>,
+    /// Original tiles this node must ship to remote consumers at startup.
+    fetch_sends: Vec<(TileRef, u32)>,
+    sent: AtomicU64,
+    sent_bytes: AtomicU64,
+    recv: AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Provides original (input) tile contents to the executor.
 ///
 /// The default provider generates the seeded random SPD matrix and RHS of
 /// `sbc_matrix::generate`; custom providers let callers factor real data
-/// or inject failures (see the failure-injection tests).
+/// or inject failures (see the failure-injection tests). Providers must be
+/// pure functions of the [`TileRef`]: with several workers per node a tile
+/// may be generated concurrently on overlapping paths, and every
+/// generation must agree.
 pub type TileProvider<'a> = dyn Fn(TileRef) -> Tile + Sync + 'a;
 
-/// Executes a [`TaskGraph`] with one thread per node and channels as the
-/// interconnect.
+/// Executes a [`TaskGraph`] with a pool of worker threads per node and
+/// channels as the interconnect.
+///
+/// Configure through [`Executor::builder`]:
+///
+/// ```
+/// # let g = sbc_taskgraph::build_potrf(&sbc_dist::SbcExtended::new(4), 6);
+/// use sbc_runtime::{Executor, Policy};
+/// let out = Executor::builder(&g)
+///     .block(8)
+///     .seeds(42, 43)
+///     .workers(2)
+///     .priorities(Policy::CriticalPath)
+///     .build()
+///     .run();
+/// assert_eq!(out.stats.messages, g.count_messages());
+/// ```
 pub struct Executor<'g> {
     graph: &'g TaskGraph,
     /// Tile dimension.
     pub b: usize,
     provider: Box<TileProvider<'g>>,
     recorder: Option<&'g Recorder>,
+    workers: Option<usize>,
+    policy: Policy,
+}
+
+/// Configures and builds an [`Executor`] — the single surface for every
+/// knob: block size, seeds, tile provider, recorder, worker count and
+/// scheduling policy.
+pub struct ExecutorBuilder<'g> {
+    graph: &'g TaskGraph,
+    b: usize,
+    seed: u64,
+    seed_rhs: Option<u64>,
+    provider: Option<Box<TileProvider<'g>>>,
+    recorder: Option<&'g Recorder>,
+    workers: Option<usize>,
+    policy: Policy,
+}
+
+impl<'g> ExecutorBuilder<'g> {
+    /// Tile dimension of the matrices being executed (default 32).
+    pub fn block(mut self, b: usize) -> Self {
+        self.b = b;
+        self
+    }
+
+    /// Seeds for the default input generators: `seed` for the SPD matrix,
+    /// `seed_rhs` for right-hand sides. Ignored when a custom provider is
+    /// set.
+    pub fn seeds(mut self, seed: u64, seed_rhs: u64) -> Self {
+        self.seed = seed;
+        self.seed_rhs = Some(seed_rhs);
+        self
+    }
+
+    /// Seed for the default SPD generator; the RHS seed is derived from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Custom original-tile provider, replacing the seeded generators. It
+    /// is called on a tile's *home* node the first time the tile is needed
+    /// and must be a pure function of the [`TileRef`].
+    pub fn provider(mut self, provider: impl Fn(TileRef) -> Tile + Sync + 'g) -> Self {
+        self.provider = Some(Box::new(provider));
+        self
+    }
+
+    /// Attaches an [`sbc_obs::Recorder`]: every worker thread records task
+    /// spans (on its own per-worker track), message sends/receives,
+    /// dependency waits and scheduler gauges into it.
+    pub fn recorder(mut self, recorder: &'g Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Worker threads per node (clamped to at least 1). Default: available
+    /// cores divided by the node count, at least 1.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Ready-heap ordering (default [`Policy::CriticalPath`]).
+    pub fn priorities(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> Executor<'g> {
+        let (nt, b) = (self.graph.nt, self.b);
+        let seed = self.seed;
+        let seed_rhs = self.seed_rhs.unwrap_or(seed ^ 0x05EE_D0FB);
+        let provider = self
+            .provider
+            .unwrap_or_else(|| Box::new(move |r| default_original(r, nt, b, seed, seed_rhs)));
+        Executor {
+            graph: self.graph,
+            b,
+            provider,
+            recorder: self.recorder,
+            workers: self.workers,
+            policy: self.policy,
+        }
+    }
 }
 
 impl<'g> Executor<'g> {
-    /// Creates an executor for `graph` with tile size `b` and the default
-    /// seeded generators (`seed` for the SPD matrix, `seed_rhs` for the
-    /// right-hand side).
-    pub fn new(graph: &'g TaskGraph, b: usize, seed: u64, seed_rhs: u64) -> Self {
-        let nt = graph.nt;
-        Executor {
+    /// Starts configuring an execution of `graph`. See
+    /// [`ExecutorBuilder`] for the knobs and their defaults.
+    pub fn builder(graph: &'g TaskGraph) -> ExecutorBuilder<'g> {
+        ExecutorBuilder {
             graph,
-            b,
-            provider: Box::new(move |r| default_original(r, nt, b, seed, seed_rhs)),
+            b: 32,
+            seed: 42,
+            seed_rhs: None,
+            provider: None,
             recorder: None,
+            workers: None,
+            policy: Policy::default(),
         }
     }
 
-    /// Creates an executor with a custom original-tile provider. The
-    /// provider is called on a tile's *home* node the first time the tile
-    /// is needed; it must be a pure function of the [`TileRef`].
+    /// Creates an executor for `graph` with tile size `b` and the default
+    /// seeded generators.
+    #[deprecated(note = "use `Executor::builder(graph).block(b).seeds(seed, seed_rhs).build()`")]
+    pub fn new(graph: &'g TaskGraph, b: usize, seed: u64, seed_rhs: u64) -> Self {
+        Self::builder(graph).block(b).seeds(seed, seed_rhs).build()
+    }
+
+    /// Creates an executor with a custom original-tile provider.
+    #[deprecated(note = "use `Executor::builder(graph).block(b).provider(p).build()`")]
     pub fn with_provider(
         graph: &'g TaskGraph,
         b: usize,
         provider: impl Fn(TileRef) -> Tile + Sync + 'g,
     ) -> Self {
-        Executor {
-            graph,
-            b,
-            provider: Box::new(provider),
-            recorder: None,
-        }
+        Self::builder(graph).block(b).provider(provider).build()
     }
 
-    /// Attaches an [`sbc_obs::Recorder`]: every node thread will record
-    /// task spans, message sends/receives, dependency waits and scheduler
-    /// gauges into it. Recording costs two clock reads and a buffer push
-    /// per task; without a recorder the instrumentation compiles down to a
-    /// branch on `None`.
+    /// Attaches an [`sbc_obs::Recorder`] to an already-built executor.
+    #[deprecated(note = "use `.recorder(&rec)` on `Executor::builder`")]
     pub fn with_recorder(mut self, recorder: &'g Recorder) -> Self {
         self.recorder = Some(recorder);
         self
@@ -163,6 +353,16 @@ impl<'g> Executor<'g> {
             "provider returned a tile of wrong dimension"
         );
         t
+    }
+
+    /// Worker threads per node for this run.
+    fn workers_per_node(&self, n_nodes: usize) -> usize {
+        self.workers.unwrap_or_else(|| {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            (cores / n_nodes.max(1)).max(1)
+        })
     }
 
     /// Runs the graph to completion.
@@ -182,6 +382,18 @@ impl<'g> Executor<'g> {
         let g = self.graph;
         let n_nodes = g.num_nodes();
         let c = g.slices;
+        let workers = self.workers_per_node(n_nodes);
+
+        // critical-path priorities as raw f32 bits (non-negative floats
+        // order like their bit patterns); empty = submission order
+        let prio: Vec<u32> = match self.policy {
+            Policy::SubmissionOrder => Vec::new(),
+            Policy::CriticalPath => flops_priorities(g, self.b)
+                .into_iter()
+                .map(f32::to_bits)
+                .collect(),
+        };
+        let prio_of = |t: TaskId| prio.get(t as usize).copied().unwrap_or(0);
 
         // global dependency counts
         let mut deps = g.in_degrees();
@@ -189,7 +401,7 @@ impl<'g> Executor<'g> {
             deps[t] += extra;
         }
 
-        // per-node setup
+        // per-node scheduler setup
         let mut per_node_deps: Vec<HashMap<TaskId, u32>> =
             (0..n_nodes).map(|_| HashMap::new()).collect();
         let mut per_node_ready: Vec<Vec<TaskId>> = vec![Vec::new(); n_nodes];
@@ -224,63 +436,81 @@ impl<'g> Executor<'g> {
                 .extend(f.consumers.iter().copied());
         }
 
-        // channels
+        // channels + per-node schedulers
         let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(n_nodes);
-        let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(n_nodes);
-        for _ in 0..n_nodes {
+        let mut scheds: Vec<NodeScheduler> = Vec::with_capacity(n_nodes);
+        for node in 0..n_nodes {
             let (tx, rx) = unbounded();
             senders.push(tx);
-            receivers.push(Some(rx));
+            let fetch_sends = std::mem::take(&mut per_node_fetch_sends[node]);
+            scheds.push(NodeScheduler {
+                state: Mutex::new(SchedState {
+                    ready: std::mem::take(&mut per_node_ready[node])
+                        .into_iter()
+                        .map(|t| ReadyTask {
+                            prio: prio_of(t),
+                            task: std::cmp::Reverse(t),
+                        })
+                        .collect(),
+                    deps: std::mem::take(&mut per_node_deps[node]),
+                    remaining: per_node_count[node],
+                    active: 0,
+                    receiving: false,
+                    shipped: fetch_sends.is_empty(),
+                    poisoned: false,
+                    error: None,
+                }),
+                cv: Condvar::new(),
+                rx: Mutex::new(rx),
+                local: RwLock::new(HashMap::new()),
+                cache: RwLock::new(HashMap::new()),
+                waits: std::mem::take(&mut per_node_waits[node]),
+                fetch_sends,
+                sent: AtomicU64::new(0),
+                sent_bytes: AtomicU64::new(0),
+                recv: AtomicU64::new(0),
+            });
         }
-        let (result_tx, result_rx) = unbounded::<NodeResult>();
 
         std::thread::scope(|scope| {
-            for node in 0..n_nodes {
-                let rx = receivers[node].take().expect("receiver taken once");
-                let senders = senders.clone();
-                let my_deps = std::mem::take(&mut per_node_deps[node]);
-                let ready0 = std::mem::take(&mut per_node_ready[node]);
-                let waits = std::mem::take(&mut per_node_waits[node]);
-                let fetch_sends = std::mem::take(&mut per_node_fetch_sends[node]);
-                let count = per_node_count[node];
-                let result_tx = result_tx.clone();
-                let exec = &*self;
-                scope.spawn(move || {
-                    node_main(
-                        exec,
-                        node as u32,
+            for (node, sched) in scheds.iter().enumerate() {
+                for widx in 0..workers {
+                    let ctx = WorkerCtx {
+                        exec: self,
+                        g,
+                        me: node as u32,
                         c,
-                        rx,
-                        &senders,
-                        my_deps,
-                        ready0,
-                        waits,
-                        fetch_sends,
-                        count,
-                        &result_tx,
-                    );
-                });
+                        sched,
+                        senders: &senders,
+                        prio: &prio,
+                    };
+                    scope.spawn(move || ctx.worker_loop(widx as u32));
+                }
             }
-            drop(result_tx);
         });
 
-        // gather results
+        // gather results out of the schedulers
         let mut tiles = HashMap::new();
         let mut sent_per_node = vec![0u64; n_nodes];
         let mut recv_per_node = vec![0u64; n_nodes];
         let mut bytes_per_node = vec![0u64; n_nodes];
         let mut first_error: Option<ExecError> = None;
-        for res in result_rx.iter() {
-            sent_per_node[res.node] = res.sent;
-            recv_per_node[res.node] = res.recv;
-            bytes_per_node[res.node] = res.sent_bytes;
-            if let Some(e) = res.error {
-                match &first_error {
-                    Some(cur) if cur.node <= e.node => {}
-                    _ => first_error = Some(e),
-                }
+        for (node, sched) in scheds.into_iter().enumerate() {
+            sent_per_node[node] = sched.sent.into_inner();
+            recv_per_node[node] = sched.recv.into_inner();
+            bytes_per_node[node] = sched.sent_bytes.into_inner();
+            let state = sched
+                .state
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let (None, Some(e)) = (&first_error, state.error) {
+                first_error = Some(e);
             }
-            for (r, tile) in res.store {
+            let store = sched
+                .local
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for (r, tile) in store {
                 let prev = tiles.insert(r, tile);
                 debug_assert!(prev.is_none(), "tile {r:?} stored on two nodes");
             }
@@ -323,254 +553,419 @@ fn default_original(r: TileRef, nt: usize, b: usize, seed: u64, seed_rhs: u64) -
     }
 }
 
-/// Main loop of one node thread.
-#[allow(clippy::too_many_arguments)]
-fn node_main(
-    exec: &Executor<'_>,
+/// What a worker decides to do after inspecting the scheduler state.
+enum Step {
+    Run(TaskId),
+    Receive,
+    Wait,
+    Exit,
+}
+
+/// Everything one worker thread needs: the executor, its node's scheduler
+/// and the shared channel endpoints.
+#[derive(Clone, Copy)]
+struct WorkerCtx<'w, 'g> {
+    exec: &'w Executor<'g>,
+    g: &'g TaskGraph,
     me: u32,
     c: usize,
-    rx: Receiver<Msg>,
-    senders: &[Sender<Msg>],
-    mut deps: HashMap<TaskId, u32>,
-    ready0: Vec<TaskId>,
-    waits: HashMap<WaitKey, Vec<TaskId>>,
-    fetch_sends: Vec<(TileRef, u32)>,
-    mut remaining: u64,
-    result_tx: &Sender<NodeResult>,
-) {
-    let g = exec.graph;
-    let mut local: HashMap<TileRef, Tile> = HashMap::new();
-    let mut cache: HashMap<WaitKey, Tile> = HashMap::new();
-    // execute in submission order among ready tasks (deterministic and
-    // close to the sequential schedule)
-    let mut ready: BinaryHeap<std::cmp::Reverse<TaskId>> =
-        ready0.into_iter().map(std::cmp::Reverse).collect();
-    let mut tally = CommTally::default();
-    let mut obs: Option<NodeRecorder<'_>> = exec.recorder.map(|r| r.node(me));
-    let mut consumer_nodes: Vec<u32> = Vec::new();
-    let mut error: Option<ExecError> = None;
+    sched: &'w NodeScheduler,
+    senders: &'w [Sender<Msg>],
+    prio: &'w [u32],
+}
 
-    // sending may fail once peers have shut down after a poison; that is
-    // expected during teardown, so sends never unwrap. Both payload kinds
-    // (producer outputs and original fetches) count at their real byte
-    // size.
-    let send = |dest: u32, msg: Msg, tally: &mut CommTally, obs: &mut Option<NodeRecorder<'_>>| {
+impl WorkerCtx<'_, '_> {
+    fn prio_of(&self, t: TaskId) -> u32 {
+        self.prio.get(t as usize).copied().unwrap_or(0)
+    }
+
+    /// Sends one payload message, counting it at its real byte size. Both
+    /// payload kinds (producer outputs and original fetches) count;
+    /// `Poison`/`Wake` control messages go through the raw senders and are
+    /// never tallied.
+    fn send_payload(&self, dest: u32, msg: Msg, obs: &mut Option<NodeRecorder<'_>>) {
         let (bytes, orig) = match &msg {
             Msg::Data { tile, .. } => ((tile.dim() * tile.dim() * 8) as u64, false),
             Msg::Orig { tile, .. } => ((tile.dim() * tile.dim() * 8) as u64, true),
-            Msg::Poison => (0, false),
+            Msg::Poison | Msg::Wake => unreachable!("control messages are not payload"),
         };
-        if senders[dest as usize].send(msg).is_ok() {
-            tally.sent += 1;
-            tally.sent_bytes += bytes;
+        if self.senders[dest as usize].send(msg).is_ok() {
+            self.sched.sent.fetch_add(1, Ordering::Relaxed);
+            self.sched.sent_bytes.fetch_add(bytes, Ordering::Relaxed);
             if let Some(o) = obs.as_mut() {
                 o.send(dest, bytes, orig);
             }
         }
-    };
-
-    // ship originals to remote consumers before anything else
-    for (tile_ref, dest) in fetch_sends {
-        let tile = local
-            .entry(tile_ref)
-            .or_insert_with(|| exec.original(tile_ref))
-            .clone();
-        send(dest, Msg::Orig { tile_ref, tile }, &mut tally, &mut obs);
     }
 
-    // returns false when poisoned
-    let apply_msg = |msg: Msg,
-                     cache: &mut HashMap<WaitKey, Tile>,
-                     deps: &mut HashMap<TaskId, u32>,
-                     ready: &mut BinaryHeap<std::cmp::Reverse<TaskId>>,
-                     tally: &mut CommTally,
-                     obs: &mut Option<NodeRecorder<'_>>|
-     -> bool {
-        let (key, orig) = match &msg {
-            Msg::Data { producer, .. } => (WaitKey::Task(*producer), false),
-            Msg::Orig { tile_ref, .. } => (WaitKey::Orig(*tile_ref), true),
-            Msg::Poison => return false,
-        };
-        let tile = match msg {
-            Msg::Data { tile, .. } | Msg::Orig { tile, .. } => tile,
-            Msg::Poison => unreachable!(),
-        };
-        tally.recv += 1;
-        if let Some(o) = obs.as_mut() {
-            o.recv((tile.dim() * tile.dim() * 8) as u64, orig);
-        }
-        cache.insert(key, tile);
-        if let Some(waiting) = waits.get(&key) {
-            for &t in waiting {
-                let d = deps.get_mut(&t).expect("waiting task is local");
-                *d -= 1;
-                if *d == 0 {
-                    ready.push(std::cmp::Reverse(t));
-                }
-            }
-        }
-        true
-    };
+    /// Main loop of one worker thread.
+    fn worker_loop(&self, widx: u32) {
+        let mut obs: Option<NodeRecorder<'_>> = self.exec.recorder.map(|r| r.worker(self.me, widx));
 
-    'outer: while remaining > 0 {
-        while let Some(std::cmp::Reverse(t)) = ready.pop() {
-            let span_start = obs.as_ref().map(|o| o.now());
-            if let Err(e) = execute_task(exec, g, t, c, &mut local, &cache) {
-                error = Some(ExecError {
-                    task: t,
-                    node: me,
-                    error: e,
-                });
-                // poison every other node so they stop waiting on us
-                for (n, s) in senders.iter().enumerate() {
-                    if n != me as usize {
-                        let _ = s.send(Msg::Poison);
+        // Worker 0 ships originals to remote consumers before any local
+        // task may run (a local write could otherwise clobber an original
+        // a remote consumer still needs); the other workers hold at the
+        // condvar until `shipped` flips.
+        if widx == 0 && !self.sched.fetch_sends.is_empty() {
+            for &(tile_ref, dest) in &self.sched.fetch_sends {
+                let tile = {
+                    let mut local = self
+                        .sched
+                        .local
+                        .write()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    local
+                        .entry(tile_ref)
+                        .or_insert_with(|| self.exec.original(tile_ref))
+                        .clone()
+                };
+                self.send_payload(dest, Msg::Orig { tile_ref, tile }, &mut obs);
+            }
+            let mut st = lock(&self.sched.state);
+            st.shipped = true;
+            drop(st);
+            self.sched.cv.notify_all();
+        }
+
+        loop {
+            let step = {
+                let mut st = lock(&self.sched.state);
+                if st.poisoned || st.remaining == 0 {
+                    Step::Exit
+                } else if !st.shipped {
+                    Step::Wait
+                } else if let Some(rt) = st.ready.pop() {
+                    st.active += 1;
+                    if let Some(o) = obs.as_mut() {
+                        o.gauge(GaugeKind::ActiveWorkers, st.active as f64);
+                    }
+                    Step::Run(rt.task.0)
+                } else if !st.receiving {
+                    st.receiving = true;
+                    Step::Receive
+                } else {
+                    Step::Wait
+                }
+            };
+            match step {
+                Step::Exit => break,
+                Step::Run(t) => self.run_task(t, &mut obs),
+                Step::Receive => {
+                    if !self.receive_and_apply(&mut obs) {
+                        break;
                     }
                 }
-                break 'outer;
-            }
-            if let Some(o) = obs.as_mut() {
-                let end = o.now();
-                o.task(
-                    t,
-                    g.tasks()[t as usize].kind,
-                    span_start.unwrap_or(end),
-                    end,
-                );
-            }
-            remaining -= 1;
-            // resolve successors
-            consumer_nodes.clear();
-            for (s, _) in g.succs(t) {
-                let snode = g.tasks()[s as usize].node;
-                if snode == me {
-                    let d = deps.get_mut(&s).expect("successor on this node");
-                    *d -= 1;
-                    if *d == 0 {
-                        ready.push(std::cmp::Reverse(s));
+                Step::Wait => {
+                    let st = lock(&self.sched.state);
+                    if !(st.poisoned || st.remaining == 0)
+                        && (!st.shipped || (st.ready.is_empty() && st.receiving))
+                    {
+                        // spurious wakeups only cost a loop iteration
+                        drop(
+                            self.sched
+                                .cv
+                                .wait(st)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner),
+                        );
                     }
-                } else if !consumer_nodes.contains(&snode) {
-                    consumer_nodes.push(snode);
-                }
-            }
-            if !consumer_nodes.is_empty() {
-                let out = local
-                    .get(&g.tasks()[t as usize].output(c))
-                    .expect("task output in local store")
-                    .clone();
-                for &dest in &consumer_nodes {
-                    send(
-                        dest,
-                        Msg::Data {
-                            producer: t,
-                            tile: out.clone(),
-                        },
-                        &mut tally,
-                        &mut obs,
-                    );
                 }
             }
         }
-        if remaining == 0 {
-            break;
-        }
-        // block until something arrives, then drain opportunistically
+        // flush this worker's event buffer into the recorder
+        drop(obs);
+    }
+
+    /// Blocks on the node's channel as the designated receiver, applies the
+    /// arrived batch and wakes the other workers. Returns `false` when the
+    /// channel is dead (all senders gone — cannot happen on a healthy run).
+    fn receive_and_apply(&self, obs: &mut Option<NodeRecorder<'_>>) -> bool {
         let wait_start = obs.as_ref().map(|o| o.now());
-        let Ok(msg) = rx.recv() else { break };
+        let mut batch = Vec::new();
+        let alive = {
+            let rx = lock(&self.sched.rx);
+            match rx.recv() {
+                Ok(m) => {
+                    batch.push(m);
+                    while let Ok(m) = rx.try_recv() {
+                        batch.push(m);
+                    }
+                    true
+                }
+                Err(_) => false,
+            }
+        };
         if let Some(o) = obs.as_mut() {
             let end = o.now();
             o.dep_wait(wait_start.unwrap_or(end), end);
         }
-        if !apply_msg(msg, &mut cache, &mut deps, &mut ready, &mut tally, &mut obs) {
-            break; // poisoned
+
+        // Stash payload tiles into the cache *before* releasing any waiting
+        // task (under the state lock below), so a task that becomes ready
+        // always finds its operands.
+        let mut arrived: Vec<WaitKey> = Vec::with_capacity(batch.len());
+        let mut poisoned = !alive;
+        for msg in batch {
+            let (key, orig) = match &msg {
+                Msg::Data { producer, .. } => (WaitKey::Task(*producer), false),
+                Msg::Orig { tile_ref, .. } => (WaitKey::Orig(*tile_ref), true),
+                Msg::Poison => {
+                    poisoned = true;
+                    continue;
+                }
+                Msg::Wake => continue,
+            };
+            let tile = match msg {
+                Msg::Data { tile, .. } | Msg::Orig { tile, .. } => tile,
+                Msg::Poison | Msg::Wake => unreachable!(),
+            };
+            self.sched.recv.fetch_add(1, Ordering::Relaxed);
+            if let Some(o) = obs.as_mut() {
+                o.recv((tile.dim() * tile.dim() * 8) as u64, orig);
+            }
+            self.sched
+                .cache
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(key, tile);
+            arrived.push(key);
         }
-        while let Ok(m) = rx.try_recv() {
-            if !apply_msg(m, &mut cache, &mut deps, &mut ready, &mut tally, &mut obs) {
-                break 'outer;
+
+        let store_tiles = self
+            .sched
+            .local
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len();
+        let mut st = lock(&self.sched.state);
+        if poisoned {
+            st.poisoned = true;
+        }
+        for key in arrived {
+            if let Some(waiting) = self.sched.waits.get(&key) {
+                for &t in waiting {
+                    let d = st.deps.get_mut(&t).expect("waiting task is local");
+                    *d -= 1;
+                    if *d == 0 {
+                        st.ready.push(ReadyTask {
+                            prio: self.prio_of(t),
+                            task: std::cmp::Reverse(t),
+                        });
+                    }
+                }
             }
         }
-        // sample scheduler state once per wakeup, not per task
+        st.receiving = false;
         if let Some(o) = obs.as_mut() {
-            o.gauge(GaugeKind::TileStore, local.len() as f64);
-            o.gauge(GaugeKind::ReadyQueue, ready.len() as f64);
+            // sample scheduler state once per wakeup, not per task
+            o.gauge(GaugeKind::TileStore, store_tiles as f64);
+            o.gauge(GaugeKind::ReadyQueue, st.ready.len() as f64);
+            o.gauge(GaugeKind::ActiveWorkers, st.active as f64);
+        }
+        let poisoned = st.poisoned;
+        drop(st);
+        self.sched.cv.notify_all();
+        !poisoned
+    }
+
+    /// Executes one popped task, then resolves successors, publishes the
+    /// output to remote consumers and updates completion bookkeeping.
+    fn run_task(&self, t: TaskId, obs: &mut Option<NodeRecorder<'_>>) {
+        let span_start = obs.as_ref().map(|o| o.now());
+        match self.execute_task(t) {
+            Ok(()) => {}
+            Err(e) => {
+                self.fail(
+                    ExecError::Kernel {
+                        task: t,
+                        node: self.me,
+                        error: e,
+                    },
+                    obs,
+                );
+                return;
+            }
+        }
+        if let Some(o) = obs.as_mut() {
+            let end = o.now();
+            o.task(
+                t,
+                self.g.tasks()[t as usize].kind,
+                span_start.unwrap_or(end),
+                end,
+            );
+        }
+
+        // successors: local ones get a dependency decrement, remote ones a
+        // copy of the output (one message per distinct consumer node)
+        let mut consumer_nodes: Vec<u32> = Vec::new();
+        for (s, _) in self.g.succs(t) {
+            let snode = self.g.tasks()[s as usize].node;
+            if snode != self.me && !consumer_nodes.contains(&snode) {
+                consumer_nodes.push(snode);
+            }
+        }
+        if !consumer_nodes.is_empty() {
+            let out = self
+                .sched
+                .local
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .get(&self.g.tasks()[t as usize].output(self.c))
+                .expect("task output in local store")
+                .clone();
+            for &dest in &consumer_nodes {
+                self.send_payload(
+                    dest,
+                    Msg::Data {
+                        producer: t,
+                        tile: out.clone(),
+                    },
+                    obs,
+                );
+            }
+        }
+
+        let done = {
+            let mut st = lock(&self.sched.state);
+            st.active -= 1;
+            st.remaining -= 1;
+            for (s, _) in self.g.succs(t) {
+                if self.g.tasks()[s as usize].node == self.me {
+                    let d = st.deps.get_mut(&s).expect("successor on this node");
+                    *d -= 1;
+                    if *d == 0 {
+                        st.ready.push(ReadyTask {
+                            prio: self.prio_of(s),
+                            task: std::cmp::Reverse(s),
+                        });
+                    }
+                }
+            }
+            if let Some(o) = obs.as_mut() {
+                o.gauge(GaugeKind::ActiveWorkers, st.active as f64);
+            }
+            st.remaining == 0 && !st.poisoned
+        };
+        self.sched.cv.notify_all();
+        if done {
+            // unblock our own receiver, if one is parked in recv
+            let _ = self.senders[self.me as usize].send(Msg::Wake);
         }
     }
 
-    drop(obs); // flush this node's event buffer into the recorder
-    let _ = result_tx.send(NodeResult {
-        node: me as usize,
-        store: local,
-        sent: tally.sent,
-        sent_bytes: tally.sent_bytes,
-        recv: tally.recv,
-        error,
-    });
+    /// Records a local failure, poisons every other node and unblocks this
+    /// node's receiver.
+    fn fail(&self, e: ExecError, obs: &mut Option<NodeRecorder<'_>>) {
+        let _ = obs;
+        {
+            let mut st = lock(&self.sched.state);
+            st.active -= 1;
+            if st.error.is_none() {
+                st.error = Some(e);
+            }
+            st.poisoned = true;
+        }
+        self.sched.cv.notify_all();
+        for (n, s) in self.senders.iter().enumerate() {
+            if n != self.me as usize {
+                let _ = s.send(Msg::Poison);
+            }
+        }
+        let _ = self.senders[self.me as usize].send(Msg::Wake);
+    }
+
+    /// Resolves a read operand: remote original (fetch cache), remote
+    /// producer output (data cache), or local store (local producer or
+    /// local original, generated on first use).
+    fn resolve_read(&self, t: TaskId, r: TileRef) -> Tile {
+        let g = self.g;
+        // a data predecessor producing r?
+        for (p, kind) in g.preds(t) {
+            if kind == EdgeKind::Data && g.tasks()[p as usize].output(self.c) == r {
+                return if g.tasks()[p as usize].node == self.me {
+                    self.sched
+                        .local
+                        .read()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .get(&r)
+                        .expect("local producer wrote the tile")
+                        .clone()
+                } else {
+                    self.sched
+                        .cache
+                        .read()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .get(&WaitKey::Task(p))
+                        .expect("dependency ensured arrival")
+                        .clone()
+                };
+            }
+        }
+        // original data: fetched, or home-local (generate lazily)
+        if let Some(tile) = self
+            .sched
+            .cache
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&WaitKey::Orig(r))
+        {
+            return tile.clone();
+        }
+        self.sched
+            .local
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(r)
+            .or_insert_with(|| self.exec.original(r))
+            .clone()
+    }
+
+    /// Executes one task's kernel against the node-local stores.
+    ///
+    /// The target tile is *removed* from the store for the kernel call and
+    /// reinserted afterwards; this is safe because the graph's ordering
+    /// edges guarantee no same-node reader of the current version is
+    /// running concurrently with its writer (remote readers use received
+    /// copies).
+    fn execute_task(&self, t: TaskId) -> Result<(), KernelError> {
+        let task = self.g.tasks()[t as usize];
+        let reads = task.reads(self.c);
+        let read_tiles: Vec<Tile> = reads
+            .as_slice()
+            .iter()
+            .map(|&r| self.resolve_read(t, r))
+            .collect();
+        let target_ref = task.output(self.c);
+        let mut target = {
+            let mut local = self
+                .sched
+                .local
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            local.remove(&target_ref).unwrap_or_else(|| {
+                if matches!(task.kind, TaskKind::Move { .. }) {
+                    // a Move fully overwrites its target; never generate
+                    // data for a later-phase tile
+                    Tile::zeros(self.exec.b)
+                } else {
+                    self.exec.original(target_ref)
+                }
+            })
+        };
+
+        let result = run_kernel(task.kind, &read_tiles, &mut target);
+        self.sched
+            .local
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(target_ref, target);
+        result
+    }
 }
 
-/// Resolves a read operand: remote original (fetch cache), remote producer
-/// output (data cache), or local store (local producer or local original,
-/// generated on first use).
-fn resolve_read(
-    exec: &Executor<'_>,
-    g: &TaskGraph,
-    t: TaskId,
-    r: TileRef,
-    c: usize,
-    local: &mut HashMap<TileRef, Tile>,
-    cache: &HashMap<WaitKey, Tile>,
-) -> Tile {
-    let me = g.tasks()[t as usize].node;
-    // a data predecessor producing r?
-    for (p, kind) in g.preds(t) {
-        if kind == EdgeKind::Data && g.tasks()[p as usize].output(c) == r {
-            return if g.tasks()[p as usize].node == me {
-                local
-                    .get(&r)
-                    .expect("local producer wrote the tile")
-                    .clone()
-            } else {
-                cache
-                    .get(&WaitKey::Task(p))
-                    .expect("dependency ensured arrival")
-                    .clone()
-            };
-        }
-    }
-    // original data: fetched, or home-local (generate lazily)
-    if let Some(tile) = cache.get(&WaitKey::Orig(r)) {
-        return tile.clone();
-    }
-    local.entry(r).or_insert_with(|| exec.original(r)).clone()
-}
-
-/// Executes one task against the node-local stores.
-fn execute_task(
-    exec: &Executor<'_>,
-    g: &TaskGraph,
-    t: TaskId,
-    c: usize,
-    local: &mut HashMap<TileRef, Tile>,
-    cache: &HashMap<WaitKey, Tile>,
-) -> Result<(), KernelError> {
-    let task = g.tasks()[t as usize];
-    let reads = task.reads(c);
-    let read_tiles: Vec<Tile> = reads
-        .as_slice()
-        .iter()
-        .map(|&r| resolve_read(exec, g, t, r, c, local, cache))
-        .collect();
-    let target_ref = task.output(c);
-    let target = local.entry(target_ref).or_insert_with(|| {
-        if matches!(task.kind, TaskKind::Move { .. }) {
-            // a Move fully overwrites its target; never generate data for a
-            // later-phase tile
-            Tile::zeros(exec.b)
-        } else {
-            exec.original(target_ref)
-        }
-    });
-
-    match task.kind {
+/// Dispatches one task kind to its kernel.
+fn run_kernel(kind: TaskKind, read_tiles: &[Tile], target: &mut Tile) -> Result<(), KernelError> {
+    match kind {
         TaskKind::Potrf { .. } => k::potrf(target)?,
         TaskKind::Trsm { .. } => k::trsm_right_lower_trans(1.0, &read_tiles[0], target),
         TaskKind::Syrk { .. } => k::syrk(Trans::No, -1.0, &read_tiles[0], 1.0, target),
@@ -643,4 +1038,95 @@ fn execute_task(
         TaskKind::Move { .. } => *target = read_tiles[0].clone(),
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbc_dist::{SbcExtended, TwoDBlockCyclic};
+    use sbc_taskgraph::build_potrf;
+
+    #[test]
+    fn ready_heap_pops_high_priority_then_low_task_id() {
+        let mut heap = BinaryHeap::new();
+        for (prio, task) in [(1.0f32, 5u32), (3.0, 9), (3.0, 2), (0.0, 0)] {
+            heap.push(ReadyTask {
+                prio: prio.to_bits(),
+                task: std::cmp::Reverse(task),
+            });
+        }
+        let order: Vec<TaskId> = std::iter::from_fn(|| heap.pop().map(|r| r.task.0)).collect();
+        assert_eq!(order, vec![2, 9, 5, 0]);
+    }
+
+    type TileSnapshot = Vec<(TileRef, Vec<f64>)>;
+
+    #[test]
+    fn worker_counts_do_not_change_results_or_traffic() {
+        let d = SbcExtended::new(5); // 10 nodes
+        let g = build_potrf(&d, 12);
+        let mut base: Option<(TileSnapshot, CommStats)> = None;
+        for workers in [1usize, 2, 4] {
+            let out = Executor::builder(&g)
+                .block(8)
+                .seeds(2022, 7)
+                .workers(workers)
+                .build()
+                .run();
+            let mut tiles: TileSnapshot = out
+                .tiles
+                .iter()
+                .map(|(r, t)| (*r, t.as_slice().to_vec()))
+                .collect();
+            tiles.sort_by_key(|(r, _)| format!("{r:?}"));
+            match &base {
+                None => base = Some((tiles, out.stats)),
+                Some((t0, s0)) => {
+                    assert_eq!(t0, &tiles, "tiles differ at workers={workers}");
+                    assert_eq!(s0, &out.stats, "stats differ at workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn policies_agree_on_results_and_traffic() {
+        let d = TwoDBlockCyclic::new(3, 2);
+        let g = build_potrf(&d, 10);
+        let run = |p: Policy| {
+            Executor::builder(&g)
+                .block(8)
+                .seeds(1, 2)
+                .workers(2)
+                .priorities(p)
+                .build()
+                .run()
+        };
+        let a = run(Policy::CriticalPath);
+        let b = run(Policy::SubmissionOrder);
+        assert_eq!(a.stats, b.stats);
+        for (r, t) in &a.tiles {
+            assert_eq!(
+                t.as_slice(),
+                b.tiles[r].as_slice(),
+                "tile {r:?} differs between policies"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_defaults_match_explicit_configuration() {
+        let d = SbcExtended::new(4);
+        let g = build_potrf(&d, 8);
+        let a = Executor::builder(&g).block(8).seed(9).build().run();
+        let b = Executor::builder(&g)
+            .block(8)
+            .seeds(9, 9 ^ 0x05EE_D0FB)
+            .build()
+            .run();
+        assert_eq!(a.stats, b.stats);
+        for (r, t) in &a.tiles {
+            assert_eq!(t.as_slice(), b.tiles[r].as_slice());
+        }
+    }
 }

@@ -2,42 +2,47 @@
 //!
 //! The paper's experiments execute Chameleon task graphs over StarPU with
 //! MPI between nodes. This crate is the functional substitute: every
-//! "node" is an OS thread with *private* tile storage, the "network" is a
-//! set of unbounded channels, and every tile that crosses a node boundary
-//! is counted — so the runtime simultaneously
+//! "node" is a small pool of worker threads with *private* tile storage,
+//! the "network" is a set of unbounded channels, and every tile that
+//! crosses a node boundary is counted — so the runtime simultaneously
 //!
 //! 1. proves the task graphs are executable (deadlock-free, correctly
-//!    ordered: results match the sequential algorithms bit-for-bit, since
-//!    the per-tile kernel sequence is identical), and
+//!    ordered: results match the sequential algorithms bit-for-bit at any
+//!    worker count, since the graph fully orders every conflicting tile
+//!    access), and
 //! 2. measures the *actual* communication volume, which must equal both
 //!    the graph-derived count and the analytic count of `sbc_dist::comm`
-//!    (Fig 8's "measured" series).
+//!    (Fig 8's "measured" series) — independently of the schedule.
 //!
 //! Semantics mirror StarPU-MPI (Section V-C): a producer eagerly pushes its
 //! output tile to every node that needs it (one message per consumer node,
 //! point-to-point, no collectives); receivers cache tiles keyed by producer
 //! task, so a tile version is never transferred twice to the same node.
+//! Within a node, ready tasks drain through a shared heap ordered by
+//! critical-path priorities ([`Policy::CriticalPath`]) — the StarPU list
+//! scheduler the paper runs — or submission order.
 //!
-//! High-level entry points ([`run_potrf`], [`run_potrf_25d`], [`run_posv`],
-//! [`run_potri`], [`run_potri_remap`]) generate the input matrix per tile
-//! on its owner node, execute, gather, and return the result with
-//! [`CommStats`].
-//!
-//! Executions can be *observed*: attach an [`sbc_obs::Recorder`] via
-//! [`Executor::with_recorder`] (or [`PlannedExecutor::run_recorded`]) and
-//! every node thread records task spans, per-message send/receive events
-//! with byte counts, dependency-wait idle spans and scheduler gauges —
-//! the measured timeline behind `sbc_obs`'s Gantt/Chrome-trace exports and
-//! the planner's model-vs-measured drift report.
+//! The high-level entry point is the [`Run`] builder: pick a workload
+//! ([`Run::potrf`], [`Run::posv`], …), set tile size, seeds, worker count,
+//! policy, an optional [`sbc_obs::Recorder`] (task spans per worker,
+//! per-message events, dependency waits, scheduler gauges) or a custom
+//! tile provider, then [`Run::execute`]. Lower-level control — your own
+//! graph, your own gather — goes through [`Executor::builder`];
+//! planner-produced plans run via [`PlannedExecutor`].
 
 #![warn(missing_docs)]
 
 pub mod executor;
 pub mod ops;
 pub mod planned;
+pub mod run;
 
-pub use executor::{CommStats, ExecError, ExecOutcome, Executor, TileProvider};
+pub use executor::{
+    CommStats, ExecError, ExecOutcome, Executor, ExecutorBuilder, Policy, TileProvider,
+};
+#[allow(deprecated)]
 pub use ops::{
     run_lauum, run_lu, run_posv, run_potrf, run_potrf_25d, run_potri, run_potri_remap, run_trtri,
 };
 pub use planned::{run_plan, PlannedExecutor};
+pub use run::{Run, RunOutput, RunResult, Workload};

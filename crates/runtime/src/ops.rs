@@ -1,70 +1,55 @@
-//! High-level distributed operations: build the graph, execute it, gather
-//! the result.
+//! Deprecated free-function entry points, kept as thin shims over the
+//! [`Run`](crate::Run) builder.
+//!
+//! Each `run_*` function fixes one workload with positional arguments; the
+//! builder replaces all of them with one fluent surface (and adds worker
+//! counts, scheduling policy, recorders and custom providers without
+//! further signature growth). These shims panic on kernel failure like
+//! they always did — the builder's `execute` returns a `Result` instead.
 
-use crate::executor::{CommStats, Executor};
+use crate::executor::CommStats;
+use crate::run::{Run, RunResult};
 use sbc_dist::{Distribution, RowCyclic, TwoPointFiveD};
 use sbc_matrix::{FullTiledMatrix, SymmetricTiledMatrix, TiledPanel};
-use sbc_taskgraph::{
-    build_lauum, build_lu, build_posv, build_potrf, build_potrf_25d, build_potri,
-    build_potri_remap, build_trtri, TaskGraph, TileRef,
-};
-use std::collections::HashMap;
 
-fn gather_matrix(
-    tiles: &HashMap<TileRef, sbc_kernels::Tile>,
-    nt: usize,
-    b: usize,
-    phase: u8,
-    slice_of: impl Fn(usize) -> u8,
-) -> SymmetricTiledMatrix {
-    SymmetricTiledMatrix::from_tile_fn(nt, b, |i, j| {
-        let r = TileRef::A {
-            phase,
-            slice: slice_of(j),
-            i: i as u32,
-            j: j as u32,
-        };
-        tiles
-            .get(&r)
-            .unwrap_or_else(|| panic!("missing result tile {r:?}"))
-            .clone()
-    })
-}
-
-fn run(graph: &TaskGraph, b: usize, seed: u64) -> (HashMap<TileRef, sbc_kernels::Tile>, CommStats) {
-    let out = Executor::new(graph, b, seed, seed ^ 0x05EE_D0FB).run();
-    (out.tiles, out.stats)
+fn expect_factor(run: Run<'_>) -> (SymmetricTiledMatrix, CommStats) {
+    let (result, stats) = run
+        .execute()
+        .expect("distributed execution failed")
+        .into_parts();
+    match result {
+        RunResult::Factor(m) => (m, stats),
+        other => unreachable!("symmetric workload produced {other:?}"),
+    }
 }
 
 /// Distributed Cholesky factorization of the seeded random SPD matrix:
 /// returns the factor (lower tiles hold `L`) and communication statistics.
+#[deprecated(note = "use `Run::potrf(dist, nt).block(b).seed(seed).execute()`")]
 pub fn run_potrf<D: Distribution>(
     dist: &D,
     nt: usize,
     b: usize,
     seed: u64,
 ) -> (SymmetricTiledMatrix, CommStats) {
-    let g = build_potrf(dist, nt);
-    let (tiles, stats) = run(&g, b, seed);
-    (gather_matrix(&tiles, nt, b, 0, |_| 0), stats)
+    expect_factor(Run::potrf(dist, nt).block(b).seed(seed))
 }
 
 /// Distributed 2.5D Cholesky factorization (Section IV). The final value of
 /// tile `(i, j)` lives on the slice that executed iteration `j`.
+#[deprecated(note = "use `Run::potrf_25d(d25, nt).block(b).seed(seed).execute()`")]
 pub fn run_potrf_25d<D: Distribution>(
     d25: &TwoPointFiveD<D>,
     nt: usize,
     b: usize,
     seed: u64,
 ) -> (SymmetricTiledMatrix, CommStats) {
-    let g = build_potrf_25d(d25, nt);
-    let (tiles, stats) = run(&g, b, seed);
-    let c = d25.slices();
-    (gather_matrix(&tiles, nt, b, 0, |j| (j % c) as u8), stats)
+    expect_factor(Run::potrf_25d(d25, nt).block(b).seed(seed))
 }
 
 /// Distributed POSV: factorizes the seeded SPD matrix and solves against the
 /// seeded right-hand side; returns the solution panel and statistics.
+#[deprecated(note = "use `Run::posv(dist, rhs_dist, nt).block(b).seed(seed).execute()`")]
 pub fn run_posv<D: Distribution>(
     dist: &D,
     rhs_dist: &RowCyclic,
@@ -72,90 +57,76 @@ pub fn run_posv<D: Distribution>(
     b: usize,
     seed: u64,
 ) -> (TiledPanel, CommStats) {
-    let g = build_posv(dist, rhs_dist, nt);
-    let (tiles, stats) = run(&g, b, seed);
-    let x = TiledPanel::from_tile_fn(nt, b, |i| {
-        tiles
-            .get(&TileRef::B { i: i as u32 })
-            .expect("solution tile present")
-            .clone()
-    });
-    (x, stats)
+    let (result, stats) = Run::posv(dist, rhs_dist, nt)
+        .block(b)
+        .seed(seed)
+        .execute()
+        .expect("distributed execution failed")
+        .into_parts();
+    match result {
+        RunResult::Solution(x) => (x, stats),
+        other => unreachable!("POSV produced {other:?}"),
+    }
 }
 
 /// Distributed LU factorization (no pivoting) of the seeded diagonally
 /// dominant general matrix: returns the packed factors and statistics.
+#[deprecated(note = "use `Run::lu(dist, nt).block(b).seed(seed).execute()`")]
 pub fn run_lu<D: Distribution>(
     dist: &D,
     nt: usize,
     b: usize,
     seed: u64,
 ) -> (FullTiledMatrix, CommStats) {
-    let g = build_lu(dist, nt);
-    // LU inputs are general (non-symmetric) tiles everywhere, unlike the
-    // symmetric operations' default provider
-    let exec = Executor::with_provider(&g, b, move |r| match r {
-        TileRef::A { phase: 0, i, j, .. } => {
-            sbc_matrix::generate::general_tile(seed, nt, b, i as usize, j as usize)
-        }
-        _ => unreachable!("LU graphs only touch phase-0 matrix tiles"),
-    });
-    let out = exec.run();
-    let (tiles, stats) = (out.tiles, out.stats);
-    let m = FullTiledMatrix::from_tile_fn(nt, b, |i, j| {
-        let r = TileRef::A {
-            phase: 0,
-            slice: 0,
-            i: i as u32,
-            j: j as u32,
-        };
-        tiles
-            .get(&r)
-            .unwrap_or_else(|| panic!("missing result tile {r:?}"))
-            .clone()
-    });
-    (m, stats)
+    let (result, stats) = Run::lu(dist, nt)
+        .block(b)
+        .seed(seed)
+        .execute()
+        .expect("distributed execution failed")
+        .into_parts();
+    match result {
+        RunResult::Full(m) => (m, stats),
+        other => unreachable!("LU produced {other:?}"),
+    }
 }
 
 /// Distributed TRTRI of the lower triangle of the seeded matrix.
+#[deprecated(note = "use `Run::trtri(dist, nt).block(b).seed(seed).execute()`")]
 pub fn run_trtri<D: Distribution>(
     dist: &D,
     nt: usize,
     b: usize,
     seed: u64,
 ) -> (SymmetricTiledMatrix, CommStats) {
-    let g = build_trtri(dist, nt);
-    let (tiles, stats) = run(&g, b, seed);
-    (gather_matrix(&tiles, nt, b, 0, |_| 0), stats)
+    expect_factor(Run::trtri(dist, nt).block(b).seed(seed))
 }
 
 /// Distributed LAUUM of the lower triangle of the seeded matrix.
+#[deprecated(note = "use `Run::lauum(dist, nt).block(b).seed(seed).execute()`")]
 pub fn run_lauum<D: Distribution>(
     dist: &D,
     nt: usize,
     b: usize,
     seed: u64,
 ) -> (SymmetricTiledMatrix, CommStats) {
-    let g = build_lauum(dist, nt);
-    let (tiles, stats) = run(&g, b, seed);
-    (gather_matrix(&tiles, nt, b, 0, |_| 0), stats)
+    expect_factor(Run::lauum(dist, nt).block(b).seed(seed))
 }
 
 /// Distributed POTRI (inverse of the seeded SPD matrix) under one
 /// distribution.
+#[deprecated(note = "use `Run::potri(dist, nt).block(b).seed(seed).execute()`")]
 pub fn run_potri<D: Distribution>(
     dist: &D,
     nt: usize,
     b: usize,
     seed: u64,
 ) -> (SymmetricTiledMatrix, CommStats) {
-    let g = build_potri(dist, nt);
-    let (tiles, stats) = run(&g, b, seed);
-    (gather_matrix(&tiles, nt, b, 0, |_| 0), stats)
+    expect_factor(Run::potri(dist, nt).block(b).seed(seed))
 }
 
 /// Distributed POTRI with the paper's "SBC remap 2DBC" strategy
 /// (Section V-F.2). The result lives on phase 2 (back under `sym`).
+#[deprecated(note = "use `Run::potri_remap(sym, bc, nt).block(b).seed(seed).execute()`")]
 pub fn run_potri_remap<A: Distribution, B: Distribution>(
     sym: &A,
     bc: &B,
@@ -163,14 +134,13 @@ pub fn run_potri_remap<A: Distribution, B: Distribution>(
     b: usize,
     seed: u64,
 ) -> (SymmetricTiledMatrix, CommStats) {
-    let g = build_potri_remap(sym, bc, nt);
-    let (tiles, stats) = run(&g, b, seed);
-    (gather_matrix(&tiles, nt, b, 2, |_| 0), stats)
+    expect_factor(Run::potri_remap(sym, bc, nt).block(b).seed(seed))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::Executor;
     use sbc_dist::comm;
     use sbc_dist::{SbcBasic, SbcExtended, TwoDBlockCyclic};
     use sbc_matrix::{
@@ -191,19 +161,23 @@ mod tests {
             (Box::new(SbcExtended::new(5)), 12),
             (Box::new(SbcBasic::new(4)), 11),
         ] {
-            let (l, stats) = run_potrf(&dist.as_ref(), nt, B, SEED);
+            let out = Run::potrf(&dist.as_ref(), nt)
+                .block(B)
+                .seed(SEED)
+                .execute()
+                .unwrap();
             let mut seq = random_spd(SEED, nt, B);
             potrf_tiled(&mut seq).unwrap();
             for (i, j) in seq.tile_coords() {
                 assert!(
-                    l.tile(i, j).max_abs_diff(seq.tile(i, j)) == 0.0,
+                    out.factor().tile(i, j).max_abs_diff(seq.tile(i, j)) == 0.0,
                     "{} tile ({i},{j}) differs",
                     dist.name()
                 );
             }
             // measured communication equals the analytic count
             assert_eq!(
-                stats.messages,
+                out.stats.messages,
                 comm::potrf_messages(&dist.as_ref(), nt),
                 "{}",
                 dist.name()
@@ -215,9 +189,9 @@ mod tests {
     fn potrf_residual_is_tiny() {
         let dist = SbcExtended::new(6);
         let nt = 14;
-        let (l, _) = run_potrf(&dist, nt, B, SEED);
+        let out = Run::potrf(&dist, nt).block(B).seed(SEED).execute().unwrap();
         let a0 = random_spd(SEED, nt, B);
-        assert!(cholesky_residual(&a0, &l) < 1e-12);
+        assert!(cholesky_residual(&a0, out.factor()) < 1e-12);
     }
 
     #[test]
@@ -225,14 +199,15 @@ mod tests {
         for c in [2, 3] {
             let d25 = TwoPointFiveD::new(SbcBasic::new(4), c);
             let nt = 12;
-            let (l, stats) = run_potrf_25d(&d25, nt, B, SEED);
-            let mut seq = random_spd(SEED, nt, B);
-            potrf_tiled(&mut seq).unwrap();
+            let out = Run::potrf_25d(&d25, nt)
+                .block(B)
+                .seed(SEED)
+                .execute()
+                .unwrap();
             let a0 = random_spd(SEED, nt, B);
-            assert!(cholesky_residual(&a0, &l) < 1e-12, "c={c}");
-            let _ = seq;
+            assert!(cholesky_residual(&a0, out.factor()) < 1e-12, "c={c}");
             assert_eq!(
-                stats.messages,
+                out.stats.messages,
                 comm::potrf_25d_messages(&d25, nt).total(),
                 "c={c}"
             );
@@ -244,60 +219,64 @@ mod tests {
         let dist = SbcExtended::new(5);
         let rhs_dist = RowCyclic::new(10);
         let nt = 11;
-        let (x, stats) = run_posv(&dist, &rhs_dist, nt, B, SEED);
+        let out = Run::posv(&dist, &rhs_dist, nt)
+            .block(B)
+            .seed(SEED)
+            .execute()
+            .unwrap();
         let a0 = random_spd(SEED, nt, B);
         let rhs = random_panel(SEED ^ 0x05EE_D0FB, nt, B);
-        assert!(solve_residual(&a0, &x, &rhs) < 1e-10);
+        assert!(solve_residual(&a0, out.solution(), &rhs) < 1e-10);
         // sequential comparison (same kernel order => bitwise equal)
         let mut a = a0.clone();
         let mut xs = rhs.clone();
         posv_tiled(&mut a, &mut xs).unwrap();
-        assert!(x.max_abs_diff(&xs) == 0.0);
+        assert!(out.solution().max_abs_diff(&xs) == 0.0);
         // caching makes traffic at most the sum of the parts
         let parts =
             comm::potrf_messages(&dist, nt) + comm::solve_messages(&dist, &rhs_dist, nt).total();
-        assert!(stats.messages <= parts);
+        assert!(out.stats.messages <= parts);
     }
 
     #[test]
     fn trtri_matches_sequential() {
         let dist = TwoDBlockCyclic::new(3, 2);
         let nt = 10;
-        let (w, stats) = run_trtri(&dist, nt, B, SEED);
+        let out = Run::trtri(&dist, nt).block(B).seed(SEED).execute().unwrap();
         let mut seq = random_spd(SEED, nt, B);
         trtri_tiled(&mut seq).unwrap();
         for (i, j) in seq.tile_coords() {
             assert!(
-                w.tile(i, j).max_abs_diff(seq.tile(i, j)) == 0.0,
+                out.factor().tile(i, j).max_abs_diff(seq.tile(i, j)) == 0.0,
                 "({i},{j})"
             );
         }
-        assert_eq!(stats.messages, comm::trtri_messages(&dist, nt));
+        assert_eq!(out.stats.messages, comm::trtri_messages(&dist, nt));
     }
 
     #[test]
     fn lauum_matches_sequential() {
         let dist = SbcExtended::new(5);
         let nt = 10;
-        let (w, stats) = run_lauum(&dist, nt, B, SEED);
+        let out = Run::lauum(&dist, nt).block(B).seed(SEED).execute().unwrap();
         let mut seq = random_spd(SEED, nt, B);
         lauum_tiled(&mut seq);
         for (i, j) in seq.tile_coords() {
             assert!(
-                w.tile(i, j).max_abs_diff(seq.tile(i, j)) == 0.0,
+                out.factor().tile(i, j).max_abs_diff(seq.tile(i, j)) == 0.0,
                 "({i},{j})"
             );
         }
-        assert_eq!(stats.messages, comm::lauum_messages(&dist, nt));
+        assert_eq!(out.stats.messages, comm::lauum_messages(&dist, nt));
     }
 
     #[test]
     fn potri_inverts() {
         let dist = SbcExtended::new(5);
         let nt = 8;
-        let (w, _) = run_potri(&dist, nt, B, SEED);
+        let out = Run::potri(&dist, nt).block(B).seed(SEED).execute().unwrap();
         let a0 = random_spd(SEED, nt, B);
-        assert!(inverse_residual(&a0, &w) < 1e-9);
+        assert!(inverse_residual(&a0, out.factor()) < 1e-9);
     }
 
     #[test]
@@ -305,11 +284,19 @@ mod tests {
         let sym = SbcExtended::new(5);
         let bc = TwoDBlockCyclic::new(5, 2);
         let nt = 8;
-        let (plain, _) = run_potri(&sym, nt, B, SEED);
-        let (remap, _) = run_potri_remap(&sym, &bc, nt, B, SEED);
-        for (i, j) in plain.tile_coords() {
+        let plain = Run::potri(&sym, nt).block(B).seed(SEED).execute().unwrap();
+        let remap = Run::potri_remap(&sym, &bc, nt)
+            .block(B)
+            .seed(SEED)
+            .execute()
+            .unwrap();
+        for (i, j) in plain.factor().tile_coords() {
             assert!(
-                plain.tile(i, j).max_abs_diff(remap.tile(i, j)) == 0.0,
+                plain
+                    .factor()
+                    .tile(i, j)
+                    .max_abs_diff(remap.factor().tile(i, j))
+                    == 0.0,
                 "({i},{j})"
             );
         }
@@ -318,18 +305,19 @@ mod tests {
     #[test]
     fn single_node_runs_without_messages() {
         let dist = TwoDBlockCyclic::new(1, 1);
-        let (l, stats) = run_potrf(&dist, 9, B, SEED);
-        assert_eq!(stats.messages, 0);
-        assert_eq!(stats.bytes, 0);
-        assert_eq!(stats.recv_per_node, vec![0]);
+        let out = Run::potrf(&dist, 9).block(B).seed(SEED).execute().unwrap();
+        assert_eq!(out.stats.messages, 0);
+        assert_eq!(out.stats.bytes, 0);
+        assert_eq!(out.stats.recv_per_node, vec![0]);
         let a0 = random_spd(SEED, 9, B);
-        assert!(cholesky_residual(&a0, &l) < 1e-12);
+        assert!(cholesky_residual(&a0, out.factor()) < 1e-12);
     }
 
     #[test]
     fn per_node_accounting_is_consistent() {
         let dist = SbcExtended::new(6); // 15 nodes
-        let (_, stats) = run_potrf(&dist, 13, B, SEED);
+        let out = Run::potrf(&dist, 13).block(B).seed(SEED).execute().unwrap();
+        let stats = &out.stats;
         assert_eq!(stats.sent_per_node.iter().sum::<u64>(), stats.messages);
         assert_eq!(stats.sent_per_node.len(), 15);
         // on a clean run every sent message is received and applied
@@ -350,9 +338,9 @@ mod tests {
         let nt = 9;
         let g = sbc_taskgraph::build_trtri(&dist, nt);
         assert!(!g.initial_fetches().is_empty());
-        let (_, stats) = run_trtri(&dist, nt, B, SEED);
-        assert_eq!(stats.messages, g.count_messages());
-        assert_eq!(stats.bytes, stats.messages * (B * B * 8) as u64);
+        let out = Run::trtri(&dist, nt).block(B).seed(SEED).execute().unwrap();
+        assert_eq!(out.stats.messages, g.count_messages());
+        assert_eq!(out.stats.bytes, out.stats.messages * (B * B * 8) as u64);
     }
 
     #[test]
@@ -364,8 +352,11 @@ mod tests {
         let nt = 10;
         let g = build_potrf(&dist, nt);
         let rec = Recorder::new();
-        let out = Executor::new(&g, B, SEED, SEED ^ 1)
-            .with_recorder(&rec)
+        let out = Executor::builder(&g)
+            .block(B)
+            .seeds(SEED, SEED ^ 1)
+            .recorder(&rec)
+            .build()
             .run();
         let recording = rec.drain();
         let profile = ExecProfile::from_recording(&recording);
@@ -381,5 +372,17 @@ mod tests {
         // timeline is sane: spans are within the recording's wall window
         assert!(profile.wall_seconds > 0.0);
         assert!(spans.iter().all(|s| s.end >= s.start));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_run() {
+        let dist = TwoDBlockCyclic::new(2, 2);
+        let (l, stats) = run_potrf(&dist, 6, B, SEED);
+        let builder = Run::potrf(&dist, 6).block(B).seed(SEED).execute().unwrap();
+        assert_eq!(stats, builder.stats);
+        for (i, j) in l.tile_coords() {
+            assert_eq!(l.tile(i, j).max_abs_diff(builder.factor().tile(i, j)), 0.0);
+        }
     }
 }

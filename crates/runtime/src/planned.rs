@@ -10,7 +10,7 @@
 use sbc_obs::Recorder;
 use sbc_planner::Plan;
 
-use crate::executor::{ExecError, ExecOutcome, Executor};
+use crate::executor::{ExecError, ExecOutcome, Executor, ExecutorBuilder, Policy};
 
 /// An executor that owns the task graph described by a [`Plan`].
 pub struct PlannedExecutor {
@@ -18,20 +18,42 @@ pub struct PlannedExecutor {
     graph: sbc_taskgraph::TaskGraph,
     seed: u64,
     seed_rhs: u64,
+    workers: Option<usize>,
+    policy: Policy,
 }
 
 impl PlannedExecutor {
     /// Materializes `plan`'s task graph with the default seeded input
     /// generators (`seed` for the SPD matrix, `seed_rhs` for right-hand
-    /// sides).
+    /// sides). The scheduling policy follows the plan's `use_priorities`
+    /// flag; override with [`Self::priorities`].
     pub fn new(plan: Plan, seed: u64, seed_rhs: u64) -> Self {
         let graph = plan.build_graph();
+        let policy = if plan.use_priorities {
+            Policy::CriticalPath
+        } else {
+            Policy::SubmissionOrder
+        };
         PlannedExecutor {
             plan,
             graph,
             seed,
             seed_rhs,
+            workers: None,
+            policy,
         }
+    }
+
+    /// Sets the worker-thread count per node (clamped to at least 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Overrides the ready-heap scheduling policy inherited from the plan.
+    pub fn priorities(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// The plan being executed.
@@ -49,15 +71,15 @@ impl PlannedExecutor {
     /// # Panics
     /// Panics on kernel failure; use [`Self::try_run`] to handle it.
     pub fn run(&self) -> ExecOutcome {
-        self.executor().run()
+        self.builder().build().run()
     }
 
     /// Runs the plan to completion, propagating kernel failures.
     pub fn try_run(&self) -> Result<ExecOutcome, ExecError> {
-        self.executor().try_run()
+        self.builder().build().try_run()
     }
 
-    /// Runs the plan with every node thread recording into `recorder` —
+    /// Runs the plan with every worker thread recording into `recorder` —
     /// the measured timeline the planner's drift report and the Chrome
     /// exporter consume. Drain the recorder after this returns.
     ///
@@ -71,11 +93,18 @@ impl PlannedExecutor {
 
     /// Recording variant of [`Self::try_run`].
     pub fn try_run_recorded(&self, recorder: &Recorder) -> Result<ExecOutcome, ExecError> {
-        self.executor().with_recorder(recorder).try_run()
+        self.builder().recorder(recorder).build().try_run()
     }
 
-    fn executor(&self) -> Executor<'_> {
-        Executor::new(&self.graph, self.plan.b, self.seed, self.seed_rhs)
+    fn builder(&self) -> ExecutorBuilder<'_> {
+        let mut b = Executor::builder(&self.graph)
+            .block(self.plan.b)
+            .seeds(self.seed, self.seed_rhs)
+            .priorities(self.policy);
+        if let Some(w) = self.workers {
+            b = b.workers(w);
+        }
+        b
     }
 }
 
@@ -111,5 +140,17 @@ mod tests {
         assert_eq!(exec.plan().nt, 8);
         assert_eq!(exec.graph().count_messages(), plan.cost.messages);
         exec.run();
+    }
+
+    #[test]
+    fn worker_count_does_not_change_planned_traffic() {
+        let planner = Planner::new(Platform::bora(10));
+        let plan = planner.plan(Op::Potrf, 12, 8);
+        let base = PlannedExecutor::new(plan, 3, 4).workers(1).run();
+        let pooled = PlannedExecutor::new(plan, 3, 4)
+            .workers(4)
+            .priorities(Policy::CriticalPath)
+            .run();
+        assert_eq!(base.stats, pooled.stats);
     }
 }

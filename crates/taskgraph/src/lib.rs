@@ -36,5 +36,5 @@ pub use builders::{
     build_potri_remap, build_trtri,
 };
 pub use graph::{EdgeKind, GraphBuilder, InitialFetch, TaskGraph};
-pub use priority::critical_path_priorities;
+pub use priority::{critical_path_length, critical_path_priorities, flops_cost, flops_priorities};
 pub use task::{Task, TaskId, TaskKind, TileRef};

@@ -37,6 +37,22 @@ pub fn critical_path_length(g: &TaskGraph, cost: impl Fn(&Task) -> f64) -> f64 {
         .fold(0.0f32, f32::max) as f64
 }
 
+/// The default per-task cost hook: each kind's flop count at tile size `b`.
+///
+/// Runtimes that have measured per-kind kernel times can pass their own
+/// closure to [`critical_path_priorities`]; for list-scheduling only the
+/// *ordering* of priorities matters, and flops preserve the ordering that
+/// real kernel times induce (all kinds are O(b^3) dense kernels).
+pub fn flops_cost(b: usize) -> impl Fn(&Task) -> f64 {
+    move |t| t.kind.flops(b)
+}
+
+/// Upward-rank priorities under the default flop cost model — the key the
+/// threaded runtime's ready heaps are ordered by.
+pub fn flops_priorities(g: &TaskGraph, b: usize) -> Vec<f32> {
+    critical_path_priorities(g, flops_cost(b))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,6 +88,16 @@ mod tests {
         // chain length ~ 3N tasks (potrf, trsm, gemm per iteration)
         assert!(c16 > 1.5 * c8);
         assert!(c16 < 3.0 * c8);
+    }
+
+    #[test]
+    fn flops_priorities_match_explicit_cost() {
+        let d = TwoDBlockCyclic::new(2, 3);
+        let g = build_potrf(&d, 9);
+        assert_eq!(
+            flops_priorities(&g, 16),
+            critical_path_priorities(&g, |t| t.kind.flops(16))
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use sbc::dist::comm::{potrf_messages, solve_messages};
 use sbc::dist::{Distribution, RowCyclic, SbcExtended, TwoDBlockCyclic};
 use sbc::matrix::{random_panel, random_spd, solve_residual};
-use sbc::runtime::run_posv;
+use sbc::runtime::Run;
 
 fn main() {
     let nt = 20;
@@ -27,13 +27,18 @@ fn main() {
         nt * b
     );
 
-    let (x, stats) = run_posv(&sbc, &rhs_dist, nt, b, seed);
+    let out = Run::posv(&sbc, &rhs_dist, nt)
+        .block(b)
+        .seed(seed)
+        .execute()
+        .unwrap();
+    let (x, stats) = (out.solution(), &out.stats);
 
-    // validate: the runtime derives its seeds from `seed` (RHS uses
-    // seed ^ 0x05EED0FB, see sbc-runtime::ops)
+    // validate: the runtime derives its RHS seed from `seed` (RHS uses
+    // seed ^ 0x05EED0FB unless `seed_rhs` overrides it)
     let a0 = random_spd(seed, nt, b);
     let rhs = random_panel(seed ^ 0x05EE_D0FB, nt, b);
-    let res = solve_residual(&a0, &x, &rhs);
+    let res = solve_residual(&a0, x, &rhs);
     println!("solve residual: {res:.2e}");
     assert!(res < 1e-10);
 

@@ -12,7 +12,7 @@ use sbc::dist::{Distribution, SbcExtended, TwoDBlockCyclic};
 use sbc::kernels::{flops_cholesky_total, flops_lu_total};
 use sbc::matrix::{lu_residual, random_general};
 use sbc::outofcore::{simulate_cholesky_ooc, LoopOrder};
-use sbc::runtime::{run_lu, run_potrf};
+use sbc::runtime::Run;
 
 fn main() {
     let nt = 20;
@@ -25,9 +25,10 @@ fn main() {
 
     // LU on a square 4x4 grid (16 nodes)
     let lu_dist = TwoDBlockCyclic::new(4, 4);
-    let (f, lu_stats) = run_lu(&lu_dist, nt, b, seed);
+    let lu_out = Run::lu(&lu_dist, nt).block(b).seed(seed).execute().unwrap();
+    let lu_stats = &lu_out.stats;
     let a0 = random_general(seed, nt, b);
-    assert!(lu_residual(&a0, &f) < 1e-12);
+    assert!(lu_residual(&a0, lu_out.lu_factors()) < 1e-12);
     let m_lu = (nt * nt) as f64 / 16.0; // tiles per node (full matrix)
     let rho_lu = flops_lu_total(n) / (lu_stats.messages as f64 * (b * b) as f64);
     println!(
@@ -42,11 +43,21 @@ fn main() {
     for (name, stats) in [
         (
             "chol SBC r=6",
-            run_potrf(&SbcExtended::new(6), nt, b, seed).1,
+            Run::potrf(&SbcExtended::new(6), nt)
+                .block(b)
+                .seed(seed)
+                .execute()
+                .unwrap()
+                .stats,
         ),
         (
             "chol 2DBC 4x4",
-            run_potrf(&TwoDBlockCyclic::new(4, 4), nt, b, seed).1,
+            Run::potrf(&TwoDBlockCyclic::new(4, 4), nt)
+                .block(b)
+                .seed(seed)
+                .execute()
+                .unwrap()
+                .stats,
         ),
     ] {
         let p = if name.contains("SBC") { 15.0 } else { 16.0 };

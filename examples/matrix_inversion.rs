@@ -15,7 +15,7 @@ use sbc::dist::comm::{
 };
 use sbc::dist::{Distribution, SbcExtended, TwoDBlockCyclic};
 use sbc::matrix::{inverse_residual, random_spd};
-use sbc::runtime::{run_potri, run_potri_remap};
+use sbc::runtime::Run;
 
 fn main() {
     let nt = 16;
@@ -33,13 +33,19 @@ fn main() {
     );
 
     // Strategy 1: everything under 2DBC.
-    let (inv_bc, stats_bc) = run_potri(&bc, nt, b, seed);
+    let out_bc = Run::potri(&bc, nt).block(b).seed(seed).execute().unwrap();
     // Strategy 2: the paper's SBC-remap-2DBC workflow.
-    let (inv_remap, stats_remap) = run_potri_remap(&sym, &bc, nt, b, seed);
+    let out_remap = Run::potri_remap(&sym, &bc, nt)
+        .block(b)
+        .seed(seed)
+        .execute()
+        .unwrap();
+    let (inv_bc, stats_bc) = (out_bc.factor(), &out_bc.stats);
+    let (inv_remap, stats_remap) = (out_remap.factor(), &out_remap.stats);
 
     let a0 = random_spd(seed, nt, b);
-    let r1 = inverse_residual(&a0, &inv_bc);
-    let r2 = inverse_residual(&a0, &inv_remap);
+    let r1 = inverse_residual(&a0, inv_bc);
+    let r2 = inverse_residual(&a0, inv_remap);
     println!("residual all-2DBC   : {r1:.2e}");
     println!("residual SBC-remap  : {r2:.2e}");
     assert!(r1 < 1e-9 && r2 < 1e-9);

@@ -9,7 +9,7 @@
 use sbc::dist::comm::{messages_to_bytes, potrf_messages};
 use sbc::dist::{Distribution, SbcExtended, TwoDBlockCyclic};
 use sbc::matrix::{cholesky_residual, random_spd};
-use sbc::runtime::run_potrf;
+use sbc::runtime::Run;
 
 fn main() {
     // Matrix of 24 x 24 tiles of 32 x 32 doubles (n = 768).
@@ -26,11 +26,12 @@ fn main() {
         nt * b
     );
 
-    let (factor, stats) = run_potrf(&sbc, nt, b, seed);
+    let out = Run::potrf(&sbc, nt).block(b).seed(seed).execute().unwrap();
+    let (factor, stats) = (out.factor(), &out.stats);
 
     // Validate against the original matrix: || A - L L^T || / || A ||.
     let a0 = random_spd(seed, nt, b);
-    let residual = cholesky_residual(&a0, &factor);
+    let residual = cholesky_residual(&a0, factor);
     println!("residual     : {residual:.2e}");
     assert!(
         residual < 1e-12,

@@ -13,21 +13,23 @@
 //! ```
 //! use sbc::dist::{Distribution, SbcExtended, TwoDBlockCyclic};
 //! use sbc::dist::comm::potrf_messages;
-//! use sbc::runtime::run_potrf;
+//! use sbc::runtime::Run;
 //! use sbc::matrix::{cholesky_residual, random_spd};
 //!
 //! // The paper's r = 7 SBC distribution: P = 21 nodes.
 //! let sbc = SbcExtended::new(7);
 //! assert_eq!(sbc.num_nodes(), 21);
 //!
-//! // Factorize a 10x10-tile SPD matrix distributedly (21 node-threads).
+//! // Factorize a 10x10-tile SPD matrix distributedly (21 virtual nodes,
+//! // each a small pool of worker threads).
 //! let (nt, b, seed) = (10, 8, 42);
-//! let (factor, stats) = run_potrf(&sbc, nt, b, seed);
-//! assert!(cholesky_residual(&random_spd(seed, nt, b), &factor) < 1e-12);
+//! let out = Run::potrf(&sbc, nt).block(b).seed(seed).execute()?;
+//! assert!(cholesky_residual(&random_spd(seed, nt, b), out.factor()) < 1e-12);
 //!
 //! // The measured traffic equals the analytic count, and beats 2DBC's.
-//! assert_eq!(stats.messages, potrf_messages(&sbc, nt));
-//! assert!(stats.messages < potrf_messages(&TwoDBlockCyclic::new(7, 3), nt));
+//! assert_eq!(out.stats.messages, potrf_messages(&sbc, nt));
+//! assert!(out.stats.messages < potrf_messages(&TwoDBlockCyclic::new(7, 3), nt));
+//! # Ok::<(), sbc::runtime::ExecError>(())
 //! ```
 //!
 //! ## Crate map
@@ -39,7 +41,7 @@
 //! | [`dist`] | **SBC** (basic/extended), 2D block-cyclic, row-cyclic, 2.5D; load balance; exact communication counting; Table I |
 //! | [`taskgraph`] | distributed task DAGs (POTRF/POSV/TRTRI/LAUUM/POTRI, 2.5D, remap), priorities |
 //! | [`simgrid`] | discrete-event cluster simulator (the paper's `bora` platform model) |
-//! | [`runtime`] | threads-as-nodes distributed runtime with byte-exact communication accounting |
+//! | [`runtime`] | threads-as-nodes distributed runtime: priority-scheduled worker pools per node, byte-exact communication accounting, the [`runtime::Run`] builder |
 //! | [`outofcore`] | sequential two-level-memory model (Section III-E): LRU transfer simulation and I/O bounds |
 //! | [`planner`] | autotuning distribution planner: candidate search, analytic cost model, simulation refinement, concurrent plan cache, drift reports |
 //! | [`obs`] | observability: execution recorder, metrics registry, text Gantt and Chrome-trace/Perfetto export for measured and simulated runs |

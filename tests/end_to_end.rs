@@ -9,7 +9,7 @@ use sbc::matrix::{
     cholesky_residual, inverse_residual, lauum_tiled, potrf_tiled, random_panel, random_spd,
     solve_residual, trtri_tiled,
 };
-use sbc::runtime::{run_posv, run_potrf, run_potrf_25d, run_potri, run_potri_remap, run_trtri};
+use sbc::runtime::Run;
 use sbc::simgrid::{Platform, SimConfig, Simulator};
 use sbc::taskgraph::{build_potrf, build_potrf_25d};
 
@@ -42,16 +42,20 @@ fn potrf_five_way_agreement() {
         let graph = build_potrf(&d.as_ref(), nt);
         assert_eq!(graph.count_messages(), analytic, "{} graph", d.name());
 
-        let (factor, stats) = run_potrf(&d.as_ref(), nt, B, SEED);
-        assert_eq!(stats.messages, analytic, "{} runtime", d.name());
+        let out = Run::potrf(&d.as_ref(), nt)
+            .block(B)
+            .seed(SEED)
+            .execute()
+            .unwrap();
+        assert_eq!(out.stats.messages, analytic, "{} runtime", d.name());
         for (i, j) in seq.tile_coords() {
             assert!(
-                factor.tile(i, j).max_abs_diff(seq.tile(i, j)) == 0.0,
+                out.factor().tile(i, j).max_abs_diff(seq.tile(i, j)) == 0.0,
                 "{} tile ({i},{j})",
                 d.name()
             );
         }
-        assert!(cholesky_residual(&a0, &factor) < 1e-12);
+        assert!(cholesky_residual(&a0, out.factor()) < 1e-12);
 
         let platform = Platform::bora(d.num_nodes());
         let sim = Simulator::new(&graph, &platform, SimConfig::chameleon(B)).run();
@@ -65,15 +69,19 @@ fn posv_end_to_end() {
     let nt = 15;
     let dist = SbcExtended::new(6);
     let rhs_dist = RowCyclic::new(dist.num_nodes());
-    let (x, stats) = run_posv(&dist, &rhs_dist, nt, B, SEED);
+    let out = Run::posv(&dist, &rhs_dist, nt)
+        .block(B)
+        .seed(SEED)
+        .execute()
+        .unwrap();
     let a0 = random_spd(SEED, nt, B);
     let rhs = random_panel(SEED ^ 0x05EE_D0FB, nt, B);
-    assert!(solve_residual(&a0, &x, &rhs) < 1e-10);
+    assert!(solve_residual(&a0, out.solution(), &rhs) < 1e-10);
     // caching only reduces traffic vs independent-phase accounting
     let upper =
         comm::potrf_messages(&dist, nt) + comm::solve_messages(&dist, &rhs_dist, nt).total();
-    assert!(stats.messages <= upper);
-    assert!(stats.messages > comm::potrf_messages(&dist, nt));
+    assert!(out.stats.messages <= upper);
+    assert!(out.stats.messages > comm::potrf_messages(&dist, nt));
 }
 
 #[test]
@@ -81,11 +89,15 @@ fn potrf_25d_end_to_end() {
     for (r, c) in [(4, 2), (4, 3), (6, 2)] {
         let d25 = TwoPointFiveD::new(SbcBasic::new(r), c);
         let nt = 14;
-        let (l, stats) = run_potrf_25d(&d25, nt, B, SEED);
+        let out = Run::potrf_25d(&d25, nt)
+            .block(B)
+            .seed(SEED)
+            .execute()
+            .unwrap();
         let a0 = random_spd(SEED, nt, B);
-        assert!(cholesky_residual(&a0, &l) < 1e-12, "r={r} c={c}");
+        assert!(cholesky_residual(&a0, out.factor()) < 1e-12, "r={r} c={c}");
         let analytic = comm::potrf_25d_messages(&d25, nt);
-        assert_eq!(stats.messages, analytic.total(), "r={r} c={c}");
+        assert_eq!(out.stats.messages, analytic.total(), "r={r} c={c}");
 
         let graph = build_potrf_25d(&d25, nt);
         let platform = Platform::bora(d25.num_nodes());
@@ -101,13 +113,23 @@ fn potri_and_remap_end_to_end() {
     let bc = TwoDBlockCyclic::new(5, 2);
 
     let a0 = random_spd(SEED, nt, B);
-    let (plain, _) = run_potri(&sym, nt, B, SEED);
-    let (remap, _) = run_potri_remap(&sym, &bc, nt, B, SEED);
-    assert!(inverse_residual(&a0, &plain) < 1e-9);
-    assert!(inverse_residual(&a0, &remap) < 1e-9);
+    let plain = Run::potri(&sym, nt).block(B).seed(SEED).execute().unwrap();
+    let remap = Run::potri_remap(&sym, &bc, nt)
+        .block(B)
+        .seed(SEED)
+        .execute()
+        .unwrap();
+    assert!(inverse_residual(&a0, plain.factor()) < 1e-9);
+    assert!(inverse_residual(&a0, remap.factor()) < 1e-9);
     // identical kernel sequences per tile => identical results
-    for (i, j) in plain.tile_coords() {
-        assert!(plain.tile(i, j).max_abs_diff(remap.tile(i, j)) == 0.0);
+    for (i, j) in plain.factor().tile_coords() {
+        assert!(
+            plain
+                .factor()
+                .tile(i, j)
+                .max_abs_diff(remap.factor().tile(i, j))
+                == 0.0
+        );
     }
 }
 
@@ -116,21 +138,21 @@ fn trtri_lauum_sequential_agreement() {
     let nt = 12;
     let dist = SbcExtended::new(5);
     // TRTRI on the lower triangle of the generated matrix
-    let (w, stats) = run_trtri(&dist, nt, B, SEED);
+    let w = Run::trtri(&dist, nt).block(B).seed(SEED).execute().unwrap();
     let mut seq = random_spd(SEED, nt, B);
     trtri_tiled(&mut seq).unwrap();
     for (i, j) in seq.tile_coords() {
-        assert!(w.tile(i, j).max_abs_diff(seq.tile(i, j)) == 0.0);
+        assert!(w.factor().tile(i, j).max_abs_diff(seq.tile(i, j)) == 0.0);
     }
-    assert_eq!(stats.messages, comm::trtri_messages(&dist, nt));
+    assert_eq!(w.stats.messages, comm::trtri_messages(&dist, nt));
 
-    let (l, stats2) = sbc::runtime::run_lauum(&dist, nt, B, SEED);
+    let l = Run::lauum(&dist, nt).block(B).seed(SEED).execute().unwrap();
     let mut seq2 = random_spd(SEED, nt, B);
     lauum_tiled(&mut seq2);
     for (i, j) in seq2.tile_coords() {
-        assert!(l.tile(i, j).max_abs_diff(seq2.tile(i, j)) == 0.0);
+        assert!(l.factor().tile(i, j).max_abs_diff(seq2.tile(i, j)) == 0.0);
     }
-    assert_eq!(stats2.messages, comm::lauum_messages(&dist, nt));
+    assert_eq!(l.stats.messages, comm::lauum_messages(&dist, nt));
 }
 
 /// Changing the tile size at fixed n changes blocking but not the math.
@@ -140,8 +162,11 @@ fn tile_size_invariance_distributed() {
     let n = 48;
     for (nt, b) in [(6, 8), (12, 4), (24, 2)] {
         assert_eq!(nt * b, n);
-        let (l, _) = run_potrf(&dist, nt, b, SEED);
+        let out = Run::potrf(&dist, nt).block(b).seed(SEED).execute().unwrap();
         let a0 = random_spd(SEED, nt, b);
-        assert!(cholesky_residual(&a0, &l) < 1e-12, "nt={nt} b={b}");
+        assert!(
+            cholesky_residual(&a0, out.factor()) < 1e-12,
+            "nt={nt} b={b}"
+        );
     }
 }

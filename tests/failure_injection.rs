@@ -1,10 +1,11 @@
 //! Failure injection: kernel errors inside the distributed runtime must be
-//! reported cleanly (no deadlock, no panic) via `Executor::try_run`.
+//! reported cleanly (no deadlock, no panic) via `Executor::try_run` — at
+//! any worker count.
 
 use sbc::dist::{SbcExtended, TwoDBlockCyclic};
 use sbc::kernels::{KernelError, Tile};
 use sbc::matrix::generate;
-use sbc::runtime::Executor;
+use sbc::runtime::{ExecError, Executor};
 use sbc::taskgraph::{build_potrf, build_trtri, TileRef};
 
 const B: usize = 6;
@@ -26,19 +27,31 @@ fn poisoned_spd(nt: usize, bad: (u32, u32)) -> impl Fn(TileRef) -> Tile + Sync {
 
 #[test]
 fn non_spd_input_is_reported_not_deadlocked() {
-    let dist = SbcExtended::new(5); // 10 node-threads
+    let dist = SbcExtended::new(5); // 10 nodes
     let nt = 9;
     let g = build_potrf(&dist, nt);
-    // poison a later diagonal tile so plenty of tasks run first
-    let exec = Executor::with_provider(&g, B, poisoned_spd(nt, (4, 4)));
-    let err = exec.try_run().expect_err("poisoned input must fail");
-    assert!(
-        matches!(err.error, KernelError::NotPositiveDefinite(_)),
-        "{err}"
-    );
-    // the failing task is the POTRF of tile (4,4) or a downstream victim on
-    // the same column; either way it runs on a real node of the platform
-    assert!((err.node as usize) < dist_nodes(&dist));
+    for workers in [1, 4] {
+        // poison a later diagonal tile so plenty of tasks run first
+        let exec = Executor::builder(&g)
+            .block(B)
+            .provider(poisoned_spd(nt, (4, 4)))
+            .workers(workers)
+            .build();
+        let err = exec.try_run().expect_err("poisoned input must fail");
+        match err {
+            ExecError::Kernel { node, error, .. } => {
+                assert!(
+                    matches!(error, KernelError::NotPositiveDefinite(_)),
+                    "{error}"
+                );
+                // the failing task is the POTRF of tile (4,4) or a downstream
+                // victim on the same column; either way it runs on a real
+                // node of the platform
+                assert!((node as usize) < dist_nodes(&dist));
+            }
+            other => panic!("expected a kernel failure, got {other}"),
+        }
+    }
 }
 
 fn dist_nodes<D: sbc::dist::Distribution>(d: &D) -> usize {
@@ -50,9 +63,15 @@ fn failure_on_first_tile() {
     let dist = TwoDBlockCyclic::new(2, 2);
     let nt = 6;
     let g = build_potrf(&dist, nt);
-    let exec = Executor::with_provider(&g, B, poisoned_spd(nt, (0, 0)));
+    let exec = Executor::builder(&g)
+        .block(B)
+        .provider(poisoned_spd(nt, (0, 0)))
+        .build();
     let err = exec.try_run().expect_err("must fail immediately");
-    assert_eq!(err.task, 0, "first POTRF is task 0");
+    assert!(
+        matches!(err, ExecError::Kernel { task: 0, .. }),
+        "first POTRF is task 0, got {err}"
+    );
 }
 
 #[test]
@@ -61,14 +80,25 @@ fn singular_triangle_in_trtri() {
     let nt = 5;
     let g = build_trtri(&dist, nt);
     // provider with an exactly singular diagonal tile
-    let exec = Executor::with_provider(&g, B, move |r| match r {
-        TileRef::A { phase: 0, i, j, .. } if i == j && i == 2 => Tile::zeros(B),
-        TileRef::A { phase: 0, i, j, .. } => generate::spd_tile(9, nt, B, i as usize, j as usize),
-        _ => Tile::zeros(B),
-    });
+    let exec = Executor::builder(&g)
+        .block(B)
+        .provider(move |r| match r {
+            TileRef::A { phase: 0, i, j, .. } if i == j && i == 2 => Tile::zeros(B),
+            TileRef::A { phase: 0, i, j, .. } => {
+                generate::spd_tile(9, nt, B, i as usize, j as usize)
+            }
+            _ => Tile::zeros(B),
+        })
+        .build();
     let err = exec.try_run().expect_err("singular triangle must fail");
     assert!(
-        matches!(err.error, KernelError::SingularTriangle(_)),
+        matches!(
+            err,
+            ExecError::Kernel {
+                error: KernelError::SingularTriangle(_),
+                ..
+            }
+        ),
         "{err}"
     );
 }
@@ -78,7 +108,7 @@ fn healthy_inputs_still_succeed_via_try_run() {
     let dist = SbcExtended::new(4);
     let nt = 8;
     let g = build_potrf(&dist, nt);
-    let exec = Executor::new(&g, B, 42, 43);
+    let exec = Executor::builder(&g).block(B).seeds(42, 43).build();
     let out = exec.try_run().expect("healthy run succeeds");
     assert_eq!(out.stats.messages, g.count_messages());
 }

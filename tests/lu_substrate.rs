@@ -6,7 +6,7 @@ use sbc::dist::comm::{lu_messages, potrf_messages};
 use sbc::dist::{Distribution, SbcExtended, TwoDBlockCyclic};
 use sbc::kernels::{flops_cholesky_total, flops_lu_total};
 use sbc::matrix::{lu_residual, lu_tiled, random_general};
-use sbc::runtime::run_lu;
+use sbc::runtime::Run;
 use sbc::taskgraph::build_lu;
 
 const B: usize = 8;
@@ -22,20 +22,24 @@ fn distributed_lu_matches_sequential_bitwise() {
         (Box::new(TwoDBlockCyclic::new(4, 4)), 12),
         (Box::new(SbcExtended::new(5)), 10),
     ] {
-        let (f, stats) = run_lu(&dist.as_ref(), nt, B, SEED);
+        let out = Run::lu(&dist.as_ref(), nt)
+            .block(B)
+            .seed(SEED)
+            .execute()
+            .unwrap();
         let mut seq = random_general(SEED, nt, B);
         lu_tiled(&mut seq).unwrap();
         for i in 0..nt {
             for j in 0..nt {
                 assert!(
-                    f.tile(i, j).max_abs_diff(seq.tile(i, j)) == 0.0,
+                    out.lu_factors().tile(i, j).max_abs_diff(seq.tile(i, j)) == 0.0,
                     "{} tile ({i},{j})",
                     dist.name()
                 );
             }
         }
         assert_eq!(
-            stats.messages,
+            out.stats.messages,
             lu_messages(&dist.as_ref(), nt),
             "{}",
             dist.name()
@@ -47,9 +51,9 @@ fn distributed_lu_matches_sequential_bitwise() {
 fn distributed_lu_residual() {
     let dist = TwoDBlockCyclic::new(3, 3);
     let nt = 12;
-    let (f, _) = run_lu(&dist, nt, B, SEED);
+    let out = Run::lu(&dist, nt).block(B).seed(SEED).execute().unwrap();
     let a0 = random_general(SEED, nt, B);
-    assert!(lu_residual(&a0, &f) < 1e-12);
+    assert!(lu_residual(&a0, out.lu_factors()) < 1e-12);
 }
 
 #[test]

@@ -110,7 +110,8 @@ proptest! {
     fn runtime_agrees_with_sequential(seed in any::<u64>(), r in 3usize..6, nt in 2usize..10) {
         let d = SbcExtended::new(r);
         let b = 4;
-        let (l, stats) = sbc::runtime::run_potrf(&d, nt, b, seed);
+        let out = sbc::runtime::Run::potrf(&d, nt).block(b).seed(seed).execute().unwrap();
+        let (l, stats) = (out.factor(), &out.stats);
         let mut seq = sbc::matrix::random_spd(seed, nt, b);
         sbc::matrix::potrf_tiled(&mut seq).unwrap();
         for (i, j) in seq.tile_coords() {
