@@ -6,11 +6,18 @@
 //! ```
 //!
 //! Targets: `table1`, `patterns`, `fig7` … `fig14`, `ablations`, `trace`,
-//! `planner`, `obs`, `all`. `--full` switches to the paper's full sweep
-//! sizes (slow); `--csv` emits figures as CSV instead of text tables;
-//! `--out <path>` sets where `obs` writes its Chrome-trace JSON;
+//! `planner`, `obs`, `net`, `all`. `--full` switches to the paper's full
+//! sweep sizes (slow); `--csv` emits figures as CSV instead of text tables;
+//! `--out <path>` sets where `obs` / `net` write their Chrome-trace JSON;
 //! `--workers <n>` sets the worker threads per virtual node for `obs`
 //! (default: the runtime's own default).
+//!
+//! `net` runs a real multi-process POTRF: one OS process per node over
+//! localhost sockets (`--nodes <n>` ranks, `--backend tcp|uds`,
+//! `--nt <tiles>`, `--block <b>`), validates the gathered factor against
+//! the sequential algorithm bitwise, checks the wire traffic against the
+//! analytic counts, and merges every rank's Chrome trace into one file.
+//! It is deliberately excluded from `all` (it re-execs this binary).
 
 use sbc_bench::figures::{self, Scale};
 use sbc_bench::{render_csv, render_figure};
@@ -31,7 +38,15 @@ fn main() {
         .position(|a| a == "--workers")
         .and_then(|i| args.get(i + 1))
         .map(|w| w.parse().expect("--workers takes a positive integer"));
-    // Skip flags and the values consumed by `--out` / `--workers`.
+    // Skip flags and the values consumed by value-taking options.
+    const VALUE_FLAGS: [&str; 6] = [
+        "--out",
+        "--workers",
+        "--nodes",
+        "--backend",
+        "--nt",
+        "--block",
+    ];
     let mut skip_next = false;
     let targets: Vec<&str> = args
         .iter()
@@ -40,7 +55,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--out" || *a == "--workers" {
+            if VALUE_FLAGS.contains(&a.as_str()) {
                 skip_next = true;
             }
             !a.starts_with("--")
@@ -96,13 +111,145 @@ fn main() {
         observed_run(&out_path, full, workers);
         ran = true;
     }
+    // not part of `all`: re-execs this binary once per rank
+    if target == "net" {
+        net_run(&args, &out_path, workers);
+        ran = true;
+    }
 
     if !ran {
         eprintln!(
-            "unknown target '{target}'. Use one of: all, table1, patterns, fig7..fig14, ablations, planner, trace, obs [--full] [--out <path>] [--workers <n>]"
+            "unknown target '{target}'. Use one of: all, table1, patterns, fig7..fig14, ablations, planner, trace, obs, net [--full] [--out <path>] [--workers <n>] [--nodes <n>] [--backend tcp|uds] [--nt <tiles>] [--block <b>]"
         );
         std::process::exit(2);
     }
+}
+
+/// `paper net`: a real multi-process distributed Cholesky over localhost.
+///
+/// The root invocation spawns one worker process per remaining rank
+/// (`sbc_net::launch` re-execs this binary with the same arguments), every
+/// rank executes its share of the POTRF graph over the stream transport,
+/// and rank 0 gathers, validates and reports:
+///
+/// * the factor matches the sequential `potrf_tiled` **bitwise**;
+/// * the Cholesky residual is tiny;
+/// * the messages/bytes that crossed real sockets equal the analytic
+///   schedule-invariant counts of `sbc_dist::comm`;
+/// * every rank's Chrome trace (written to `<out>.rank<r>`) merges into one
+///   valid timeline at `<out>`, send/recv flow arrows included.
+fn net_run(args: &[String], out_path: &str, workers: Option<usize>) {
+    use sbc_dist::{comm, Distribution, SbcExtended, TwoDBlockCyclic};
+    use sbc_matrix::{cholesky_residual, potrf_tiled, random_spd};
+    use sbc_net::{launch, wait_children, Backend, Role, Transport};
+    use sbc_obs::{chrome_trace, json, merge_chrome_traces, Recorder};
+    use sbc_runtime::Run;
+
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let nodes: usize = value_of("--nodes")
+        .map(|v| v.parse().expect("--nodes takes a positive integer"))
+        .unwrap_or(4);
+    assert!(nodes >= 1, "--nodes must be at least 1");
+    let backend = value_of("--backend")
+        .map(|v| Backend::parse(v).expect("--backend takes tcp or uds"))
+        .unwrap_or(Backend::Tcp);
+    let nt: usize = value_of("--nt")
+        .map(|v| v.parse().expect("--nt takes a positive integer"))
+        .unwrap_or(12);
+    let b: usize = value_of("--block")
+        .map(|v| v.parse().expect("--block takes a positive integer"))
+        .unwrap_or(8);
+    let seed = 2022u64;
+
+    // The distribution is a pure function of the rank count, so every
+    // process derives the same one: SBC when P is triangular, else the
+    // squarest 2DBC grid.
+    let dist: Box<dyn Distribution> = match (2..=64).find(|r| r * (r - 1) / 2 == nodes) {
+        Some(r) => Box::new(SbcExtended::new(r)),
+        None => {
+            let p = (1..=nodes)
+                .filter(|p| nodes.is_multiple_of(*p))
+                .fold(1, |best, p| if p <= nodes / p { p.max(best) } else { best });
+            Box::new(TwoDBlockCyclic::new(p, nodes / p))
+        }
+    };
+
+    let role = launch(nodes, backend, args).expect("failed to form the process mesh");
+    let net: &dyn Transport = match &role {
+        Role::Root { net, .. } => net,
+        Role::Worker { net } => net,
+    };
+    let rank = net.rank();
+
+    let recorder = Recorder::new();
+    let mut run = Run::potrf(&dist.as_ref(), nt)
+        .block(b)
+        .seed(seed)
+        .recorder(&recorder);
+    if let Some(w) = workers {
+        run = run.workers(w);
+    }
+    let out = run.execute_rank(net).expect("distributed execution failed");
+    let trace = chrome_trace(&recorder.drain());
+    let rank_path = format!("{out_path}.rank{rank}");
+    std::fs::write(&rank_path, &trace).expect("failed to write the rank trace");
+
+    let Role::Root { mut children, .. } = role else {
+        return; // worker ranks are done once their trace is on disk
+    };
+    let out = out.expect("rank 0 gathers the outcome");
+    println!(
+        "== net: POTRF nt={nt} b={b} over {nodes} {} processes ({}) ==",
+        backend.name(),
+        dist.name()
+    );
+
+    // wire accounting vs the analytic schedule-invariant counts
+    let analytic = comm::potrf_messages(&dist.as_ref(), nt);
+    assert_eq!(out.stats.messages, analytic, "message count drifted");
+    assert_eq!(
+        out.stats.bytes,
+        comm::messages_to_bytes(analytic, b),
+        "byte count drifted"
+    );
+    println!(
+        "wire traffic: {} messages, {} bytes — equal to the analytic counts",
+        out.stats.messages, out.stats.bytes
+    );
+
+    // bitwise equality with the sequential factorization + residual
+    let mut seq = random_spd(seed, nt, b);
+    potrf_tiled(&mut seq).expect("sequential factorization failed");
+    for (i, j) in seq.tile_coords() {
+        assert_eq!(
+            out.factor().tile(i, j).max_abs_diff(seq.tile(i, j)),
+            0.0,
+            "tile ({i},{j}) differs from the sequential factor"
+        );
+    }
+    let residual = cholesky_residual(&random_spd(seed, nt, b), out.factor());
+    assert!(residual < 1e-12, "residual {residual:e} too large");
+    println!("factor: bitwise equal to sequential, residual {residual:.3e}");
+
+    // reap the workers, then merge every rank's trace into one timeline
+    let clean = wait_children(&mut children).expect("failed to wait for workers");
+    assert!(clean, "a worker process exited with failure");
+    let rank_traces: Vec<String> = (0..nodes)
+        .map(|r| {
+            std::fs::read_to_string(format!("{out_path}.rank{r}")).expect("a rank trace is missing")
+        })
+        .collect();
+    let merged = merge_chrome_traces(&rank_traces);
+    json::validate(&merged).expect("merged chrome trace must be valid JSON");
+    std::fs::write(out_path, &merged).expect("failed to write the merged trace");
+    println!(
+        "chrome trace: {out_path} ({} bytes, {nodes} rank files merged) — load in Perfetto",
+        merged.len()
+    );
 }
 
 /// The observability pipeline end to end: plan a POTRF, execute it on the

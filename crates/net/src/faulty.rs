@@ -1,0 +1,215 @@
+//! Fault injection for transport-level testing.
+//!
+//! [`Faulty`] wraps any [`Transport`] and perturbs its *payload* traffic:
+//! periodic drops, periodic duplicates, and a fixed delay per send. Control
+//! messages (poison, wake, result, done) always pass through untouched —
+//! injecting faults there would break shutdown and gather protocols rather
+//! than exercise the runtime's data-path robustness.
+//!
+//! Stats discipline: a dropped payload is *not* counted as sent (the wire
+//! never saw it); a duplicated payload is counted twice, because two copies
+//! really crossed the wire. The executor deduplicates on the receive side,
+//! so its `applied` count stays at the analytic value while the transport's
+//! message count measures the injected excess.
+
+use crate::msg::{Message, NodeId, Payload, PeerStats};
+use crate::transport::{Transport, TransportStats};
+use sbc_kernels::Tile;
+use sbc_taskgraph::TileRef;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// What [`Faulty`] injects. A period of 0 disables that fault.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Drop every `drop_every`-th payload send (1 = drop all).
+    pub drop_every: u64,
+    /// Duplicate every `dup_every`-th payload send.
+    pub dup_every: u64,
+    /// Sleep this long before every payload send.
+    pub delay: Option<Duration>,
+}
+
+impl FaultConfig {
+    /// Only duplicates, every `n`-th payload.
+    pub fn duplicating(n: u64) -> Self {
+        FaultConfig {
+            dup_every: n,
+            ..Default::default()
+        }
+    }
+
+    /// Only drops, every `n`-th payload.
+    pub fn dropping(n: u64) -> Self {
+        FaultConfig {
+            drop_every: n,
+            ..Default::default()
+        }
+    }
+
+    /// Only a fixed delay per payload send.
+    pub fn delaying(d: Duration) -> Self {
+        FaultConfig {
+            delay: Some(d),
+            ..Default::default()
+        }
+    }
+}
+
+/// A [`Transport`] wrapper injecting drops, duplicates and delays into
+/// payload sends.
+pub struct Faulty<T: Transport> {
+    inner: T,
+    cfg: FaultConfig,
+    sends: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+}
+
+impl<T: Transport> Faulty<T> {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: T, cfg: FaultConfig) -> Self {
+        Faulty {
+            inner,
+            cfg,
+            sends: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+        }
+    }
+
+    /// Payload messages swallowed so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Extra payload copies injected so far.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: Transport> Transport for Faulty<T> {
+    fn rank(&self) -> NodeId {
+        self.inner.rank()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    fn send_payload(&self, dest: NodeId, payload: Payload) -> Option<u64> {
+        if let Some(d) = self.cfg.delay {
+            std::thread::sleep(d);
+        }
+        let k = self.sends.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.cfg.drop_every != 0 && k.is_multiple_of(self.cfg.drop_every) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if self.cfg.dup_every != 0 && k.is_multiple_of(self.cfg.dup_every) {
+            self.duplicated.fetch_add(1, Ordering::Relaxed);
+            self.inner.send_payload(dest, payload.clone());
+        }
+        self.inner.send_payload(dest, payload)
+    }
+
+    fn send_poison(&self, dest: NodeId) {
+        self.inner.send_poison(dest);
+    }
+
+    fn send_result(&self, dest: NodeId, tile_ref: TileRef, tile: Tile) {
+        self.inner.send_result(dest, tile_ref, tile);
+    }
+
+    fn send_done(&self, dest: NodeId, stats: PeerStats) {
+        self.inner.send_done(dest, stats);
+    }
+
+    fn wake(&self) {
+        self.inner.wake();
+    }
+
+    fn recv(&self) -> Option<Message> {
+        self.inner.recv()
+    }
+
+    fn try_recv(&self) -> Option<Message> {
+        self.inner.try_recv()
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inproc::inproc_mesh;
+
+    fn payload(k: u32) -> Payload {
+        Payload::Data {
+            producer: k,
+            tile: Tile::zeros(2),
+        }
+    }
+
+    #[test]
+    fn drops_swallow_every_nth_payload() {
+        let mesh = inproc_mesh(2);
+        let mut mesh = mesh.into_iter();
+        let a = Faulty::new(mesh.next().unwrap(), FaultConfig::dropping(3));
+        let b = mesh.next().unwrap();
+        let mut delivered = 0;
+        for k in 0..9 {
+            if a.send_payload(1, payload(k)).is_some() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(a.dropped(), 3);
+        assert_eq!(delivered, 6);
+        let mut seen = 0;
+        while b.try_recv().is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen, 6);
+        assert_eq!(a.stats().sent_messages, 6, "drops never hit the wire");
+    }
+
+    #[test]
+    fn duplicates_send_two_copies() {
+        let mesh = inproc_mesh(2);
+        let mut mesh = mesh.into_iter();
+        let a = Faulty::new(mesh.next().unwrap(), FaultConfig::duplicating(2));
+        let b = mesh.next().unwrap();
+        for k in 0..4 {
+            a.send_payload(1, payload(k));
+        }
+        assert_eq!(a.duplicated(), 2);
+        let mut seen = 0;
+        while b.try_recv().is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen, 6, "4 sends + 2 duplicates");
+        assert_eq!(a.stats().sent_messages, 6, "duplicates are real traffic");
+    }
+
+    #[test]
+    fn control_messages_pass_untouched() {
+        let mesh = inproc_mesh(2);
+        let mut mesh = mesh.into_iter();
+        let a = Faulty::new(mesh.next().unwrap(), FaultConfig::dropping(1));
+        let b = mesh.next().unwrap();
+        a.send_poison(1);
+        a.send_done(1, PeerStats::default());
+        assert!(matches!(b.recv(), Some(Message::Poison)));
+        assert!(matches!(b.recv(), Some(Message::Done { .. })));
+        assert_eq!(a.send_payload(1, payload(0)), None, "all payloads dropped");
+    }
+}

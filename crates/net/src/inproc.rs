@@ -1,0 +1,176 @@
+//! The in-process backend: channels as the interconnect.
+//!
+//! This is the PR 3 runtime configuration behind the [`Transport`] trait.
+//! Channels are unbounded, so sends never block — which is exactly what
+//! preserves the scheduler's invariants: a producer can always eagerly push
+//! its output and return to the ready heap, and the single parked receiver
+//! per node drains in arrival order. Nothing is serialized, so frame byte
+//! counts stay zero and payload accounting is the only traffic measure.
+
+use crate::msg::{Message, NodeId, Payload, PeerStats};
+use crate::transport::{StatsCell, Transport, TransportStats};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use sbc_kernels::Tile;
+use sbc_taskgraph::TileRef;
+use std::sync::Mutex;
+
+/// One rank's endpoint of an in-process channel mesh.
+pub struct InProc {
+    rank: NodeId,
+    txs: Vec<Sender<Message>>,
+    rx: Mutex<Receiver<Message>>,
+    stats: StatsCell,
+}
+
+/// Builds a fully connected `n`-rank in-process mesh; element `r` is rank
+/// `r`'s endpoint.
+pub fn inproc_mesh(n: usize) -> Vec<InProc> {
+    let mut txs = Vec::with_capacity(n);
+    let mut rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    rxs.into_iter()
+        .enumerate()
+        .map(|(rank, rx)| InProc {
+            rank: rank as NodeId,
+            txs: txs.clone(),
+            rx: Mutex::new(rx),
+            stats: StatsCell::default(),
+        })
+        .collect()
+}
+
+impl InProc {
+    fn count_if_payload(&self, msg: &Message) {
+        if let Message::Payload { payload, .. } = msg {
+            self.stats.count_recv(payload.payload_bytes(), 0);
+        }
+    }
+}
+
+impl Transport for InProc {
+    fn rank(&self) -> NodeId {
+        self.rank
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn send_payload(&self, dest: NodeId, payload: Payload) -> Option<u64> {
+        let bytes = payload.payload_bytes();
+        self.txs[dest as usize]
+            .send(Message::Payload {
+                src: self.rank,
+                payload,
+            })
+            .ok()?;
+        self.stats.count_send(bytes, 0);
+        Some(bytes)
+    }
+
+    fn send_poison(&self, dest: NodeId) {
+        let _ = self.txs[dest as usize].send(Message::Poison);
+    }
+
+    fn send_result(&self, dest: NodeId, tile_ref: TileRef, tile: Tile) {
+        let _ = self.txs[dest as usize].send(Message::Result { tile_ref, tile });
+    }
+
+    fn send_done(&self, dest: NodeId, stats: PeerStats) {
+        let _ = self.txs[dest as usize].send(Message::Done {
+            src: self.rank,
+            stats,
+        });
+    }
+
+    fn wake(&self) {
+        let _ = self.txs[self.rank as usize].send(Message::Wake);
+    }
+
+    fn recv(&self) -> Option<Message> {
+        let rx = self
+            .rx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let msg = rx.recv().ok()?;
+        self.count_if_payload(&msg);
+        Some(msg)
+    }
+
+    fn try_recv(&self) -> Option<Message> {
+        let rx = self
+            .rx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let msg = rx.try_recv().ok()?;
+        self.count_if_payload(&msg);
+        Some(msg)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payloads_are_counted_and_delivered_in_order() {
+        let mesh = inproc_mesh(2);
+        let t = Tile::zeros(4);
+        assert_eq!(
+            mesh[0].send_payload(
+                1,
+                Payload::Data {
+                    producer: 3,
+                    tile: t.clone()
+                }
+            ),
+            Some(128)
+        );
+        mesh[0].send_poison(1);
+        mesh[1].wake();
+        let first = mesh[1].recv().unwrap();
+        assert!(matches!(
+            first,
+            Message::Payload {
+                src: 0,
+                payload: Payload::Data { producer: 3, .. }
+            }
+        ));
+        assert_eq!(mesh[1].recv(), Some(Message::Poison));
+        assert_eq!(mesh[1].recv(), Some(Message::Wake));
+        let s0 = mesh[0].stats();
+        assert_eq!((s0.sent_messages, s0.sent_payload_bytes), (1, 128));
+        assert_eq!(s0.sent_frame_bytes, 0, "in-process sends have no framing");
+        let s1 = mesh[1].stats();
+        assert_eq!((s1.recv_messages, s1.recv_payload_bytes), (1, 128));
+    }
+
+    #[test]
+    fn control_messages_are_never_counted() {
+        let mesh = inproc_mesh(2);
+        mesh[0].send_poison(1);
+        mesh[0].send_done(1, PeerStats::default());
+        mesh[0].send_result(1, TileRef::B { i: 0 }, Tile::zeros(2));
+        for _ in 0..3 {
+            mesh[1].recv().unwrap();
+        }
+        assert_eq!(mesh[0].stats(), TransportStats::default());
+        assert_eq!(mesh[1].stats(), TransportStats::default());
+    }
+
+    #[test]
+    fn try_recv_is_non_blocking() {
+        let mesh = inproc_mesh(1);
+        assert_eq!(mesh[0].try_recv(), None);
+        mesh[0].wake();
+        assert_eq!(mesh[0].try_recv(), Some(Message::Wake));
+    }
+}

@@ -1,0 +1,101 @@
+//! The message vocabulary every transport backend speaks.
+//!
+//! The split between [`Payload`] and the control variants of [`Message`] is
+//! deliberate: payload messages carry tiles and are *counted* (they are the
+//! communication volume the paper analyzes), control messages coordinate
+//! shutdown and result gathering and are free. The type system enforces the
+//! split — `Transport::send_payload` only accepts a [`Payload`], so a
+//! control message can never be mistaken for traffic.
+
+use sbc_kernels::Tile;
+use sbc_taskgraph::{TaskId, TileRef};
+
+/// A node (rank) index within a mesh.
+pub type NodeId = u32;
+
+/// A counted tile-carrying message: the only traffic that contributes to
+/// communication statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Output tile of a remote producer task.
+    Data {
+        /// The producing task (the receiver keys its cache by it).
+        producer: TaskId,
+        /// The produced tile.
+        tile: Tile,
+    },
+    /// Original input tile fetched from its home node.
+    Orig {
+        /// Which logical tile this is.
+        tile_ref: TileRef,
+        /// The tile contents.
+        tile: Tile,
+    },
+}
+
+impl Payload {
+    /// The tile being carried.
+    pub fn tile(&self) -> &Tile {
+        match self {
+            Payload::Data { tile, .. } | Payload::Orig { tile, .. } => tile,
+        }
+    }
+
+    /// Payload size in bytes: the raw `f64` body of the tile (`dim²·8`),
+    /// excluding any framing. This is the quantity that must match the
+    /// analytic communication volume.
+    pub fn payload_bytes(&self) -> u64 {
+        let d = self.tile().dim() as u64;
+        d * d * 8
+    }
+
+    /// `true` for an original-tile fetch, `false` for a producer output.
+    pub fn is_orig(&self) -> bool {
+        matches!(self, Payload::Orig { .. })
+    }
+}
+
+/// Per-rank totals a worker process reports to rank 0 when it finishes, so
+/// the root can assemble global communication statistics without another
+/// round trip.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerStats {
+    /// Payload messages this rank sent.
+    pub sent: u64,
+    /// Payload bytes this rank sent.
+    pub sent_bytes: u64,
+    /// Payload messages this rank received *and applied* (duplicates
+    /// injected by a faulty transport are received but not applied).
+    pub applied: u64,
+}
+
+/// Everything that can arrive at a rank's inbox.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A counted tile payload from `src`.
+    Payload {
+        /// Sending rank.
+        src: NodeId,
+        /// The tile payload.
+        payload: Payload,
+    },
+    /// Another rank failed; abort cleanly.
+    Poison,
+    /// No-op used to unblock a rank's own receiver at completion. Never
+    /// counted as traffic.
+    Wake,
+    /// A result tile shipped to rank 0 during the final gather.
+    Result {
+        /// Which logical tile.
+        tile_ref: TileRef,
+        /// Its final contents.
+        tile: Tile,
+    },
+    /// A worker rank finished and reports its totals (gather protocol).
+    Done {
+        /// Reporting rank.
+        src: NodeId,
+        /// Its payload-traffic totals.
+        stats: PeerStats,
+    },
+}

@@ -1,0 +1,639 @@
+//! The socket backends: TCP and Unix-domain streams speaking [`crate::wire`].
+//!
+//! A mesh of `n` ranks uses per-direction connections: every rank dials an
+//! *outbound* stream to each peer (announcing itself with a `Hello` frame)
+//! and accepts `n − 1` *inbound* streams on its listener. Outbound streams
+//! are write-only, inbound streams read-only, so no stream is ever shared
+//! between a reader and a writer.
+//!
+//! Sends are queued per peer into a **bounded** queue drained by one writer
+//! thread per connection — when a peer's queue is full, the sending worker
+//! blocks until the writer catches up (blocking backpressure, unlike the
+//! unbounded in-process channels). One reader thread per inbound connection
+//! decodes frames into the rank's shared inbox; a decode failure (bad CRC,
+//! truncation mid-frame) poisons the rank, while a clean EOF just ends that
+//! connection — peers that finish early close their sockets without
+//! aborting anyone.
+
+use crate::msg::{Message, NodeId, Payload, PeerStats};
+use crate::transport::{StatsCell, Transport, TransportStats};
+use crate::wire::{self, Frame};
+use sbc_kernels::Tile;
+use sbc_taskgraph::TileRef;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Frames queued per peer before a sender blocks (the backpressure window).
+pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+/// Which socket family a stream mesh runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// `std::net` TCP over localhost (or any routed interface).
+    Tcp,
+    /// `std::os::unix::net` Unix-domain sockets in the temp directory.
+    Uds,
+}
+
+impl Backend {
+    /// Parses a CLI-style backend name (`"tcp"` / `"uds"`).
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s.to_ascii_lowercase().as_str() {
+            "tcp" => Some(Backend::Tcp),
+            "uds" | "unix" => Some(Backend::Uds),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Tcp => "tcp",
+            Backend::Uds => "uds",
+        }
+    }
+}
+
+/// A boxed bidirectional byte stream.
+pub(crate) trait StreamIo: Read + Write + Send {}
+impl<T: Read + Write + Send> StreamIo for T {}
+pub(crate) type BoxStream = Box<dyn StreamIo>;
+
+static UDS_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A bound-but-not-yet-meshed listener; knows its own address.
+pub(crate) enum Listener {
+    Tcp(TcpListener),
+    Uds {
+        listener: UnixListener,
+        path: PathBuf,
+    },
+}
+
+impl Listener {
+    /// Binds an ephemeral listener and returns it with its dial address.
+    pub(crate) fn bind(backend: Backend) -> io::Result<(Listener, String)> {
+        match backend {
+            Backend::Tcp => {
+                let l = TcpListener::bind("127.0.0.1:0")?;
+                let addr = l.local_addr()?.to_string();
+                Ok((Listener::Tcp(l), addr))
+            }
+            Backend::Uds => {
+                let path = std::env::temp_dir().join(format!(
+                    "sbc-net-{}-{}.sock",
+                    std::process::id(),
+                    UDS_COUNTER.fetch_add(1, Ordering::Relaxed),
+                ));
+                let l = UnixListener::bind(&path)?;
+                let addr = path.to_string_lossy().into_owned();
+                Ok((Listener::Uds { listener: l, path }, addr))
+            }
+        }
+    }
+
+    /// Blocks for one inbound connection.
+    pub(crate) fn accept(&self) -> io::Result<BoxStream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true).ok();
+                Ok(Box::new(s))
+            }
+            Listener::Uds { listener, .. } => {
+                let (s, _) = listener.accept()?;
+                Ok(Box::new(s))
+            }
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Uds { path, .. } = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+fn connect_once(backend: Backend, addr: &str) -> io::Result<BoxStream> {
+    match backend {
+        Backend::Tcp => {
+            let s = TcpStream::connect(addr)?;
+            s.set_nodelay(true).ok();
+            Ok(Box::new(s))
+        }
+        Backend::Uds => Ok(Box::new(UnixStream::connect(addr)?)),
+    }
+}
+
+/// Dials `addr`, retrying while the peer's listener is not up yet (process
+/// startup is not synchronized across ranks).
+pub(crate) fn connect_retry(backend: Backend, addr: &str) -> io::Result<BoxStream> {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match connect_once(backend, addr) {
+            Ok(s) => return Ok(s),
+            Err(e)
+                if Instant::now() < deadline
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::ConnectionRefused
+                            | io::ErrorKind::ConnectionReset
+                            | io::ErrorKind::NotFound
+                            | io::ErrorKind::AddrNotAvailable
+                    ) =>
+            {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The rank's shared inbox: reader threads push decoded messages, worker
+/// threads pop them.
+#[derive(Default)]
+struct Inbox {
+    state: Mutex<InboxState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct InboxState {
+    q: VecDeque<Message>,
+    closed: bool,
+}
+
+impl Inbox {
+    fn push(&self, m: Message) {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.q.push_back(m);
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    fn pop_wait(&self) -> Option<Message> {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(m) = st.q.pop_front() {
+                return Some(m);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn pop(&self) -> Option<Message> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .q
+            .pop_front()
+    }
+
+    fn close(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Half-built mesh endpoint: bound, address known, not yet connected.
+pub struct MeshBuilder {
+    backend: Backend,
+    rank: NodeId,
+    n: usize,
+    listener: Listener,
+    addr: String,
+    queue_depth: usize,
+}
+
+impl MeshBuilder {
+    /// Binds rank `rank` of an `n`-rank mesh to an ephemeral address.
+    pub fn bind(backend: Backend, rank: NodeId, n: usize) -> io::Result<MeshBuilder> {
+        assert!(
+            (rank as usize) < n,
+            "rank {rank} out of range for {n} nodes"
+        );
+        let (listener, addr) = Listener::bind(backend)?;
+        Ok(MeshBuilder {
+            backend,
+            rank,
+            n,
+            listener,
+            addr,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+        })
+    }
+
+    /// The address peers should dial to reach this rank.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Overrides the per-peer send-queue depth (the backpressure window).
+    pub fn queue_depth(mut self, depth: usize) -> MeshBuilder {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Connects the full mesh: dials every peer (with `Hello`), then
+    /// accepts `n − 1` inbound connections. `addrs[rank]` must be each
+    /// rank's listener address; every rank must call this concurrently.
+    pub fn connect(self, addrs: &[String]) -> io::Result<StreamTransport> {
+        assert_eq!(addrs.len(), self.n, "address table size mismatch");
+        let inbox = Arc::new(Inbox::default());
+        let stats = Arc::new(StatsCell::default());
+        let mut peers: Vec<Option<SyncSender<Vec<u8>>>> = (0..self.n).map(|_| None).collect();
+        let mut writers = Vec::with_capacity(self.n.saturating_sub(1));
+
+        for (dest, addr) in addrs.iter().enumerate() {
+            if dest == self.rank as usize {
+                continue;
+            }
+            let mut stream = connect_retry(self.backend, addr)?;
+            wire::write_frame(&mut stream, &Frame::Hello { src: self.rank })?;
+            let (tx, rx) = sync_channel::<Vec<u8>>(self.queue_depth);
+            writers.push(std::thread::spawn(move || {
+                while let Ok(buf) = rx.recv() {
+                    if stream.write_all(&buf).is_err() {
+                        // peer is gone; drain the queue so senders unblock
+                        while rx.recv().is_ok() {}
+                        return;
+                    }
+                }
+                let _ = stream.flush();
+            }));
+            peers[dest] = Some(tx);
+        }
+
+        for _ in 1..self.n {
+            let mut stream = self.listener.accept()?;
+            match wire::read_frame(&mut stream) {
+                Ok(Some((Frame::Hello { .. }, _))) => {}
+                _ => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "peer did not introduce itself with a Hello frame",
+                    ));
+                }
+            }
+            let inbox = Arc::clone(&inbox);
+            let stats = Arc::clone(&stats);
+            // detached: exits on clean EOF when the peer closes its end
+            std::thread::spawn(move || reader_loop(stream, &inbox, &stats));
+        }
+
+        // the listener (and any UDS socket file) is no longer needed
+        Ok(StreamTransport {
+            rank: self.rank,
+            n: self.n,
+            peers,
+            inbox,
+            stats,
+            writers,
+        })
+    }
+}
+
+fn reader_loop(mut stream: BoxStream, inbox: &Inbox, stats: &StatsCell) {
+    loop {
+        match wire::read_frame(&mut stream) {
+            Ok(Some((frame, frame_bytes))) => {
+                let msg = match frame {
+                    Frame::Payload { src, payload } => {
+                        stats.count_recv(payload.payload_bytes(), frame_bytes);
+                        Message::Payload { src, payload }
+                    }
+                    other => {
+                        stats
+                            .recv_frame_bytes
+                            .fetch_add(frame_bytes, Ordering::Relaxed);
+                        match other {
+                            Frame::Poison => Message::Poison,
+                            Frame::Result { tile_ref, tile } => Message::Result { tile_ref, tile },
+                            Frame::Done { src, stats } => Message::Done { src, stats },
+                            // setup frames never appear mid-run; ignore
+                            Frame::Hello { .. } | Frame::Addr { .. } | Frame::Table { .. } => {
+                                continue;
+                            }
+                            Frame::Payload { .. } => unreachable!("matched above"),
+                        }
+                    }
+                };
+                inbox.push(msg);
+            }
+            // clean close: the peer finished and dropped its endpoint
+            Ok(None) => return,
+            // corruption or a mid-frame death: abort this rank
+            Err(_) => {
+                inbox.push(Message::Poison);
+                return;
+            }
+        }
+    }
+}
+
+/// One rank's endpoint of a socket mesh ([`Backend::Tcp`] or
+/// [`Backend::Uds`]). Built by [`MeshBuilder::connect`] or [`local_mesh`].
+pub struct StreamTransport {
+    rank: NodeId,
+    n: usize,
+    peers: Vec<Option<SyncSender<Vec<u8>>>>,
+    inbox: Arc<Inbox>,
+    stats: Arc<StatsCell>,
+    writers: Vec<JoinHandle<()>>,
+}
+
+impl StreamTransport {
+    /// Queues a control frame to `dest`, counting only framing bytes.
+    fn send_control(&self, dest: NodeId, frame: &Frame) {
+        if let Some(tx) = self.peers[dest as usize].as_ref() {
+            let buf = wire::encode(frame);
+            let frame_bytes = buf.len() as u64;
+            if tx.send(buf).is_ok() {
+                self.stats
+                    .sent_frame_bytes
+                    .fetch_add(frame_bytes, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Transport for StreamTransport {
+    fn rank(&self) -> NodeId {
+        self.rank
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn send_payload(&self, dest: NodeId, payload: Payload) -> Option<u64> {
+        let bytes = payload.payload_bytes();
+        let frame = Frame::Payload {
+            src: self.rank,
+            payload,
+        };
+        let buf = wire::encode(&frame);
+        let frame_bytes = buf.len() as u64;
+        self.peers[dest as usize].as_ref()?.send(buf).ok()?;
+        self.stats.count_send(bytes, frame_bytes);
+        Some(bytes)
+    }
+
+    fn send_poison(&self, dest: NodeId) {
+        self.send_control(dest, &Frame::Poison);
+    }
+
+    fn send_result(&self, dest: NodeId, tile_ref: TileRef, tile: Tile) {
+        self.send_control(dest, &Frame::Result { tile_ref, tile });
+    }
+
+    fn send_done(&self, dest: NodeId, stats: PeerStats) {
+        self.send_control(
+            dest,
+            &Frame::Done {
+                src: self.rank,
+                stats,
+            },
+        );
+    }
+
+    fn wake(&self) {
+        self.inbox.push(Message::Wake);
+    }
+
+    fn recv(&self) -> Option<Message> {
+        self.inbox.pop_wait()
+    }
+
+    fn try_recv(&self) -> Option<Message> {
+        self.inbox.pop()
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for StreamTransport {
+    fn drop(&mut self) {
+        // dropping the queue senders ends the writer threads after they
+        // flush; readers exit on their own at peer EOF and are detached
+        self.peers.clear();
+        for w in self.writers.drain(..) {
+            let _ = w.join();
+        }
+        self.inbox.close();
+    }
+}
+
+/// Builds a fully connected `n`-rank socket mesh inside one process (each
+/// rank still talks through real sockets) — the loopback configuration the
+/// transport tests use.
+pub fn local_mesh(backend: Backend, n: usize) -> io::Result<Vec<StreamTransport>> {
+    let builders: Vec<MeshBuilder> = (0..n)
+        .map(|r| MeshBuilder::bind(backend, r as NodeId, n))
+        .collect::<io::Result<_>>()?;
+    let addrs: Vec<String> = builders.iter().map(|b| b.addr().to_string()).collect();
+    let transports: Vec<io::Result<StreamTransport>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = builders
+            .into_iter()
+            .map(|b| {
+                let addrs = &addrs;
+                scope.spawn(move || b.connect(addrs))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mesh connect thread panicked"))
+            .collect()
+    });
+    transports.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise_mesh(backend: Backend) {
+        let mesh = local_mesh(backend, 3).unwrap();
+        let tile = Tile::from_fn(4, |i, j| (i * 4 + j) as f64);
+        let sent = mesh[0]
+            .send_payload(
+                2,
+                Payload::Data {
+                    producer: 11,
+                    tile: tile.clone(),
+                },
+            )
+            .unwrap();
+        assert_eq!(sent, 128);
+        mesh[1].send_poison(2);
+        mesh[0].send_done(
+            2,
+            PeerStats {
+                sent: 1,
+                sent_bytes: 128,
+                applied: 0,
+            },
+        );
+        let mut got_payload = false;
+        let mut got_poison = false;
+        let mut got_done = false;
+        for _ in 0..3 {
+            match mesh[2].recv().unwrap() {
+                Message::Payload {
+                    src: 0,
+                    payload:
+                        Payload::Data {
+                            producer: 11,
+                            tile: t,
+                        },
+                } => {
+                    assert_eq!(t.as_slice(), tile.as_slice(), "bit-exact transfer");
+                    got_payload = true;
+                }
+                Message::Poison => got_poison = true,
+                Message::Done { src: 0, stats } => {
+                    assert_eq!(stats.sent, 1);
+                    got_done = true;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(got_payload && got_poison && got_done);
+        let s0 = mesh[0].stats();
+        assert_eq!((s0.sent_messages, s0.sent_payload_bytes), (1, 128));
+        assert!(
+            s0.sent_frame_bytes > 128,
+            "framing overhead must be visible: {}",
+            s0.sent_frame_bytes
+        );
+        // receive accounting settles once the reader thread has decoded
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let s2 = mesh[2].stats();
+            if s2.recv_payload_bytes == 128 || Instant::now() > deadline {
+                assert_eq!((s2.recv_messages, s2.recv_payload_bytes), (1, 128));
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn tcp_mesh_delivers_payloads_and_control() {
+        exercise_mesh(Backend::Tcp);
+    }
+
+    #[test]
+    fn uds_mesh_delivers_payloads_and_control() {
+        exercise_mesh(Backend::Uds);
+    }
+
+    #[test]
+    fn uds_socket_files_are_cleaned_up() {
+        let before: usize = std::fs::read_dir(std::env::temp_dir())
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("sbc-net-")
+            })
+            .count();
+        drop(local_mesh(Backend::Uds, 2).unwrap());
+        let after: usize = std::fs::read_dir(std::env::temp_dir())
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("sbc-net-")
+            })
+            .count();
+        assert!(after <= before, "socket files leaked: {before} -> {after}");
+    }
+
+    #[test]
+    fn wake_unblocks_own_recv() {
+        let mesh = local_mesh(Backend::Tcp, 2).unwrap();
+        mesh[0].wake();
+        assert_eq!(mesh[0].recv(), Some(Message::Wake));
+        assert_eq!(mesh[0].stats(), TransportStats::default());
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_without_deadlock() {
+        // queue depth 1: the second send must wait for the writer, but the
+        // peer's reader keeps draining so everything still goes through
+        let builders: Vec<MeshBuilder> = (0..2)
+            .map(|r| {
+                MeshBuilder::bind(Backend::Tcp, r, 2)
+                    .unwrap()
+                    .queue_depth(1)
+            })
+            .collect();
+        let addrs: Vec<String> = builders.iter().map(|b| b.addr().to_string()).collect();
+        let mesh: Vec<StreamTransport> = std::thread::scope(|scope| {
+            builders
+                .into_iter()
+                .map(|b| {
+                    let addrs = &addrs;
+                    scope.spawn(move || b.connect(addrs).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let n_msgs = 200u32;
+        for k in 0..n_msgs {
+            mesh[0]
+                .send_payload(
+                    1,
+                    Payload::Data {
+                        producer: k,
+                        tile: Tile::zeros(8),
+                    },
+                )
+                .unwrap();
+        }
+        for k in 0..n_msgs {
+            match mesh[1].recv().unwrap() {
+                Message::Payload {
+                    payload: Payload::Data { producer, .. },
+                    ..
+                } => assert_eq!(producer, k, "frames arrive in order"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(mesh[0].stats().sent_messages, u64::from(n_msgs));
+    }
+}

@@ -1,0 +1,114 @@
+//! The [`Transport`] trait: what the runtime requires of an interconnect.
+
+use crate::msg::{Message, NodeId, Payload, PeerStats};
+use sbc_kernels::Tile;
+use sbc_taskgraph::TileRef;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wire-level accounting of one rank's endpoint.
+///
+/// Payload counts cover only [`Payload`] messages (tile bodies, `dim²·8`
+/// bytes each) — the communication volume the runtime's `CommStats` and the
+/// analytic model agree on. Frame counts additionally include the framing
+/// overhead (tag, length, header fields, CRC) of *every* frame a stream
+/// backend writes or reads; for in-process backends they are zero because
+/// nothing is serialized.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Payload messages sent.
+    pub sent_messages: u64,
+    /// Payload bytes sent (tile bodies only).
+    pub sent_payload_bytes: u64,
+    /// Payload messages received.
+    pub recv_messages: u64,
+    /// Payload bytes received (tile bodies only).
+    pub recv_payload_bytes: u64,
+    /// Total bytes written to the wire, framing included (0 in-process).
+    pub sent_frame_bytes: u64,
+    /// Total bytes read from the wire, framing included (0 in-process).
+    pub recv_frame_bytes: u64,
+}
+
+/// One rank's endpoint into the interconnect.
+///
+/// Implementations are shared by every worker thread of a rank (`&self`
+/// methods, `Send + Sync`). Sends may block on backpressure but must not
+/// deadlock against the receive path; `recv` blocks until a message arrives
+/// or the endpoint is closed.
+pub trait Transport: Send + Sync {
+    /// This endpoint's rank.
+    fn rank(&self) -> NodeId;
+
+    /// Number of ranks in the mesh.
+    fn num_nodes(&self) -> usize;
+
+    /// Sends a counted tile payload to `dest`, blocking on backpressure.
+    ///
+    /// Returns the payload byte count if the message was accepted for
+    /// delivery, `None` if the peer is gone (shutdown race) or the message
+    /// was dropped by a fault-injecting wrapper.
+    fn send_payload(&self, dest: NodeId, payload: Payload) -> Option<u64>;
+
+    /// Tells `dest` that this rank failed and it should abort.
+    fn send_poison(&self, dest: NodeId);
+
+    /// Ships a result tile to `dest` (rank 0) during the final gather.
+    fn send_result(&self, dest: NodeId, tile_ref: TileRef, tile: Tile);
+
+    /// Reports this rank's totals to `dest` (rank 0); the gather is
+    /// complete when every rank has reported.
+    fn send_done(&self, dest: NodeId, stats: PeerStats);
+
+    /// Pushes a [`Message::Wake`] into this rank's *own* inbox, unblocking
+    /// a receiver parked in [`Transport::recv`].
+    fn wake(&self);
+
+    /// Blocks for the next message; `None` means the endpoint closed.
+    fn recv(&self) -> Option<Message>;
+
+    /// Returns the next message if one is already queued.
+    fn try_recv(&self) -> Option<Message>;
+
+    /// A snapshot of this endpoint's wire-level accounting.
+    fn stats(&self) -> TransportStats;
+}
+
+/// Shared atomic backing for [`TransportStats`].
+#[derive(Default)]
+pub(crate) struct StatsCell {
+    pub sent_messages: AtomicU64,
+    pub sent_payload_bytes: AtomicU64,
+    pub recv_messages: AtomicU64,
+    pub recv_payload_bytes: AtomicU64,
+    pub sent_frame_bytes: AtomicU64,
+    pub recv_frame_bytes: AtomicU64,
+}
+
+impl StatsCell {
+    pub fn count_send(&self, payload_bytes: u64, frame_bytes: u64) {
+        self.sent_messages.fetch_add(1, Ordering::Relaxed);
+        self.sent_payload_bytes
+            .fetch_add(payload_bytes, Ordering::Relaxed);
+        self.sent_frame_bytes
+            .fetch_add(frame_bytes, Ordering::Relaxed);
+    }
+
+    pub fn count_recv(&self, payload_bytes: u64, frame_bytes: u64) {
+        self.recv_messages.fetch_add(1, Ordering::Relaxed);
+        self.recv_payload_bytes
+            .fetch_add(payload_bytes, Ordering::Relaxed);
+        self.recv_frame_bytes
+            .fetch_add(frame_bytes, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            sent_messages: self.sent_messages.load(Ordering::Relaxed),
+            sent_payload_bytes: self.sent_payload_bytes.load(Ordering::Relaxed),
+            recv_messages: self.recv_messages.load(Ordering::Relaxed),
+            recv_payload_bytes: self.recv_payload_bytes.load(Ordering::Relaxed),
+            sent_frame_bytes: self.sent_frame_bytes.load(Ordering::Relaxed),
+            recv_frame_bytes: self.recv_frame_bytes.load(Ordering::Relaxed),
+        }
+    }
+}

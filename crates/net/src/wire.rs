@@ -1,0 +1,665 @@
+//! The length-prefixed little-endian wire protocol of the stream backends.
+//!
+//! Every frame is laid out as
+//!
+//! ```text
+//! | tag: u8 | body_len: u32 LE | body: body_len bytes | crc32: u32 LE |
+//! ```
+//!
+//! where the CRC-32 (IEEE polynomial, the zlib/PNG checksum) covers the tag
+//! byte, the length field and the body. Integers are little-endian; tiles
+//! travel as a `u32` dimension followed by the raw column-major `f64` words
+//! of [`Tile::as_slice`] (bit-exact — what arrives is what was sent, so
+//! multi-process factors stay bit-identical to sequential ones).
+//!
+//! | tag | frame | body |
+//! |-----|-------|------|
+//! | 1 | `Data` | `src u32, producer u32, tile` |
+//! | 2 | `Orig` | `src u32, tile_ref, tile` |
+//! | 3 | `Poison` | empty |
+//! | 4 | `Result` | `tile_ref, tile` |
+//! | 5 | `Done` | `src u32, sent u64, sent_bytes u64, applied u64` |
+//! | 6 | `Hello` | `src u32` (first frame on every mesh connection) |
+//! | 7 | `Addr` | `src u32, addr string` (rendezvous: worker → root) |
+//! | 8 | `Table` | `count u32, addr strings` (rendezvous: root → worker) |
+//!
+//! A `tile_ref` is `kind u8, phase u8, slice u8, i u32, j u32` (kind 0 =
+//! matrix tile `A`, 1 = 2.5D buffer, 2 = RHS row). Strings are
+//! `len u32 + UTF-8 bytes`.
+
+use crate::msg::{NodeId, Payload, PeerStats};
+use sbc_kernels::Tile;
+use sbc_taskgraph::{TaskId, TileRef};
+use std::io::Read;
+
+/// Upper bound on a frame body; anything larger is rejected before
+/// allocation (a corrupt length field must not OOM the receiver).
+pub const MAX_BODY: u32 = 1 << 28;
+
+const TAG_DATA: u8 = 1;
+const TAG_ORIG: u8 = 2;
+const TAG_POISON: u8 = 3;
+const TAG_RESULT: u8 = 4;
+const TAG_DONE: u8 = 5;
+const TAG_HELLO: u8 = 6;
+const TAG_ADDR: u8 = 7;
+const TAG_TABLE: u8 = 8;
+
+/// Everything that can travel over a stream connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Identifies the connecting rank; first frame on every connection.
+    Hello {
+        /// Connecting rank.
+        src: NodeId,
+    },
+    /// A counted tile payload.
+    Payload {
+        /// Sending rank.
+        src: NodeId,
+        /// The tile payload.
+        payload: Payload,
+    },
+    /// Sender failed; receiver should abort.
+    Poison,
+    /// A gathered result tile (worker → rank 0).
+    Result {
+        /// Which logical tile.
+        tile_ref: TileRef,
+        /// Its final contents.
+        tile: Tile,
+    },
+    /// End-of-run report (worker → rank 0).
+    Done {
+        /// Reporting rank.
+        src: NodeId,
+        /// Its payload-traffic totals.
+        stats: PeerStats,
+    },
+    /// Rendezvous: a worker rank announces its listener address to root.
+    Addr {
+        /// Announcing rank.
+        src: NodeId,
+        /// Its listener address (`host:port` or a socket path).
+        addr: String,
+    },
+    /// Rendezvous: root broadcasts the full address table, indexed by rank.
+    Table {
+        /// `addrs[rank]` is that rank's listener address.
+        addrs: Vec<String>,
+    },
+}
+
+/// Why a frame could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The underlying stream failed.
+    Io(std::io::ErrorKind),
+    /// The stream ended mid-frame.
+    Truncated,
+    /// The checksum did not match: the frame was corrupted in transit.
+    BadCrc {
+        /// CRC computed over the received bytes.
+        computed: u32,
+        /// CRC stored in the frame trailer.
+        stored: u32,
+    },
+    /// An unknown frame tag.
+    BadTag(u8),
+    /// A length field exceeding [`MAX_BODY`].
+    BadLength(u32),
+    /// The body did not parse under its tag's layout.
+    BadBody(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(kind) => write!(f, "stream error: {kind:?}"),
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::BadCrc { computed, stored } => {
+                write!(
+                    f,
+                    "CRC mismatch: computed {computed:#010x}, frame says {stored:#010x}"
+                )
+            }
+            FrameError::BadTag(t) => write!(f, "unknown frame tag {t}"),
+            FrameError::BadLength(l) => write!(f, "frame length {l} exceeds the {MAX_BODY} cap"),
+            FrameError::BadBody(what) => write!(f, "malformed frame body: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 == 1 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected — the zlib/PNG checksum).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_tile(out: &mut Vec<u8>, t: &Tile) {
+    put_u32(out, t.dim() as u32);
+    out.reserve(t.as_slice().len() * 8);
+    for v in t.as_slice() {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn put_tile_ref(out: &mut Vec<u8>, r: TileRef) {
+    let (kind, phase, slice, i, j) = match r {
+        TileRef::A { phase, slice, i, j } => (0u8, phase, slice, i, j),
+        TileRef::Buf { slice, i, j } => (1, 0, slice, i, j),
+        TileRef::B { i } => (2, 0, 0, i, 0),
+    };
+    out.push(kind);
+    out.push(phase);
+    out.push(slice);
+    put_u32(out, i);
+    put_u32(out, j);
+}
+
+/// A bounds-checked little-endian reader over a frame body.
+struct Body<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Body<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(FrameError::BadBody("body shorter than its layout"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, FrameError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::BadBody("non-UTF-8 string"))
+    }
+
+    fn tile(&mut self) -> Result<Tile, FrameError> {
+        let dim = self.u32()? as usize;
+        let words = dim
+            .checked_mul(dim)
+            .filter(|&n| n * 8 <= self.buf.len())
+            .ok_or(FrameError::BadBody("tile dimension overflows its body"))?;
+        let raw = self.take(words * 8)?;
+        let data = raw
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+            .collect();
+        Ok(Tile::from_column_major(dim, data))
+    }
+
+    fn tile_ref(&mut self) -> Result<TileRef, FrameError> {
+        let kind = self.u8()?;
+        let phase = self.u8()?;
+        let slice = self.u8()?;
+        let i = self.u32()?;
+        let j = self.u32()?;
+        match kind {
+            0 => Ok(TileRef::A { phase, slice, i, j }),
+            1 => Ok(TileRef::Buf { slice, i, j }),
+            2 => Ok(TileRef::B { i }),
+            _ => Err(FrameError::BadBody("unknown tile-ref kind")),
+        }
+    }
+
+    fn done(&mut self) -> Result<(), FrameError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::BadBody("trailing bytes after the body layout"))
+        }
+    }
+}
+
+/// Serializes a frame: header, body and CRC trailer.
+pub fn encode(f: &Frame) -> Vec<u8> {
+    let mut body = Vec::new();
+    let tag = match f {
+        Frame::Hello { src } => {
+            put_u32(&mut body, *src);
+            TAG_HELLO
+        }
+        Frame::Payload {
+            src,
+            payload: Payload::Data { producer, tile },
+        } => {
+            put_u32(&mut body, *src);
+            put_u32(&mut body, *producer);
+            put_tile(&mut body, tile);
+            TAG_DATA
+        }
+        Frame::Payload {
+            src,
+            payload: Payload::Orig { tile_ref, tile },
+        } => {
+            put_u32(&mut body, *src);
+            put_tile_ref(&mut body, *tile_ref);
+            put_tile(&mut body, tile);
+            TAG_ORIG
+        }
+        Frame::Poison => TAG_POISON,
+        Frame::Result { tile_ref, tile } => {
+            put_tile_ref(&mut body, *tile_ref);
+            put_tile(&mut body, tile);
+            TAG_RESULT
+        }
+        Frame::Done { src, stats } => {
+            put_u32(&mut body, *src);
+            put_u64(&mut body, stats.sent);
+            put_u64(&mut body, stats.sent_bytes);
+            put_u64(&mut body, stats.applied);
+            TAG_DONE
+        }
+        Frame::Addr { src, addr } => {
+            put_u32(&mut body, *src);
+            put_str(&mut body, addr);
+            TAG_ADDR
+        }
+        Frame::Table { addrs } => {
+            put_u32(&mut body, addrs.len() as u32);
+            for a in addrs {
+                put_str(&mut body, a);
+            }
+            TAG_TABLE
+        }
+    };
+    let mut out = Vec::with_capacity(body.len() + 9);
+    out.push(tag);
+    put_u32(&mut out, body.len() as u32);
+    out.extend_from_slice(&body);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn parse_body(tag: u8, body: &[u8]) -> Result<Frame, FrameError> {
+    let mut b = Body { buf: body, pos: 0 };
+    let frame = match tag {
+        TAG_HELLO => Frame::Hello { src: b.u32()? },
+        TAG_DATA => {
+            let src = b.u32()?;
+            let producer: TaskId = b.u32()?;
+            let tile = b.tile()?;
+            Frame::Payload {
+                src,
+                payload: Payload::Data { producer, tile },
+            }
+        }
+        TAG_ORIG => {
+            let src = b.u32()?;
+            let tile_ref = b.tile_ref()?;
+            let tile = b.tile()?;
+            Frame::Payload {
+                src,
+                payload: Payload::Orig { tile_ref, tile },
+            }
+        }
+        TAG_POISON => Frame::Poison,
+        TAG_RESULT => {
+            let tile_ref = b.tile_ref()?;
+            let tile = b.tile()?;
+            Frame::Result { tile_ref, tile }
+        }
+        TAG_DONE => {
+            let src = b.u32()?;
+            let stats = PeerStats {
+                sent: b.u64()?,
+                sent_bytes: b.u64()?,
+                applied: b.u64()?,
+            };
+            Frame::Done { src, stats }
+        }
+        TAG_ADDR => {
+            let src = b.u32()?;
+            let addr = b.string()?;
+            Frame::Addr { src, addr }
+        }
+        TAG_TABLE => {
+            let count = b.u32()? as usize;
+            if count > MAX_BODY as usize / 4 {
+                return Err(FrameError::BadBody(
+                    "address table count overflows its body",
+                ));
+            }
+            let mut addrs = Vec::with_capacity(count);
+            for _ in 0..count {
+                addrs.push(b.string()?);
+            }
+            Frame::Table { addrs }
+        }
+        other => return Err(FrameError::BadTag(other)),
+    };
+    b.done()?;
+    Ok(frame)
+}
+
+/// Decodes one frame from the front of `buf`, returning it and the number
+/// of bytes consumed. Fails with [`FrameError::Truncated`] when `buf` holds
+/// less than one whole frame.
+pub fn decode(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
+    if buf.len() < 5 {
+        return Err(FrameError::Truncated);
+    }
+    let tag = buf[0];
+    let len = u32::from_le_bytes(buf[1..5].try_into().unwrap());
+    if len > MAX_BODY {
+        return Err(FrameError::BadLength(len));
+    }
+    let total = 5 + len as usize + 4;
+    if buf.len() < total {
+        return Err(FrameError::Truncated);
+    }
+    let computed = crc32(&buf[..5 + len as usize]);
+    let stored = u32::from_le_bytes(buf[5 + len as usize..total].try_into().unwrap());
+    if computed != stored {
+        return Err(FrameError::BadCrc { computed, stored });
+    }
+    let frame = parse_body(tag, &buf[5..5 + len as usize])?;
+    Ok((frame, total))
+}
+
+/// Reads one frame from a stream. `Ok(None)` is a clean end-of-stream (EOF
+/// exactly at a frame boundary); mid-frame EOF is [`FrameError::Truncated`].
+/// On success also returns the total frame size read from the wire.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(Frame, u64)>, FrameError> {
+    let mut hdr = [0u8; 5];
+    let mut got = 0;
+    while got < hdr.len() {
+        match r.read(&mut hdr[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e.kind())),
+        }
+    }
+    let len = u32::from_le_bytes(hdr[1..5].try_into().unwrap());
+    if len > MAX_BODY {
+        return Err(FrameError::BadLength(len));
+    }
+    let mut rest = vec![0u8; len as usize + 4];
+    r.read_exact(&mut rest).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => FrameError::Truncated,
+        kind => FrameError::Io(kind),
+    })?;
+    let mut whole = Vec::with_capacity(5 + rest.len());
+    whole.extend_from_slice(&hdr);
+    whole.extend_from_slice(&rest);
+    let (frame, total) = decode(&whole)?;
+    Ok(Some((frame, total as u64)))
+}
+
+/// Writes one encoded frame to a stream, returning the bytes written.
+pub fn write_frame(w: &mut impl std::io::Write, f: &Frame) -> std::io::Result<u64> {
+    let buf = encode(f);
+    w.write_all(&buf)?;
+    Ok(buf.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tile_of(dim: usize, seed: u64) -> Tile {
+        Tile::from_fn(dim, |i, j| {
+            let x = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((i * 31 + j) as u64);
+            (x % 1000) as f64 / 7.0 - 60.0
+        })
+    }
+
+    fn roundtrip(f: &Frame) {
+        let buf = encode(f);
+        let (back, used) = decode(&buf).expect("decode");
+        assert_eq!(&back, f);
+        assert_eq!(used, buf.len());
+        // the stream path agrees with the slice path
+        let mut cursor = std::io::Cursor::new(buf.clone());
+        let (streamed, n) = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(&streamed, f);
+        assert_eq!(n, buf.len() as u64);
+    }
+
+    #[test]
+    fn control_frames_roundtrip() {
+        roundtrip(&Frame::Hello { src: 7 });
+        roundtrip(&Frame::Poison);
+        roundtrip(&Frame::Done {
+            src: 3,
+            stats: PeerStats {
+                sent: u64::MAX,
+                sent_bytes: 1,
+                applied: 0,
+            },
+        });
+        roundtrip(&Frame::Addr {
+            src: 2,
+            addr: "127.0.0.1:45233".into(),
+        });
+        roundtrip(&Frame::Table { addrs: vec![] });
+        roundtrip(&Frame::Table {
+            addrs: vec!["a".into(), String::new(), "/tmp/sock".into()],
+        });
+    }
+
+    #[test]
+    fn zero_dim_tile_roundtrips() {
+        roundtrip(&Frame::Payload {
+            src: 0,
+            payload: Payload::Data {
+                producer: 0,
+                tile: Tile::zeros(0),
+            },
+        });
+        roundtrip(&Frame::Result {
+            tile_ref: TileRef::B { i: 0 },
+            tile: Tile::zeros(0),
+        });
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let buf = encode(&Frame::Payload {
+            src: 1,
+            payload: Payload::Data {
+                producer: 9,
+                tile: tile_of(4, 1),
+            },
+        });
+        for cut in 0..buf.len() {
+            assert_eq!(
+                decode(&buf[..cut]).unwrap_err(),
+                FrameError::Truncated,
+                "cut at {cut}"
+            );
+            if cut > 0 {
+                // a stream that dies mid-frame is Truncated, not clean EOF
+                let mut cursor = std::io::Cursor::new(buf[..cut].to_vec());
+                assert_eq!(read_frame(&mut cursor).unwrap_err(), FrameError::Truncated);
+            }
+        }
+        // EOF exactly on a frame boundary is a clean close
+        let mut empty = std::io::Cursor::new(Vec::new());
+        assert_eq!(read_frame(&mut empty).unwrap(), None);
+    }
+
+    #[test]
+    fn corrupted_frames_fail_the_crc() {
+        let buf = encode(&Frame::Payload {
+            src: 1,
+            payload: Payload::Orig {
+                tile_ref: TileRef::A {
+                    phase: 1,
+                    slice: 2,
+                    i: 3,
+                    j: 1,
+                },
+                tile: tile_of(3, 5),
+            },
+        });
+        for flip in [0, 2, 7, buf.len() - 5] {
+            let mut bad = buf.clone();
+            bad[flip] ^= 0x40;
+            match decode(&bad) {
+                // flipping the tag or a length byte may fail earlier; any
+                // corruption must be *some* error, body flips must be BadCrc
+                Err(_) => {}
+                Ok(_) => panic!("corruption at {flip} went undetected"),
+            }
+        }
+        let mut body_flip = buf.clone();
+        body_flip[9] ^= 0x01;
+        assert!(matches!(decode(&body_flip), Err(FrameError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut buf = encode(&Frame::Poison);
+        buf[1..5].copy_from_slice(&(MAX_BODY + 1).to_le_bytes());
+        assert_eq!(
+            decode(&buf).unwrap_err(),
+            FrameError::BadLength(MAX_BODY + 1)
+        );
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap_err(),
+            FrameError::BadLength(MAX_BODY + 1)
+        );
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let mut buf = encode(&Frame::Poison);
+        buf[0] = 99;
+        let crc = crc32(&buf[..5]);
+        let n = buf.len();
+        buf[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode(&buf).unwrap_err(), FrameError::BadTag(99));
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_reference_vector() {
+        // the classic check value of CRC-32/ISO-HDLC
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn payload_frames_roundtrip(
+            src in 0u32..64,
+            producer in any::<u32>(),
+            dim in 0usize..12,
+            seed in any::<u64>(),
+            orig in any::<bool>(),
+            phase in 0u8..3,
+            i in 0u32..1000,
+            j in 0u32..1000,
+        ) {
+            let tile = tile_of(dim, seed);
+            let payload = if orig {
+                Payload::Orig {
+                    tile_ref: TileRef::A { phase, slice: phase ^ 1, i, j },
+                    tile,
+                }
+            } else {
+                Payload::Data { producer, tile }
+            };
+            let f = Frame::Payload { src, payload };
+            let buf = encode(&f);
+            let (back, used) = decode(&buf).unwrap();
+            prop_assert_eq!(&back, &f);
+            prop_assert_eq!(used, buf.len());
+            // framing overhead: header (5) + src (4) + key + dim (4) + CRC (4)
+            let body_words = dim * dim * 8;
+            let key = if orig { 11 } else { 4 };
+            prop_assert_eq!(buf.len(), 5 + 4 + key + 4 + body_words + 4);
+        }
+
+        #[test]
+        fn result_frames_roundtrip_all_tile_ref_kinds(
+            kind in 0u8..3,
+            slice in 0u8..4,
+            i in 0u32..500,
+            j in 0u32..500,
+            dim in 0usize..10,
+            seed in any::<u64>(),
+        ) {
+            let tile_ref = match kind {
+                0 => TileRef::A { phase: 2, slice, i, j },
+                1 => TileRef::Buf { slice, i, j },
+                _ => TileRef::B { i },
+            };
+            roundtrip(&Frame::Result { tile_ref, tile: tile_of(dim, seed) });
+        }
+
+        #[test]
+        fn truncation_never_decodes(dim in 0usize..8, cut_frac in 0.0f64..1.0) {
+            let buf = encode(&Frame::Payload {
+                src: 1,
+                payload: Payload::Data { producer: 2, tile: tile_of(dim, 42) },
+            });
+            let cut = ((buf.len() - 1) as f64 * cut_frac) as usize;
+            prop_assert_eq!(decode(&buf[..cut]).unwrap_err(), FrameError::Truncated);
+        }
+    }
+}

@@ -3,14 +3,22 @@
 //! Emits the JSON Object Format: `{"traceEvents": [...]}` with one *pid*
 //! per node and one *tid* per worker, so Perfetto renders each node as a
 //! process lane. Task spans become complete events (`"ph": "X"`), message
-//! sends/receives become thread-scoped instant events (`"ph": "i"`), and
+//! sends/receives become thread-scoped instant events (`"ph": "i"`) *plus*
+//! paired flow events (`"ph": "s"` at the send, `"ph": "f"` at the matching
+//! receive) so tile movement renders as arrows between node lanes, and
 //! gauges become counter tracks (`"ph": "C"`). Timestamps are microseconds,
 //! as the format requires. Everything is hand-serialized — the offline
 //! build has no serde — and [`crate::json::validate`] checks the output in
 //! tests and in the CI smoke job.
+//!
+//! Flow pairing relies on the transports' per-pair FIFO ordering: the k-th
+//! send from node *s* to node *d* is the k-th receive on *d* from *s*, so
+//! both ends derive the same flow id from `(s, d, k)` without any shared
+//! state.
 
 use crate::recorder::{Event, Recording};
 use crate::trace::TraceEvent;
+use std::collections::HashMap;
 
 fn push_escaped(out: &mut String, s: &str) {
     for ch in s.chars() {
@@ -58,6 +66,12 @@ impl Writer {
     }
 }
 
+/// The flow id linking the `k`-th message from `src` to `dest`: both the
+/// send and the receive side compute it independently.
+fn flow_id(src: u32, dest: u32, k: u64) -> u64 {
+    ((src as u64) << 48) | ((dest as u64) << 32) | (k & 0xFFFF_FFFF)
+}
+
 fn process_names(w: &mut Writer, nodes: usize) {
     for n in 0..nodes {
         w.event(format_args!(
@@ -88,6 +102,8 @@ pub fn chrome_trace(rec: &Recording) -> String {
              \"args\":{{\"name\":\"worker {worker}\"}}"
         ));
     }
+    let mut send_seq: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut recv_seq: HashMap<(u32, u32), u64> = HashMap::new();
     for e in &rec.events {
         match *e {
             Event::Task {
@@ -121,19 +137,36 @@ pub fn chrome_trace(rec: &Recording) -> String {
                      \"args\":{{\"bytes\":{bytes},\"orig\":{orig}}}",
                     us(at),
                 ));
+                let k = send_seq.entry((node, dest)).or_insert(0);
+                w.event(format_args!(
+                    "\"ph\":\"s\",\"pid\":{node},\"tid\":0,\"ts\":{:.3},\
+                     \"name\":\"tile\",\"cat\":\"flow\",\"id\":{}",
+                    us(at),
+                    flow_id(node, dest, *k),
+                ));
+                *k += 1;
             }
             Event::Recv {
                 node,
+                src,
                 bytes,
                 orig,
                 at,
             } => {
                 w.event(format_args!(
                     "\"ph\":\"i\",\"pid\":{node},\"tid\":0,\"ts\":{:.3},\"s\":\"t\",\
-                     \"name\":\"recv\",\"cat\":\"comm\",\
+                     \"name\":\"recv from {src}\",\"cat\":\"comm\",\
                      \"args\":{{\"bytes\":{bytes},\"orig\":{orig}}}",
                     us(at),
                 ));
+                let k = recv_seq.entry((src, node)).or_insert(0);
+                w.event(format_args!(
+                    "\"ph\":\"f\",\"bp\":\"e\",\"pid\":{node},\"tid\":0,\"ts\":{:.3},\
+                     \"name\":\"tile\",\"cat\":\"flow\",\"id\":{}",
+                    us(at),
+                    flow_id(src, node, *k),
+                ));
+                *k += 1;
             }
             Event::DepWait { node, start, end } => {
                 w.event(format_args!(
@@ -159,6 +192,35 @@ pub fn chrome_trace(rec: &Recording) -> String {
         }
     }
     w.finish()
+}
+
+/// Merges several Chrome-trace documents (each produced by
+/// [`chrome_trace`]) into one, concatenating their `traceEvents` arrays.
+///
+/// Every per-rank trace of a multi-process run already tags its events
+/// with the rank's real node id as the *pid*, and both ends of a flow
+/// arrow derive the same id from `(src, dest, k)`, so a plain
+/// concatenation yields a coherent cross-process timeline: node lanes
+/// stay distinct and send→recv arrows connect across the original
+/// process boundaries.
+pub fn merge_chrome_traces<S: AsRef<str>>(traces: &[S]) -> String {
+    let mut bodies = Vec::with_capacity(traces.len());
+    for t in traces {
+        let t = t.as_ref();
+        let start = t
+            .find("\"traceEvents\":[")
+            .map(|i| i + "\"traceEvents\":[".len())
+            .unwrap_or(t.len());
+        let end = t.rfind(']').unwrap_or(start);
+        let body = t[start..end.max(start)].trim();
+        if !body.is_empty() {
+            bodies.push(body.to_string());
+        }
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&bodies.join(",\n"));
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
 }
 
 /// Exports bare task spans (e.g. the simulator's trace) with `labeler`
@@ -198,7 +260,7 @@ mod tests {
         let mut h = rec.node(0);
         h.task(0, TaskKind::Gemm { i: 0, j: 2, k: 1 }, 0.0, 0.25);
         h.send(1, 2048, true);
-        h.recv(2048, false);
+        h.recv(2, 2048, false);
         h.dep_wait(0.25, 0.5);
         h.gauge(GaugeKind::TileStore, 12.0);
         drop(h);
@@ -207,7 +269,61 @@ mod tests {
         assert!(json.contains("\"traceEvents\""));
         assert!(json.contains("\"name\":\"gemm\""));
         assert!(json.contains("\"name\":\"send to 1\""));
+        assert!(json.contains("\"name\":\"recv from 2\""));
         assert!(json.contains("tile_store_tiles"));
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\""));
+    }
+
+    #[test]
+    fn flow_events_pair_sends_with_receives() {
+        let rec = Recorder::new();
+        let mut a = rec.node(0);
+        let mut b = rec.node(1);
+        // two messages 0 -> 1 and one 1 -> 0
+        a.send(1, 64, false);
+        a.send(1, 64, false);
+        b.send(0, 64, true);
+        b.recv(0, 64, false);
+        b.recv(0, 64, false);
+        a.recv(1, 64, true);
+        drop(a);
+        drop(b);
+        let json = chrome_trace(&rec.drain());
+        validate(&json).unwrap();
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 3);
+        // both directions and both sequence numbers show up, each id twice
+        for id in [flow_id(0, 1, 0), flow_id(0, 1, 1), flow_id(1, 0, 0)] {
+            let needle = format!("\"id\":{id}");
+            assert_eq!(json.matches(&needle).count(), 2, "{needle}");
+        }
+    }
+
+    #[test]
+    fn merged_traces_validate_and_keep_all_events() {
+        let rec_a = Recorder::new();
+        let mut h = rec_a.node(0);
+        h.task(0, TaskKind::Potrf { k: 0 }, 0.0, 0.1);
+        h.send(1, 128, false);
+        drop(h);
+        let rec_b = Recorder::new();
+        let mut h = rec_b.node(1);
+        h.recv(0, 128, false);
+        drop(h);
+        let a = chrome_trace(&rec_a.drain());
+        let b = chrome_trace(&rec_b.drain());
+        let merged = merge_chrome_traces(&[a, b]);
+        validate(&merged).unwrap();
+        assert!(merged.contains("\"name\":\"potrf\""));
+        assert!(merged.contains("\"name\":\"send to 1\""));
+        assert!(merged.contains("\"name\":\"recv from 0\""));
+        // the flow arrow survives the merge: same id on both sides
+        let needle = format!("\"id\":{}", flow_id(0, 1, 0));
+        assert_eq!(merged.matches(&needle).count(), 2);
+        // merging an empty trace is harmless
+        let empty = chrome_trace(&Recording::default());
+        validate(&merge_chrome_traces(&[merged, empty])).unwrap();
     }
 
     #[test]

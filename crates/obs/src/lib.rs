@@ -55,7 +55,7 @@ pub mod profile;
 pub mod recorder;
 pub mod trace;
 
-pub use chrome::{chrome_trace, chrome_trace_from_spans};
+pub use chrome::{chrome_trace, chrome_trace_from_spans, merge_chrome_traces};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use profile::{metrics_from_recording, ExecProfile, KindStats, BYTES_BOUNDS, LATENCY_BOUNDS};
 pub use recorder::{Event, GaugeKind, NodeRecorder, Recorder, Recording};

@@ -179,7 +179,7 @@ mod tests {
         let mut n1 = rec.node(1);
         n0.task(0, TaskKind::Potrf { k: 0 }, 0.0, 0.5);
         n0.send(1, 512, false);
-        n1.recv(512, false);
+        n1.recv(0, 512, false);
         n1.task(1, TaskKind::Trsm { k: 0, i: 1 }, 0.6, 1.0);
         n1.dep_wait(0.1, 0.6);
         n1.gauge(GaugeKind::ReadyQueue, 3.0);

@@ -86,6 +86,8 @@ pub enum Event {
     Recv {
         /// Receiving node.
         node: u32,
+        /// Sending node (pairs this receive with its send for flow arrows).
+        src: u32,
         /// Payload size.
         bytes: u64,
         /// `true` for an original-tile fetch, `false` for a producer output.
@@ -258,11 +260,12 @@ impl NodeRecorder<'_> {
         });
     }
 
-    /// Records an applied incoming message.
-    pub fn recv(&mut self, bytes: u64, orig: bool) {
+    /// Records an applied incoming message from node `src`.
+    pub fn recv(&mut self, src: u32, bytes: u64, orig: bool) {
         let at = self.now();
         self.buf.push(Event::Recv {
             node: self.node,
+            src,
             bytes,
             orig,
             at,

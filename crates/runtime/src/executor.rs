@@ -8,17 +8,26 @@
 //! ([`Policy::CriticalPath`], the StarPU list-scheduler heuristic) or by
 //! plain submission order ([`Policy::SubmissionOrder`]).
 //!
+//! The interconnect is abstract: workers talk only to the
+//! [`sbc_net::Transport`] trait. [`Executor::try_run`] meshes the nodes up
+//! in-process over [`sbc_net::InProc`] channels (the historical
+//! configuration); [`Executor::run_rank`] executes a *single* rank over any
+//! endpoint — including `sbc-net`'s TCP/UDS stream backends, where each
+//! rank is a separate OS process — and gathers results to rank 0 with the
+//! transport's `Result`/`Done` control protocol.
+//!
 //! Communication is *schedule-invariant*: which tiles cross node boundaries
 //! is decided by placement (the data edges of the graph plus the initial
 //! fetches), never by execution order, so [`CommStats`] is bit-identical at
-//! any worker count and under either policy.
+//! any worker count, under either policy, and over every transport backend.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use sbc_kernels as k;
 use sbc_kernels::{KernelError, Tile, Trans};
 use sbc_matrix::generate;
+use sbc_net::{inproc_mesh, Message, Payload, PeerStats, Transport};
 use sbc_obs::{GaugeKind, NodeRecorder, Recorder};
 use sbc_taskgraph::{flops_priorities, EdgeKind, TaskGraph, TaskId, TaskKind, TileRef};
+use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, RwLock};
@@ -27,9 +36,11 @@ use std::sync::{Condvar, Mutex, MutexGuard, RwLock};
 ///
 /// Every payload message — producer-output tiles (`Data`) *and*
 /// original-tile fetches (`Orig`) — is counted at its actual byte size on
-/// the sending and the receiving side. On a clean run the receive total
-/// equals `messages`; after an aborted run (kernel failure) it may be
-/// smaller, because poisoned nodes stop draining their channels.
+/// the sending and the receiving side. On a clean run over a faithful
+/// transport the receive total equals `messages`; after an aborted run
+/// (kernel failure) it may be smaller, and under a duplicate-injecting
+/// [`sbc_net::Faulty`] transport `messages` may exceed the applied count
+/// (receivers deduplicate, so `recv_per_node` stays at the analytic value).
 ///
 /// These counts depend only on the task graph (placement), not on the
 /// schedule: they are identical at every `workers_per_node` and under
@@ -79,6 +90,10 @@ pub enum ExecError {
         /// The absent tile.
         tile: TileRef,
     },
+    /// Another rank of a multi-process run aborted (a poison arrived over
+    /// the transport, or the endpoint closed). The originating error is
+    /// reported by the failing rank's own process.
+    Remote,
 }
 
 impl std::fmt::Display for ExecError {
@@ -89,6 +104,12 @@ impl std::fmt::Display for ExecError {
             }
             ExecError::MissingTile { tile } => {
                 write!(f, "result tile {tile:?} was never produced")
+            }
+            ExecError::Remote => {
+                write!(
+                    f,
+                    "a remote rank aborted; see its process output for the cause"
+                )
             }
         }
     }
@@ -106,18 +127,6 @@ pub enum Policy {
     /// the paper's StarPU list-scheduler configuration. The default.
     #[default]
     CriticalPath,
-}
-
-enum Msg {
-    /// Output tile of a remote producer task.
-    Data { producer: TaskId, tile: Tile },
-    /// Original input tile fetched from its home node.
-    Orig { tile_ref: TileRef, tile: Tile },
-    /// Another node failed; abort cleanly.
-    Poison,
-    /// No-op used to unblock a node's own receiver at completion. Never
-    /// counted as traffic.
-    Wake,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -144,7 +153,7 @@ struct SchedState {
     remaining: u64,
     /// Workers currently executing a kernel.
     active: u32,
-    /// A worker is blocked on (or draining) the message channel.
+    /// A worker is blocked on (or draining) the transport's receive side.
     receiving: bool,
     /// Worker 0 has shipped the node's original-tile fetches. No task may
     /// run before this: a local task could overwrite a tile whose original
@@ -158,14 +167,11 @@ struct SchedState {
 /// Per-node scheduler: the dependency bookkeeping and message-apply loop
 /// factored out of the worker threads. Workers take the `state` lock only
 /// to pop/push ready tasks and update counters; tiles live in `RwLock`
-/// stores that readers share.
+/// stores that readers share. Message traffic goes through the rank's
+/// [`Transport`] endpoint, which keeps its own wire-level accounting.
 struct NodeScheduler {
     state: Mutex<SchedState>,
     cv: Condvar,
-    /// The node's message endpoint. Exactly one worker at a time holds this
-    /// lock and blocks in `recv` (the `receiving` flag routes the others to
-    /// the condvar instead).
-    rx: Mutex<Receiver<Msg>>,
     /// Tiles owned (generated or written) by this node.
     local: RwLock<HashMap<TileRef, Tile>>,
     /// Tiles received from other nodes, keyed by producer task or fetched
@@ -175,13 +181,33 @@ struct NodeScheduler {
     waits: HashMap<WaitKey, Vec<TaskId>>,
     /// Original tiles this node must ship to remote consumers at startup.
     fetch_sends: Vec<(TileRef, u32)>,
-    sent: AtomicU64,
-    sent_bytes: AtomicU64,
-    recv: AtomicU64,
+    /// Payload messages received *and applied* (transport-injected
+    /// duplicates are received but never applied).
+    applied: AtomicU64,
+    /// `Result` tiles that arrived while this rank was still executing —
+    /// only rank 0 of a multi-process gather ever sees these.
+    gathered: Mutex<Vec<(TileRef, Tile)>>,
+    /// `Done` reports that arrived while this rank was still executing.
+    dones: Mutex<Vec<(u32, PeerStats)>>,
+}
+
+/// What one rank's execution produced, before any cross-rank merge.
+struct RankRun {
+    tiles: HashMap<TileRef, Tile>,
+    applied: u64,
+    gathered: Vec<(TileRef, Tile)>,
+    dones: Vec<(u32, PeerStats)>,
+    poisoned: bool,
+    error: Option<ExecError>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn into_inner<T>(m: Mutex<T>) -> T {
+    m.into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Provides original (input) tile contents to the executor.
@@ -194,8 +220,8 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// generation must agree.
 pub type TileProvider<'a> = dyn Fn(TileRef) -> Tile + Sync + 'a;
 
-/// Executes a [`TaskGraph`] with a pool of worker threads per node and
-/// channels as the interconnect.
+/// Executes a [`TaskGraph`] with a pool of worker threads per node and a
+/// pluggable [`sbc_net::Transport`] as the interconnect.
 ///
 /// Configure through [`Executor::builder`]:
 ///
@@ -321,30 +347,6 @@ impl<'g> Executor<'g> {
         }
     }
 
-    /// Creates an executor for `graph` with tile size `b` and the default
-    /// seeded generators.
-    #[deprecated(note = "use `Executor::builder(graph).block(b).seeds(seed, seed_rhs).build()`")]
-    pub fn new(graph: &'g TaskGraph, b: usize, seed: u64, seed_rhs: u64) -> Self {
-        Self::builder(graph).block(b).seeds(seed, seed_rhs).build()
-    }
-
-    /// Creates an executor with a custom original-tile provider.
-    #[deprecated(note = "use `Executor::builder(graph).block(b).provider(p).build()`")]
-    pub fn with_provider(
-        graph: &'g TaskGraph,
-        b: usize,
-        provider: impl Fn(TileRef) -> Tile + Sync + 'g,
-    ) -> Self {
-        Self::builder(graph).block(b).provider(provider).build()
-    }
-
-    /// Attaches an [`sbc_obs::Recorder`] to an already-built executor.
-    #[deprecated(note = "use `.recorder(&rec)` on `Executor::builder`")]
-    pub fn with_recorder(mut self, recorder: &'g Recorder) -> Self {
-        self.recorder = Some(recorder);
-        self
-    }
-
     fn original(&self, r: TileRef) -> Tile {
         let t = (self.provider)(r);
         assert_eq!(
@@ -365,6 +367,18 @@ impl<'g> Executor<'g> {
         })
     }
 
+    /// Critical-path priorities as raw f32 bits (non-negative floats order
+    /// like their bit patterns); empty = submission order.
+    fn priorities(&self) -> Vec<u32> {
+        match self.policy {
+            Policy::SubmissionOrder => Vec::new(),
+            Policy::CriticalPath => flops_priorities(self.graph, self.b)
+                .into_iter()
+                .map(f32::to_bits)
+                .collect(),
+        }
+    }
+
     /// Runs the graph to completion.
     ///
     /// # Panics
@@ -374,143 +388,43 @@ impl<'g> Executor<'g> {
         self.try_run().expect("distributed execution failed")
     }
 
-    /// Runs the graph to completion, propagating kernel failures.
+    /// Runs the graph to completion over an in-process channel mesh,
+    /// propagating kernel failures.
     ///
     /// On failure every node is shut down via poison messages and the first
     /// failure (in node order) is returned.
     pub fn try_run(&self) -> Result<ExecOutcome, ExecError> {
-        let g = self.graph;
-        let n_nodes = g.num_nodes();
-        let c = g.slices;
-        let workers = self.workers_per_node(n_nodes);
+        let n_nodes = self.graph.num_nodes();
+        let mesh = inproc_mesh(n_nodes);
+        let prio = self.priorities();
+        let prio: &[u32] = &prio;
 
-        // critical-path priorities as raw f32 bits (non-negative floats
-        // order like their bit patterns); empty = submission order
-        let prio: Vec<u32> = match self.policy {
-            Policy::SubmissionOrder => Vec::new(),
-            Policy::CriticalPath => flops_priorities(g, self.b)
+        let runs: Vec<RankRun> = std::thread::scope(|scope| {
+            let handles: Vec<_> = mesh
+                .iter()
+                .map(|net| scope.spawn(move || self.rank_loop(net, prio)))
+                .collect();
+            handles
                 .into_iter()
-                .map(f32::to_bits)
-                .collect(),
-        };
-        let prio_of = |t: TaskId| prio.get(t as usize).copied().unwrap_or(0);
-
-        // global dependency counts
-        let mut deps = g.in_degrees();
-        for (t, extra) in g.fetch_deps().into_iter().enumerate() {
-            deps[t] += extra;
-        }
-
-        // per-node scheduler setup
-        let mut per_node_deps: Vec<HashMap<TaskId, u32>> =
-            (0..n_nodes).map(|_| HashMap::new()).collect();
-        let mut per_node_ready: Vec<Vec<TaskId>> = vec![Vec::new(); n_nodes];
-        let mut per_node_count: Vec<u64> = vec![0; n_nodes];
-        let mut per_node_waits: Vec<HashMap<WaitKey, Vec<TaskId>>> =
-            (0..n_nodes).map(|_| HashMap::new()).collect();
-        let mut per_node_fetch_sends: Vec<Vec<(TileRef, u32)>> = vec![Vec::new(); n_nodes];
-
-        for t in 0..g.len() as TaskId {
-            let node = g.tasks()[t as usize].node as usize;
-            per_node_count[node] += 1;
-            per_node_deps[node].insert(t, deps[t as usize]);
-            if deps[t as usize] == 0 {
-                per_node_ready[node].push(t);
-            }
-            for (p, kind) in g.preds(t) {
-                let pnode = g.tasks()[p as usize].node;
-                if pnode != node as u32 {
-                    debug_assert_eq!(kind, EdgeKind::Data);
-                    let w = per_node_waits[node].entry(WaitKey::Task(p)).or_default();
-                    if w.last() != Some(&t) {
-                        w.push(t);
-                    }
-                }
-            }
-        }
-        for f in g.initial_fetches() {
-            per_node_fetch_sends[f.home as usize].push((f.tile, f.dest));
-            per_node_waits[f.dest as usize]
-                .entry(WaitKey::Orig(f.tile))
-                .or_default()
-                .extend(f.consumers.iter().copied());
-        }
-
-        // channels + per-node schedulers
-        let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(n_nodes);
-        let mut scheds: Vec<NodeScheduler> = Vec::with_capacity(n_nodes);
-        for node in 0..n_nodes {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            let fetch_sends = std::mem::take(&mut per_node_fetch_sends[node]);
-            scheds.push(NodeScheduler {
-                state: Mutex::new(SchedState {
-                    ready: std::mem::take(&mut per_node_ready[node])
-                        .into_iter()
-                        .map(|t| ReadyTask {
-                            prio: prio_of(t),
-                            task: std::cmp::Reverse(t),
-                        })
-                        .collect(),
-                    deps: std::mem::take(&mut per_node_deps[node]),
-                    remaining: per_node_count[node],
-                    active: 0,
-                    receiving: false,
-                    shipped: fetch_sends.is_empty(),
-                    poisoned: false,
-                    error: None,
-                }),
-                cv: Condvar::new(),
-                rx: Mutex::new(rx),
-                local: RwLock::new(HashMap::new()),
-                cache: RwLock::new(HashMap::new()),
-                waits: std::mem::take(&mut per_node_waits[node]),
-                fetch_sends,
-                sent: AtomicU64::new(0),
-                sent_bytes: AtomicU64::new(0),
-                recv: AtomicU64::new(0),
-            });
-        }
-
-        std::thread::scope(|scope| {
-            for (node, sched) in scheds.iter().enumerate() {
-                for widx in 0..workers {
-                    let ctx = WorkerCtx {
-                        exec: self,
-                        g,
-                        me: node as u32,
-                        c,
-                        sched,
-                        senders: &senders,
-                        prio: &prio,
-                    };
-                    scope.spawn(move || ctx.worker_loop(widx as u32));
-                }
-            }
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
         });
 
-        // gather results out of the schedulers
+        // merge per-rank stores and the transports' accounting
         let mut tiles = HashMap::new();
         let mut sent_per_node = vec![0u64; n_nodes];
         let mut recv_per_node = vec![0u64; n_nodes];
         let mut bytes_per_node = vec![0u64; n_nodes];
         let mut first_error: Option<ExecError> = None;
-        for (node, sched) in scheds.into_iter().enumerate() {
-            sent_per_node[node] = sched.sent.into_inner();
-            recv_per_node[node] = sched.recv.into_inner();
-            bytes_per_node[node] = sched.sent_bytes.into_inner();
-            let state = sched
-                .state
-                .into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            if let (None, Some(e)) = (&first_error, state.error) {
+        for (node, (run, net)) in runs.into_iter().zip(&mesh).enumerate() {
+            let s = net.stats();
+            sent_per_node[node] = s.sent_messages;
+            bytes_per_node[node] = s.sent_payload_bytes;
+            recv_per_node[node] = run.applied;
+            if let (None, Some(e)) = (&first_error, run.error) {
                 first_error = Some(e);
             }
-            let store = sched
-                .local
-                .into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            for (r, tile) in store {
+            for (r, tile) in run.tiles {
                 let prev = tiles.insert(r, tile);
                 debug_assert!(prev.is_none(), "tile {r:?} stored on two nodes");
             }
@@ -518,17 +432,222 @@ impl<'g> Executor<'g> {
         if let Some(e) = first_error {
             return Err(e);
         }
-        let messages: u64 = sent_per_node.iter().sum();
         Ok(ExecOutcome {
             tiles,
             stats: CommStats {
-                messages,
+                messages: sent_per_node.iter().sum(),
                 bytes: bytes_per_node.iter().sum(),
                 sent_per_node,
                 recv_per_node,
                 bytes_per_node,
             },
         })
+    }
+
+    /// Executes *this rank's* share of the graph over `net` — the entry
+    /// point for multi-process runs, where each rank is its own OS process
+    /// holding one transport endpoint (see `sbc_net::launch`).
+    ///
+    /// Every rank of the mesh must call this with the same graph and
+    /// configuration. Worker ranks (`net.rank() != 0`) ship their final
+    /// tiles and a [`PeerStats`] report to rank 0 and return `Ok(None)`;
+    /// rank 0 waits for every report and returns the merged
+    /// [`ExecOutcome`]. A failure on any rank poisons the whole mesh: the
+    /// failing rank returns its own [`ExecError`], every other rank
+    /// [`ExecError::Remote`].
+    pub fn run_rank(&self, net: &dyn Transport) -> Result<Option<ExecOutcome>, ExecError> {
+        let n = net.num_nodes();
+        let me = net.rank();
+        let prio = self.priorities();
+        let run = self.rank_loop(net, &prio);
+
+        if me != 0 {
+            if let Some(e) = run.error {
+                return Err(e);
+            }
+            if run.poisoned {
+                return Err(ExecError::Remote);
+            }
+            for (r, tile) in run.tiles {
+                net.send_result(0, r, tile);
+            }
+            let s = net.stats();
+            net.send_done(
+                0,
+                PeerStats {
+                    sent: s.sent_messages,
+                    sent_bytes: s.sent_payload_bytes,
+                    applied: run.applied,
+                },
+            );
+            return Ok(None);
+        }
+
+        // rank 0: fold in anything that arrived during the run, then drain
+        // the inbox until every worker rank has reported
+        let mut tiles = run.tiles;
+        tiles.extend(run.gathered);
+        let mut peer: Vec<Option<PeerStats>> = vec![None; n];
+        let mut done = 0usize;
+        for (src, s) in run.dones {
+            if peer[src as usize].replace(s).is_none() {
+                done += 1;
+            }
+        }
+        let mut poisoned = run.poisoned;
+        while done < n - 1 && !poisoned {
+            match net.recv() {
+                Some(Message::Result { tile_ref, tile }) => {
+                    tiles.insert(tile_ref, tile);
+                }
+                Some(Message::Done { src, stats }) => {
+                    if peer[src as usize].replace(stats).is_none() {
+                        done += 1;
+                    }
+                }
+                Some(Message::Poison) | None => poisoned = true,
+                // stray wakes from our own completion, or a duplicate
+                // payload injected after our run finished — both harmless
+                Some(Message::Wake) | Some(Message::Payload { .. }) => {}
+            }
+        }
+        if let Some(e) = run.error {
+            return Err(e);
+        }
+        if poisoned {
+            return Err(ExecError::Remote);
+        }
+
+        let own = net.stats();
+        let mut sent_per_node = vec![0u64; n];
+        let mut recv_per_node = vec![0u64; n];
+        let mut bytes_per_node = vec![0u64; n];
+        sent_per_node[0] = own.sent_messages;
+        bytes_per_node[0] = own.sent_payload_bytes;
+        recv_per_node[0] = run.applied;
+        for (r, s) in peer.iter().enumerate().skip(1) {
+            let s = s.expect("every worker rank reported");
+            sent_per_node[r] = s.sent;
+            bytes_per_node[r] = s.sent_bytes;
+            recv_per_node[r] = s.applied;
+        }
+        Ok(Some(ExecOutcome {
+            tiles,
+            stats: CommStats {
+                messages: sent_per_node.iter().sum(),
+                bytes: bytes_per_node.iter().sum(),
+                sent_per_node,
+                recv_per_node,
+                bytes_per_node,
+            },
+        }))
+    }
+
+    /// Builds one rank's scheduler from the graph and drains it with a
+    /// worker pool over `net`.
+    fn rank_loop(&self, net: &dyn Transport, prio: &[u32]) -> RankRun {
+        let g = self.graph;
+        let me = net.rank();
+        let c = g.slices;
+        let workers = self.workers_per_node(net.num_nodes());
+        let prio_of = |t: TaskId| prio.get(t as usize).copied().unwrap_or(0);
+
+        // global dependency counts, restricted below to this rank's tasks
+        let mut deps = g.in_degrees();
+        for (t, extra) in g.fetch_deps().into_iter().enumerate() {
+            deps[t] += extra;
+        }
+
+        let mut local_deps: HashMap<TaskId, u32> = HashMap::new();
+        let mut ready: Vec<TaskId> = Vec::new();
+        let mut remaining = 0u64;
+        let mut waits: HashMap<WaitKey, Vec<TaskId>> = HashMap::new();
+        let mut fetch_sends: Vec<(TileRef, u32)> = Vec::new();
+        for t in 0..g.len() as TaskId {
+            if g.tasks()[t as usize].node != me {
+                continue;
+            }
+            remaining += 1;
+            local_deps.insert(t, deps[t as usize]);
+            if deps[t as usize] == 0 {
+                ready.push(t);
+            }
+            for (p, kind) in g.preds(t) {
+                if g.tasks()[p as usize].node != me {
+                    debug_assert_eq!(kind, EdgeKind::Data);
+                    let w = waits.entry(WaitKey::Task(p)).or_default();
+                    if w.last() != Some(&t) {
+                        w.push(t);
+                    }
+                }
+            }
+        }
+        for f in g.initial_fetches() {
+            if f.home == me {
+                fetch_sends.push((f.tile, f.dest));
+            }
+            if f.dest == me {
+                waits
+                    .entry(WaitKey::Orig(f.tile))
+                    .or_default()
+                    .extend(f.consumers.iter().copied());
+            }
+        }
+
+        let sched = NodeScheduler {
+            state: Mutex::new(SchedState {
+                ready: ready
+                    .into_iter()
+                    .map(|t| ReadyTask {
+                        prio: prio_of(t),
+                        task: std::cmp::Reverse(t),
+                    })
+                    .collect(),
+                deps: local_deps,
+                remaining,
+                active: 0,
+                receiving: false,
+                shipped: fetch_sends.is_empty(),
+                poisoned: false,
+                error: None,
+            }),
+            cv: Condvar::new(),
+            local: RwLock::new(HashMap::new()),
+            cache: RwLock::new(HashMap::new()),
+            waits,
+            fetch_sends,
+            applied: AtomicU64::new(0),
+            gathered: Mutex::new(Vec::new()),
+            dones: Mutex::new(Vec::new()),
+        };
+
+        std::thread::scope(|scope| {
+            for widx in 0..workers {
+                let ctx = WorkerCtx {
+                    exec: self,
+                    g,
+                    me,
+                    c,
+                    sched: &sched,
+                    net,
+                    prio,
+                };
+                scope.spawn(move || ctx.worker_loop(widx as u32));
+            }
+        });
+
+        let state = into_inner(sched.state);
+        RankRun {
+            tiles: sched
+                .local
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+            applied: sched.applied.into_inner(),
+            gathered: into_inner(sched.gathered),
+            dones: into_inner(sched.dones),
+            poisoned: state.poisoned,
+            error: state.error,
+        }
     }
 }
 
@@ -561,8 +680,8 @@ enum Step {
     Exit,
 }
 
-/// Everything one worker thread needs: the executor, its node's scheduler
-/// and the shared channel endpoints.
+/// Everything one worker thread needs: the executor, its rank's scheduler
+/// and the rank's transport endpoint.
 #[derive(Clone, Copy)]
 struct WorkerCtx<'w, 'g> {
     exec: &'w Executor<'g>,
@@ -570,7 +689,7 @@ struct WorkerCtx<'w, 'g> {
     me: u32,
     c: usize,
     sched: &'w NodeScheduler,
-    senders: &'w [Sender<Msg>],
+    net: &'w dyn Transport,
     prio: &'w [u32],
 }
 
@@ -579,19 +698,13 @@ impl WorkerCtx<'_, '_> {
         self.prio.get(t as usize).copied().unwrap_or(0)
     }
 
-    /// Sends one payload message, counting it at its real byte size. Both
-    /// payload kinds (producer outputs and original fetches) count;
-    /// `Poison`/`Wake` control messages go through the raw senders and are
-    /// never tallied.
-    fn send_payload(&self, dest: u32, msg: Msg, obs: &mut Option<NodeRecorder<'_>>) {
-        let (bytes, orig) = match &msg {
-            Msg::Data { tile, .. } => ((tile.dim() * tile.dim() * 8) as u64, false),
-            Msg::Orig { tile, .. } => ((tile.dim() * tile.dim() * 8) as u64, true),
-            Msg::Poison | Msg::Wake => unreachable!("control messages are not payload"),
-        };
-        if self.senders[dest as usize].send(msg).is_ok() {
-            self.sched.sent.fetch_add(1, Ordering::Relaxed);
-            self.sched.sent_bytes.fetch_add(bytes, Ordering::Relaxed);
+    /// Sends one payload message. The transport counts it at its real byte
+    /// size (control messages have their own untallied entry points —
+    /// [`Transport::send_poison`] and friends — so the payload-vs-control
+    /// split is enforced by types, not by a match at the call site).
+    fn send_payload(&self, dest: u32, payload: Payload, obs: &mut Option<NodeRecorder<'_>>) {
+        let orig = payload.is_orig();
+        if let Some(bytes) = self.net.send_payload(dest, payload) {
             if let Some(o) = obs.as_mut() {
                 o.send(dest, bytes, orig);
             }
@@ -619,7 +732,7 @@ impl WorkerCtx<'_, '_> {
                         .or_insert_with(|| self.exec.original(tile_ref))
                         .clone()
                 };
-                self.send_payload(dest, Msg::Orig { tile_ref, tile }, &mut obs);
+                self.send_payload(dest, Payload::Orig { tile_ref, tile }, &mut obs);
             }
             let mut st = lock(&self.sched.state);
             st.shipped = true;
@@ -675,24 +788,21 @@ impl WorkerCtx<'_, '_> {
         drop(obs);
     }
 
-    /// Blocks on the node's channel as the designated receiver, applies the
+    /// Blocks on the transport as the designated receiver, applies the
     /// arrived batch and wakes the other workers. Returns `false` when the
-    /// channel is dead (all senders gone — cannot happen on a healthy run).
+    /// endpoint is closed (cannot happen on a healthy run).
     fn receive_and_apply(&self, obs: &mut Option<NodeRecorder<'_>>) -> bool {
         let wait_start = obs.as_ref().map(|o| o.now());
         let mut batch = Vec::new();
-        let alive = {
-            let rx = lock(&self.sched.rx);
-            match rx.recv() {
-                Ok(m) => {
+        let alive = match self.net.recv() {
+            Some(m) => {
+                batch.push(m);
+                while let Some(m) = self.net.try_recv() {
                     batch.push(m);
-                    while let Ok(m) = rx.try_recv() {
-                        batch.push(m);
-                    }
-                    true
                 }
-                Err(_) => false,
+                true
             }
+            None => false,
         };
         if let Some(o) = obs.as_mut() {
             let end = o.now();
@@ -705,29 +815,54 @@ impl WorkerCtx<'_, '_> {
         let mut arrived: Vec<WaitKey> = Vec::with_capacity(batch.len());
         let mut poisoned = !alive;
         for msg in batch {
-            let (key, orig) = match &msg {
-                Msg::Data { producer, .. } => (WaitKey::Task(*producer), false),
-                Msg::Orig { tile_ref, .. } => (WaitKey::Orig(*tile_ref), true),
-                Msg::Poison => {
-                    poisoned = true;
-                    continue;
+            match msg {
+                Message::Payload { src, payload } => {
+                    let key = match &payload {
+                        Payload::Data { producer, .. } => WaitKey::Task(*producer),
+                        Payload::Orig { tile_ref, .. } => WaitKey::Orig(*tile_ref),
+                    };
+                    let orig = payload.is_orig();
+                    let bytes = payload.payload_bytes();
+                    let tile = match payload {
+                        Payload::Data { tile, .. } | Payload::Orig { tile, .. } => tile,
+                    };
+                    // Each producer output / original fetch arrives at most
+                    // once per rank by protocol, so an occupied cache slot
+                    // means a transport-injected duplicate: drop it without
+                    // touching dependency counts or the applied tally.
+                    let duplicate = {
+                        let mut cache = self
+                            .sched
+                            .cache
+                            .write()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        match cache.entry(key) {
+                            Entry::Occupied(_) => true,
+                            Entry::Vacant(slot) => {
+                                slot.insert(tile);
+                                false
+                            }
+                        }
+                    };
+                    if duplicate {
+                        continue;
+                    }
+                    self.sched.applied.fetch_add(1, Ordering::Relaxed);
+                    if let Some(o) = obs.as_mut() {
+                        o.recv(src, bytes, orig);
+                    }
+                    arrived.push(key);
                 }
-                Msg::Wake => continue,
-            };
-            let tile = match msg {
-                Msg::Data { tile, .. } | Msg::Orig { tile, .. } => tile,
-                Msg::Poison | Msg::Wake => unreachable!(),
-            };
-            self.sched.recv.fetch_add(1, Ordering::Relaxed);
-            if let Some(o) = obs.as_mut() {
-                o.recv((tile.dim() * tile.dim() * 8) as u64, orig);
+                Message::Poison => poisoned = true,
+                Message::Wake => {}
+                // gather traffic reaching rank 0 before its own run ends
+                Message::Result { tile_ref, tile } => {
+                    lock(&self.sched.gathered).push((tile_ref, tile));
+                }
+                Message::Done { src, stats } => {
+                    lock(&self.sched.dones).push((src, stats));
+                }
             }
-            self.sched
-                .cache
-                .write()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .insert(key, tile);
-            arrived.push(key);
         }
 
         let store_tiles = self
@@ -816,7 +951,7 @@ impl WorkerCtx<'_, '_> {
             for &dest in &consumer_nodes {
                 self.send_payload(
                     dest,
-                    Msg::Data {
+                    Payload::Data {
                         producer: t,
                         tile: out.clone(),
                     },
@@ -849,12 +984,12 @@ impl WorkerCtx<'_, '_> {
         self.sched.cv.notify_all();
         if done {
             // unblock our own receiver, if one is parked in recv
-            let _ = self.senders[self.me as usize].send(Msg::Wake);
+            self.net.wake();
         }
     }
 
-    /// Records a local failure, poisons every other node and unblocks this
-    /// node's receiver.
+    /// Records a local failure, poisons every other rank and unblocks this
+    /// rank's receiver.
     fn fail(&self, e: ExecError, obs: &mut Option<NodeRecorder<'_>>) {
         let _ = obs;
         {
@@ -866,12 +1001,12 @@ impl WorkerCtx<'_, '_> {
             st.poisoned = true;
         }
         self.sched.cv.notify_all();
-        for (n, s) in self.senders.iter().enumerate() {
-            if n != self.me as usize {
-                let _ = s.send(Msg::Poison);
+        for n in 0..self.net.num_nodes() as u32 {
+            if n != self.me {
+                self.net.send_poison(n);
             }
         }
-        let _ = self.senders[self.me as usize].send(Msg::Wake);
+        self.net.wake();
     }
 
     /// Resolves a read operand: remote original (fetch cache), remote
@@ -1044,6 +1179,7 @@ fn run_kernel(kind: TaskKind, read_tiles: &[Tile], target: &mut Tile) -> Result<
 mod tests {
     use super::*;
     use sbc_dist::{SbcExtended, TwoDBlockCyclic};
+    use sbc_net::{FaultConfig, Faulty};
     use sbc_taskgraph::build_potrf;
 
     #[test]
@@ -1127,6 +1263,74 @@ mod tests {
         assert_eq!(a.stats, b.stats);
         for (r, t) in &a.tiles {
             assert_eq!(t.as_slice(), b.tiles[r].as_slice());
+        }
+    }
+
+    /// Drives `run_rank` over a caller-owned mesh, one thread per rank,
+    /// returning rank 0's gathered outcome.
+    fn run_ranks<T: Transport>(exec: &Executor<'_>, mesh: &[T]) -> ExecOutcome {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = mesh
+                .iter()
+                .map(|net| scope.spawn(move || exec.run_rank(net)))
+                .collect();
+            let mut out = None;
+            for h in handles {
+                if let Some(o) = h.join().expect("rank thread panicked").unwrap() {
+                    out = Some(o);
+                }
+            }
+            out.expect("rank 0 gathered an outcome")
+        })
+    }
+
+    #[test]
+    fn run_rank_gather_matches_try_run() {
+        let d = SbcExtended::new(4); // 6 nodes
+        let g = build_potrf(&d, 10);
+        let exec = Executor::builder(&g)
+            .block(8)
+            .seeds(2022, 7)
+            .workers(1)
+            .build();
+        let expected = exec.try_run().unwrap();
+        let mesh = inproc_mesh(g.num_nodes());
+        let outcome = run_ranks(&exec, &mesh);
+        assert_eq!(outcome.stats, expected.stats);
+        assert_eq!(outcome.tiles.len(), expected.tiles.len());
+        for (r, t) in &expected.tiles {
+            assert_eq!(outcome.tiles[r], *t, "tile {r:?} differs");
+        }
+    }
+
+    #[test]
+    fn duplicating_and_delaying_transport_does_not_change_the_result() {
+        let d = TwoDBlockCyclic::new(2, 2);
+        let g = build_potrf(&d, 8);
+        let exec = Executor::builder(&g)
+            .block(8)
+            .seeds(3, 4)
+            .workers(2)
+            .build();
+        let clean = exec.try_run().unwrap();
+        let cfg = FaultConfig {
+            dup_every: 2,
+            delay: Some(std::time::Duration::from_micros(50)),
+            ..Default::default()
+        };
+        let mesh: Vec<_> = inproc_mesh(g.num_nodes())
+            .into_iter()
+            .map(|t| Faulty::new(t, cfg))
+            .collect();
+        let outcome = run_ranks(&exec, &mesh);
+        // duplicates inflate the wire counts but are never applied, so the
+        // result and the applied totals stay at the clean run's values
+        let injected: u64 = mesh.iter().map(|t| t.duplicated()).sum();
+        assert!(injected > 0, "the fault plan injected nothing");
+        assert_eq!(outcome.stats.messages, clean.stats.messages + injected);
+        assert_eq!(outcome.stats.recv_per_node, clean.stats.recv_per_node);
+        for (r, t) in &clean.tiles {
+            assert_eq!(outcome.tiles[r], *t, "tile {r:?} differs under faults");
         }
     }
 }

@@ -3,8 +3,11 @@
 //! The paper's experiments execute Chameleon task graphs over StarPU with
 //! MPI between nodes. This crate is the functional substitute: every
 //! "node" is a small pool of worker threads with *private* tile storage,
-//! the "network" is a set of unbounded channels, and every tile that
-//! crosses a node boundary is counted — so the runtime simultaneously
+//! the "network" is a pluggable [`sbc_net::Transport`] — in-process
+//! channels by default ([`Executor::try_run`]), real TCP/UDS sockets with
+//! one OS process per rank through [`Executor::run_rank`] /
+//! [`Run::execute_rank`] — and every tile that crosses a node boundary is
+//! counted — so the runtime simultaneously
 //!
 //! 1. proves the task graphs are executable (deadlock-free, correctly
 //!    ordered: results match the sequential algorithms bit-for-bit at any
@@ -33,16 +36,11 @@
 #![warn(missing_docs)]
 
 pub mod executor;
-pub mod ops;
 pub mod planned;
 pub mod run;
 
 pub use executor::{
     CommStats, ExecError, ExecOutcome, Executor, ExecutorBuilder, Policy, TileProvider,
-};
-#[allow(deprecated)]
-pub use ops::{
-    run_lauum, run_lu, run_posv, run_potrf, run_potrf_25d, run_potri, run_potri_remap, run_trtri,
 };
 pub use planned::{run_plan, PlannedExecutor};
 pub use run::{Run, RunOutput, RunResult, Workload};

@@ -25,10 +25,11 @@
 //! the workload's result fallibly: a tile missing from the merged stores
 //! surfaces as [`ExecError::MissingTile`] instead of a panic.
 
-use crate::executor::{CommStats, ExecError, Executor, Policy, TileProvider};
+use crate::executor::{CommStats, ExecError, ExecOutcome, Executor, Policy, TileProvider};
 use sbc_dist::{Distribution, RowCyclic, TwoPointFiveD};
 use sbc_kernels::Tile;
 use sbc_matrix::{generate, FullTiledMatrix, SymmetricTiledMatrix, TiledPanel};
+use sbc_net::Transport;
 use sbc_obs::Recorder;
 use sbc_taskgraph::{
     build_lauum, build_lu, build_posv, build_potrf, build_potrf_25d, build_potri,
@@ -279,6 +280,26 @@ impl<'a> Run<'a> {
     /// Kernel failures and missing result tiles surface as [`ExecError`];
     /// every node shuts down cleanly first.
     pub fn execute(self) -> Result<RunOutput, ExecError> {
+        self.run_with(|e| e.try_run().map(Some))
+            .map(|o| o.expect("try_run always returns an outcome"))
+    }
+
+    /// Executes *this rank's* share of the graph over `net` — the
+    /// multi-process counterpart of [`Self::execute`], one OS process (or
+    /// caller-managed thread) per rank.
+    ///
+    /// Every rank must construct an identical `Run` and call this with its
+    /// own transport endpoint. Worker ranks return `Ok(None)` after
+    /// shipping their tiles to rank 0; rank 0 gathers and returns
+    /// `Ok(Some(output))`. See [`Executor::run_rank`].
+    pub fn execute_rank(self, net: &dyn Transport) -> Result<Option<RunOutput>, ExecError> {
+        self.run_with(|e| e.run_rank(net))
+    }
+
+    fn run_with(
+        self,
+        f: impl FnOnce(&Executor<'_>) -> Result<Option<ExecOutcome>, ExecError>,
+    ) -> Result<Option<RunOutput>, ExecError> {
         let Run {
             graph,
             workload,
@@ -320,7 +341,10 @@ impl<'a> Run<'a> {
             builder = builder.provider(lu_provider);
         }
 
-        let out = builder.build().try_run()?;
+        let out = match f(&builder.build())? {
+            None => return Ok(None),
+            Some(out) => out,
+        };
         let result = match workload {
             Workload::Potrf | Workload::Trtri | Workload::Lauum | Workload::Potri => {
                 RunResult::Factor(gather_symmetric(&out.tiles, nt, b, 0, |_| 0)?)
@@ -334,10 +358,10 @@ impl<'a> Run<'a> {
             Workload::Posv => RunResult::Solution(gather_panel(&out.tiles, nt, b)?),
             Workload::Lu => RunResult::Full(gather_full(&out.tiles, nt, b)?),
         };
-        Ok(RunOutput {
+        Ok(Some(RunOutput {
             stats: out.stats,
             result,
-        })
+        }))
     }
 }
 

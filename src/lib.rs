@@ -41,7 +41,8 @@
 //! | [`dist`] | **SBC** (basic/extended), 2D block-cyclic, row-cyclic, 2.5D; load balance; exact communication counting; Table I |
 //! | [`taskgraph`] | distributed task DAGs (POTRF/POSV/TRTRI/LAUUM/POTRI, 2.5D, remap), priorities |
 //! | [`simgrid`] | discrete-event cluster simulator (the paper's `bora` platform model) |
-//! | [`runtime`] | threads-as-nodes distributed runtime: priority-scheduled worker pools per node, byte-exact communication accounting, the [`runtime::Run`] builder |
+//! | [`net`] | pluggable transport layer: in-process channels, real TCP/UDS stream sockets with a CRC-checked wire protocol, fault injection, multi-process launcher |
+//! | [`runtime`] | distributed runtime over [`net`]: priority-scheduled worker pools per node, byte-exact communication accounting, the [`runtime::Run`] builder, per-rank execution via [`runtime::Executor::run_rank`] |
 //! | [`outofcore`] | sequential two-level-memory model (Section III-E): LRU transfer simulation and I/O bounds |
 //! | [`planner`] | autotuning distribution planner: candidate search, analytic cost model, simulation refinement, concurrent plan cache, drift reports |
 //! | [`obs`] | observability: execution recorder, metrics registry, text Gantt and Chrome-trace/Perfetto export for measured and simulated runs |
@@ -64,6 +65,7 @@
 pub use sbc_dist as dist;
 pub use sbc_kernels as kernels;
 pub use sbc_matrix as matrix;
+pub use sbc_net as net;
 pub use sbc_obs as obs;
 pub use sbc_outofcore as outofcore;
 pub use sbc_planner as planner;
