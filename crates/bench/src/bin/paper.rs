@@ -18,6 +18,13 @@
 //! the sequential algorithm bitwise, checks the wire traffic against the
 //! analytic counts, and merges every rank's Chrome trace into one file.
 //! It is deliberately excluded from `all` (it re-execs this binary).
+//!
+//! `--faults drop:N,dup:N,delay:MS` makes every rank's endpoint lossy and
+//! wraps it in a reliability session (`--seed <s>` varies which sends the
+//! schedule hits); the run must still produce the bitwise-identical factor
+//! and exact analytic payload counts, with retransmissions reported
+//! separately. `--deadline <secs>` arms the liveness watchdog so a stalled
+//! run fails with a diagnosis instead of hanging.
 
 use sbc_bench::figures::{self, Scale};
 use sbc_bench::{render_csv, render_figure};
@@ -39,13 +46,16 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|w| w.parse().expect("--workers takes a positive integer"));
     // Skip flags and the values consumed by value-taking options.
-    const VALUE_FLAGS: [&str; 6] = [
+    const VALUE_FLAGS: [&str; 9] = [
         "--out",
         "--workers",
         "--nodes",
         "--backend",
         "--nt",
         "--block",
+        "--faults",
+        "--seed",
+        "--deadline",
     ];
     let mut skip_next = false;
     let targets: Vec<&str> = args
@@ -119,7 +129,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown target '{target}'. Use one of: all, table1, patterns, fig7..fig14, ablations, planner, trace, obs, net [--full] [--out <path>] [--workers <n>] [--nodes <n>] [--backend tcp|uds] [--nt <tiles>] [--block <b>]"
+            "unknown target '{target}'. Use one of: all, table1, patterns, fig7..fig14, ablations, planner, trace, obs, net [--full] [--out <path>] [--workers <n>] [--nodes <n>] [--backend tcp|uds] [--nt <tiles>] [--block <b>] [--faults drop:N,dup:N,delay:MS] [--seed <s>] [--deadline <secs>]"
         );
         std::process::exit(2);
     }
@@ -141,9 +151,13 @@ fn main() {
 fn net_run(args: &[String], out_path: &str, workers: Option<usize>) {
     use sbc_dist::{comm, Distribution, SbcExtended, TwoDBlockCyclic};
     use sbc_matrix::{cholesky_residual, potrf_tiled, random_spd};
-    use sbc_net::{launch, wait_children, Backend, Role, Transport};
-    use sbc_obs::{chrome_trace, json, merge_chrome_traces, Recorder};
+    use sbc_net::{
+        launch, wait_children, Backend, FaultConfig, Faulty, Role, Session, SessionEventKind,
+        Transport,
+    };
+    use sbc_obs::{chrome_trace, json, merge_chrome_traces, FaultKind, Recorder};
     use sbc_runtime::Run;
+    use std::time::Duration;
 
     let value_of = |flag: &str| {
         args.iter()
@@ -163,6 +177,13 @@ fn net_run(args: &[String], out_path: &str, workers: Option<usize>) {
     let b: usize = value_of("--block")
         .map(|v| v.parse().expect("--block takes a positive integer"))
         .unwrap_or(8);
+    let faults: Option<FaultConfig> = value_of("--faults")
+        .map(|v| FaultConfig::parse(v).expect("--faults takes drop:N,dup:N,delay:MS clauses"));
+    let fault_seed: u64 = value_of("--seed")
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(42);
+    let deadline: Option<f64> =
+        value_of("--deadline").map(|v| v.parse().expect("--deadline takes seconds (a float)"));
     let seed = 2022u64;
 
     // The distribution is a pure function of the rank count, so every
@@ -179,11 +200,28 @@ fn net_run(args: &[String], out_path: &str, workers: Option<usize>) {
     };
 
     let role = launch(nodes, backend, args).expect("failed to form the process mesh");
-    let net: &dyn Transport = match &role {
-        Role::Root { net, .. } => net,
-        Role::Worker { net } => net,
+    let (raw, children) = match role {
+        Role::Root { net, children } => (net, Some(children)),
+        Role::Worker { net } => (net, None),
     };
-    let rank = net.rank();
+    let rank = raw.rank();
+
+    // With --faults the raw endpoint becomes lossy and a reliability
+    // session recovers on top of it; the run below must behave exactly as
+    // if the network were perfect.
+    let mut session = None;
+    let mut plain = None;
+    let net: &dyn Transport = match faults {
+        Some(mut cfg) => {
+            // per-rank phase: the same seed reproduces the same global
+            // schedule, but each rank's drops hit different sends
+            cfg.phase = fault_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(rank as u64);
+            &*session.insert(Session::new(Faulty::new(raw, cfg)))
+        }
+        None => &*plain.insert(raw),
+    };
 
     let recorder = Recorder::new();
     let mut run = Run::potrf(&dist.as_ref(), nt)
@@ -193,12 +231,27 @@ fn net_run(args: &[String], out_path: &str, workers: Option<usize>) {
     if let Some(w) = workers {
         run = run.workers(w);
     }
+    if let Some(d) = deadline {
+        run = run.deadline(Duration::from_secs_f64(d));
+    }
     let out = run.execute_rank(net).expect("distributed execution failed");
+    let wire = net.stats();
+    if let Some(s) = &session {
+        // reliability incidents into this rank's trace as fault spans
+        let mut h = recorder.node(rank);
+        for ev in s.take_events() {
+            let kind = match ev.kind {
+                SessionEventKind::Retransmit => FaultKind::Retransmit,
+                SessionEventKind::AckRtt => FaultKind::AckRtt,
+            };
+            h.fault(kind, recorder.time_of(ev.start), recorder.time_of(ev.end));
+        }
+    }
     let trace = chrome_trace(&recorder.drain());
     let rank_path = format!("{out_path}.rank{rank}");
     std::fs::write(&rank_path, &trace).expect("failed to write the rank trace");
 
-    let Role::Root { mut children, .. } = role else {
+    let Some(mut children) = children else {
         return; // worker ranks are done once their trace is on disk
     };
     let out = out.expect("rank 0 gathers the outcome");
@@ -220,6 +273,13 @@ fn net_run(args: &[String], out_path: &str, workers: Option<usize>) {
         "wire traffic: {} messages, {} bytes — equal to the analytic counts",
         out.stats.messages, out.stats.bytes
     );
+    if faults.is_some() {
+        println!(
+            "reliability (rank 0 endpoint): {} retransmits ({} bytes), {} control frames \
+             ({} bytes) — recovered, excluded from the payload accounting above",
+            wire.retrans_messages, wire.retrans_bytes, wire.control_messages, wire.control_bytes
+        );
+    }
 
     // bitwise equality with the sequential factorization + residual
     let mut seq = random_spd(seed, nt, b);

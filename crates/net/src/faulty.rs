@@ -1,10 +1,21 @@
 //! Fault injection for transport-level testing.
 //!
 //! [`Faulty`] wraps any [`Transport`] and perturbs its *payload* traffic:
-//! periodic drops, periodic duplicates, and a fixed delay per send. Control
+//! seeded drops, periodic duplicates, and a fixed delay per send. Control
 //! messages (poison, wake, result, done) always pass through untouched —
 //! injecting faults there would break shutdown and gather protocols rather
 //! than exercise the runtime's data-path robustness.
+//!
+//! Drops are **fair-lossy**, not strictly periodic: each send's fate is a
+//! hash of the seeded send counter, dropping 1-in-`drop_every` on average.
+//! A strictly periodic filter is an unfair adversary — when a blocked mesh
+//! has only retransmissions left to send, a fixed retransmit batch consumes
+//! a fixed number of counter slots per round, and whenever that batch size
+//! is a multiple of the drop period the same payload lands on the dropped
+//! residue every round, forever. No ARQ protocol is live under an adversary
+//! that censors every copy of one message; hashing the counter restores the
+//! fair-loss assumption (a message sent infinitely often is eventually
+//! delivered) while staying a pure, reproducible function of the seed.
 //!
 //! Stats discipline: a dropped payload is *not* counted as sent (the wire
 //! never saw it); a duplicated payload is counted twice, because two copies
@@ -13,7 +24,7 @@
 //! message count measures the injected excess.
 
 use crate::msg::{Message, NodeId, Payload, PeerStats};
-use crate::transport::{Transport, TransportStats};
+use crate::transport::{RecvTimeout, Transport, TransportStats};
 use sbc_kernels::Tile;
 use sbc_taskgraph::TileRef;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,12 +33,22 @@ use std::time::Duration;
 /// What [`Faulty`] injects. A period of 0 disables that fault.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultConfig {
-    /// Drop every `drop_every`-th payload send (1 = drop all).
+    /// Drop 1-in-`drop_every` payload sends (1 = drop all), fair-lossy:
+    /// the victims are a seeded hash of the send counter, never a strict
+    /// period (see the module docs for why periodicity can censor a
+    /// message forever).
     pub drop_every: u64,
     /// Duplicate every `dup_every`-th payload send.
     pub dup_every: u64,
     /// Sleep this long before every payload send.
     pub delay: Option<Duration>,
+    /// Stop dropping after this many drops (0 = drop forever). Lets
+    /// recovery tests exercise `drop_every: 1` without making the channel
+    /// permanently lossy.
+    pub max_drops: u64,
+    /// Offset added to the send counter before the periodic gates, so
+    /// seeded chaos schedules hit different sends on different ranks.
+    pub phase: u64,
 }
 
 impl FaultConfig {
@@ -39,7 +60,7 @@ impl FaultConfig {
         }
     }
 
-    /// Only drops, every `n`-th payload.
+    /// Only drops, 1-in-`n` payloads (seeded fair loss).
     pub fn dropping(n: u64) -> Self {
         FaultConfig {
             drop_every: n,
@@ -53,6 +74,29 @@ impl FaultConfig {
             delay: Some(d),
             ..Default::default()
         }
+    }
+
+    /// Parses a CLI fault spec: comma-separated `drop:N`, `dup:N`,
+    /// `delay:MS` clauses, e.g. `"drop:7,dup:5,delay:2"`. Unknown keys or
+    /// malformed numbers are an `Err` naming the offending clause.
+    pub fn parse(spec: &str) -> Result<FaultConfig, String> {
+        let mut cfg = FaultConfig::default();
+        for clause in spec.split(',').filter(|c| !c.trim().is_empty()) {
+            let (key, value) = clause
+                .split_once(':')
+                .ok_or_else(|| format!("fault clause `{clause}` is not key:value"))?;
+            let n: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault clause `{clause}` has a malformed number"))?;
+            match key.trim() {
+                "drop" => cfg.drop_every = n,
+                "dup" => cfg.dup_every = n,
+                "delay" => cfg.delay = (n > 0).then(|| Duration::from_millis(n)),
+                other => return Err(format!("unknown fault kind `{other}`")),
+            }
+        }
+        Ok(cfg)
     }
 }
 
@@ -92,6 +136,50 @@ impl<T: Transport> Faulty<T> {
     pub fn inner(&self) -> &T {
         &self.inner
     }
+
+    /// The shared fault gate: one decision per payload send, applied
+    /// identically to plain and sequenced payloads so a session under test
+    /// sees the same schedule the raw executor would. Drop decisions hash
+    /// the counter (fair loss); duplicate decisions stay periodic, since a
+    /// duplicate can never censor anything.
+    fn gate(&self) -> Gate {
+        if let Some(d) = self.cfg.delay {
+            std::thread::sleep(d);
+        }
+        let k = self
+            .cfg
+            .phase
+            .wrapping_add(self.sends.fetch_add(1, Ordering::Relaxed) + 1);
+        if self.cfg.drop_every != 0
+            && splitmix(k).is_multiple_of(self.cfg.drop_every)
+            && (self.cfg.max_drops == 0
+                || self.dropped.load(Ordering::Relaxed) < self.cfg.max_drops)
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return Gate::Drop;
+        }
+        if self.cfg.dup_every != 0 && k.is_multiple_of(self.cfg.dup_every) {
+            self.duplicated.fetch_add(1, Ordering::Relaxed);
+            return Gate::Duplicate;
+        }
+        Gate::Pass
+    }
+}
+
+enum Gate {
+    Drop,
+    Duplicate,
+    Pass,
+}
+
+/// splitmix64: decorrelates the drop gate from the raw counter arithmetic
+/// so retransmission batches cannot phase-lock with the drop schedule.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl<T: Transport> Transport for Faulty<T> {
@@ -104,19 +192,14 @@ impl<T: Transport> Transport for Faulty<T> {
     }
 
     fn send_payload(&self, dest: NodeId, payload: Payload) -> Option<u64> {
-        if let Some(d) = self.cfg.delay {
-            std::thread::sleep(d);
+        match self.gate() {
+            Gate::Drop => None,
+            Gate::Duplicate => {
+                self.inner.send_payload(dest, payload.clone());
+                self.inner.send_payload(dest, payload)
+            }
+            Gate::Pass => self.inner.send_payload(dest, payload),
         }
-        let k = self.sends.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.cfg.drop_every != 0 && k.is_multiple_of(self.cfg.drop_every) {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
-        if self.cfg.dup_every != 0 && k.is_multiple_of(self.cfg.dup_every) {
-            self.duplicated.fetch_add(1, Ordering::Relaxed);
-            self.inner.send_payload(dest, payload.clone());
-        }
-        self.inner.send_payload(dest, payload)
     }
 
     fn send_poison(&self, dest: NodeId) {
@@ -143,6 +226,27 @@ impl<T: Transport> Transport for Faulty<T> {
         self.inner.try_recv()
     }
 
+    fn send_seq(&self, dest: NodeId, seq: u64, payload: Payload) -> Option<u64> {
+        match self.gate() {
+            Gate::Drop => None,
+            Gate::Duplicate => {
+                self.inner.send_seq(dest, seq, payload.clone());
+                self.inner.send_seq(dest, seq, payload)
+            }
+            Gate::Pass => self.inner.send_seq(dest, seq, payload),
+        }
+    }
+
+    // acks and timed receives pass through untouched: faults target the
+    // counted data path, not the recovery machinery itself
+    fn send_ack(&self, dest: NodeId, upto: u64) {
+        self.inner.send_ack(dest, upto);
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> RecvTimeout {
+        self.inner.recv_timeout(timeout)
+    }
+
     fn stats(&self) -> TransportStats {
         self.inner.stats()
     }
@@ -161,25 +265,31 @@ mod tests {
     }
 
     #[test]
-    fn drops_swallow_every_nth_payload() {
+    fn drops_swallow_a_seeded_subset_of_payloads() {
         let mesh = inproc_mesh(2);
         let mut mesh = mesh.into_iter();
         let a = Faulty::new(mesh.next().unwrap(), FaultConfig::dropping(3));
         let b = mesh.next().unwrap();
         let mut delivered = 0;
-        for k in 0..9 {
+        for k in 0..30 {
             if a.send_payload(1, payload(k)).is_some() {
                 delivered += 1;
             }
         }
-        assert_eq!(a.dropped(), 3);
-        assert_eq!(delivered, 6);
+        // fair loss, not a strict period: the victims are seeded, so the
+        // exact count is reproducible but only the rate is configured
+        assert!(a.dropped() > 0, "a 1-in-3 plan dropped nothing in 30 sends");
+        assert_eq!(a.dropped() + delivered, 30);
         let mut seen = 0;
         while b.try_recv().is_some() {
             seen += 1;
         }
-        assert_eq!(seen, 6);
-        assert_eq!(a.stats().sent_messages, 6, "drops never hit the wire");
+        assert_eq!(seen, delivered);
+        assert_eq!(
+            a.stats().sent_messages,
+            delivered,
+            "drops never hit the wire"
+        );
     }
 
     #[test]
@@ -211,5 +321,92 @@ mod tests {
         assert!(matches!(b.recv(), Some(Message::Poison)));
         assert!(matches!(b.recv(), Some(Message::Done { .. })));
         assert_eq!(a.send_payload(1, payload(0)), None, "all payloads dropped");
+    }
+
+    /// The latent-hang case: `dropping(1)` used to strand any receiver
+    /// forever, because a swallowed payload was simply gone. Under a
+    /// [`Session`] the same schedule *recovers* — every original is
+    /// dropped, every delivery happens by retransmission, and the logical
+    /// accounting still counts each payload exactly once.
+    #[test]
+    fn dropping_every_payload_recovers_under_a_session() {
+        use crate::session::{Session, SessionConfig};
+        use crate::transport::RecvTimeout;
+        use std::time::{Duration, Instant};
+
+        let cfg = SessionConfig {
+            rto: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(20),
+            tick: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let mut mesh = inproc_mesh(2).into_iter();
+        let a = Session::with_config(
+            Faulty::new(
+                mesh.next().unwrap(),
+                FaultConfig {
+                    drop_every: 1,
+                    max_drops: 10,
+                    ..Default::default()
+                },
+            ),
+            cfg,
+        );
+        let b = Session::with_config(mesh.next().unwrap(), cfg);
+        let n = 10u32;
+        for k in 0..n {
+            assert_eq!(a.send_payload(1, payload(k)), Some(32), "logical accept");
+        }
+        assert_eq!(a.inner().dropped(), 10, "every original was swallowed");
+        let (a, b) = (&a, &b);
+        std::thread::scope(|s| {
+            let pump = s.spawn(move || {
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while a.unacked() > 0 && Instant::now() < deadline {
+                    a.recv_timeout(Duration::from_millis(1));
+                }
+            });
+            for k in 0..n {
+                match b.recv_timeout(Duration::from_secs(10)) {
+                    RecvTimeout::Msg(Message::Payload {
+                        payload: Payload::Data { producer, .. },
+                        ..
+                    }) => assert_eq!(producer, k, "recovered in order"),
+                    other => panic!("payload {k} never recovered: {other:?}"),
+                }
+            }
+            pump.join().unwrap();
+        });
+        assert_eq!(a.unacked(), 0, "recovery completed");
+        let s = a.stats();
+        assert_eq!(s.sent_messages, u64::from(n), "each payload counted once");
+        assert!(
+            s.retrans_messages >= u64::from(n),
+            "every delivery was a retransmission: {}",
+            s.retrans_messages
+        );
+        assert_eq!(b.stats().recv_messages, u64::from(n));
+    }
+
+    #[test]
+    fn fault_spec_parsing() {
+        assert_eq!(
+            FaultConfig::parse("drop:7,dup:5,delay:2").unwrap(),
+            FaultConfig {
+                drop_every: 7,
+                dup_every: 5,
+                delay: Some(Duration::from_millis(2)),
+                ..Default::default()
+            }
+        );
+        assert_eq!(FaultConfig::parse("").unwrap(), FaultConfig::default());
+        assert_eq!(
+            FaultConfig::parse("delay:0").unwrap(),
+            FaultConfig::default(),
+            "zero delay disables the fault"
+        );
+        assert!(FaultConfig::parse("drop").is_err(), "missing value");
+        assert!(FaultConfig::parse("warp:3").is_err(), "unknown kind");
+        assert!(FaultConfig::parse("drop:x").is_err(), "malformed number");
     }
 }

@@ -8,11 +8,12 @@
 //! counts stay zero and payload accounting is the only traffic measure.
 
 use crate::msg::{Message, NodeId, Payload, PeerStats};
-use crate::transport::{StatsCell, Transport, TransportStats};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::transport::{RecvTimeout, StatsCell, Transport, TransportStats};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use sbc_kernels::Tile;
 use sbc_taskgraph::TileRef;
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// One rank's endpoint of an in-process channel mesh.
 pub struct InProc {
@@ -45,7 +46,7 @@ pub fn inproc_mesh(n: usize) -> Vec<InProc> {
 
 impl InProc {
     fn count_if_payload(&self, msg: &Message) {
-        if let Message::Payload { payload, .. } = msg {
+        if let Message::Payload { payload, .. } | Message::Seq { payload, .. } = msg {
             self.stats.count_recv(payload.payload_bytes(), 0);
         }
     }
@@ -109,6 +110,46 @@ impl Transport for InProc {
         let msg = rx.try_recv().ok()?;
         self.count_if_payload(&msg);
         Some(msg)
+    }
+
+    fn send_seq(&self, dest: NodeId, seq: u64, payload: Payload) -> Option<u64> {
+        let bytes = payload.payload_bytes();
+        self.txs[dest as usize]
+            .send(Message::Seq {
+                src: self.rank,
+                seq,
+                payload,
+            })
+            .ok()?;
+        self.stats.count_send(bytes, 0);
+        Some(bytes)
+    }
+
+    fn send_ack(&self, dest: NodeId, upto: u64) {
+        if self.txs[dest as usize]
+            .send(Message::Ack {
+                src: self.rank,
+                upto,
+            })
+            .is_ok()
+        {
+            self.stats.count_control(0);
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> RecvTimeout {
+        let rx = self
+            .rx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match rx.recv_timeout(timeout) {
+            Ok(msg) => {
+                self.count_if_payload(&msg);
+                RecvTimeout::Msg(msg)
+            }
+            Err(RecvTimeoutError::Timeout) => RecvTimeout::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => RecvTimeout::Closed,
+        }
     }
 
     fn stats(&self) -> TransportStats {

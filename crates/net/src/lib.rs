@@ -14,6 +14,11 @@
 //!   bounded per-peer send queues with blocking backpressure.
 //! * [`Faulty`] — a wrapper injecting drops, duplicates and delays into
 //!   payload traffic for the failure-injection tests.
+//! * [`Session`] — a reliability layer over any of the above: per-peer
+//!   sequence numbers, cumulative acks, retransmission with capped
+//!   exponential backoff and a receiver-side reorder/dedup window, keeping
+//!   logical payload accounting exact while retransmits and acks land in
+//!   separate `retrans_*`/`control_*` counters.
 //!
 //! [`launch`] turns a single binary into a multi-process run: the parent
 //! becomes rank 0, spawns one OS process per remaining rank, and all ranks
@@ -32,6 +37,7 @@ mod faulty;
 mod inproc;
 mod launch;
 mod msg;
+mod session;
 mod stream;
 mod transport;
 pub mod wire;
@@ -40,5 +46,6 @@ pub use faulty::{FaultConfig, Faulty};
 pub use inproc::{inproc_mesh, InProc};
 pub use launch::{launch, wait_children, Role, ENV_BACKEND, ENV_NODES, ENV_RANK, ENV_ROOT};
 pub use msg::{Message, NodeId, Payload, PeerStats};
+pub use session::{Session, SessionConfig, SessionEvent, SessionEventKind};
 pub use stream::{local_mesh, Backend, MeshBuilder, StreamTransport};
-pub use transport::{Transport, TransportStats};
+pub use transport::{RecvTimeout, Transport, TransportStats};

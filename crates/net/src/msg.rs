@@ -98,4 +98,26 @@ pub enum Message {
         /// Its payload-traffic totals.
         stats: PeerStats,
     },
+    /// A sequenced tile payload from `src`, sent by a reliability session.
+    ///
+    /// Counted exactly like [`Message::Payload`] on the wire; the receiving
+    /// session deduplicates and reorders by `seq` before handing the inner
+    /// payload to the runtime as a plain `Payload`.
+    Seq {
+        /// Sending rank.
+        src: NodeId,
+        /// Per-(src, dest) sequence number, starting at 0.
+        seq: u64,
+        /// The tile payload.
+        payload: Payload,
+    },
+    /// Cumulative acknowledgement from `src`: every sequenced payload with
+    /// `seq < upto` has been received. Control traffic, never counted as
+    /// payload volume.
+    Ack {
+        /// Acknowledging rank.
+        src: NodeId,
+        /// One past the highest contiguously received sequence number.
+        upto: u64,
+    },
 }

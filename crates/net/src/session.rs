@@ -1,0 +1,668 @@
+//! Reliable per-peer sessions over any [`Transport`].
+//!
+//! [`Session`] wraps a (possibly lossy) transport and guarantees that every
+//! payload handed to [`Transport::send_payload`] is eventually delivered to
+//! its destination exactly once, in per-peer order, without changing the
+//! *logical* payload accounting: each payload counts once in
+//! `sent_messages`/`sent_payload_bytes` no matter how many times the wire
+//! had to carry it, retransmitted copies accumulate only in
+//! `retrans_messages`/`retrans_bytes`, and acks only in
+//! `control_messages`/`control_bytes`. That keeps the invariant the paper's
+//! analysis rests on — wire payload volume equals the analytic
+//! communication volume — intact under fault injection.
+//!
+//! ## State machine
+//!
+//! Per destination peer the sender keeps a `next_seq` counter and a queue
+//! of unacked in-flight payloads; per source peer the receiver keeps
+//! `next_expected` and a bounded reorder window:
+//!
+//! ```text
+//!   send_payload(dest, p)
+//!        │ assign seq = next_seq++, queue as unacked
+//!        ▼
+//!   [in flight] ──(rto elapses)──▶ retransmit, rto = min(2·rto, cap)
+//!        │                              │ (loops until acked)
+//!        │◀─────────────────────────────┘
+//!        │ Ack{upto > seq} arrives
+//!        ▼
+//!   [acked] — dropped from the queue, AckRtt event recorded
+//!
+//!   Seq{src, seq, p} arrives
+//!        │ seq < next_expected          → duplicate: re-ack, discard
+//!        │ seq ≥ next_expected + window → overflow: discard (sender retries)
+//!        │ otherwise                    → buffer; deliver the contiguous
+//!        ▼                                prefix, advance next_expected
+//!   ack(src, next_expected) — cumulative: "everything below arrived"
+//! ```
+//!
+//! ## Deadlock freedom
+//!
+//! The session has no background threads. Retransmission and ack
+//! processing are driven from *inside* [`Transport::recv`] /
+//! [`Transport::recv_timeout`] by pumping the inner transport in
+//! [`SessionConfig::tick`]-sized slices — so any rank that is blocked
+//! waiting for a message is, by construction, also the rank driving the
+//! retransmissions and acks that unblock its peers. A rank that stops
+//! receiving has either finished (nothing left to deliver to it) or
+//! dropped its endpoint, and [`Drop`] drains outstanding traffic for up to
+//! [`SessionConfig::linger`] while still acking inbound payloads so peers'
+//! own drains complete.
+
+use crate::msg::{Message, NodeId, Payload, PeerStats};
+use crate::transport::{RecvTimeout, StatsCell, Transport, TransportStats};
+use sbc_kernels::Tile;
+use sbc_taskgraph::TileRef;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Timing and window knobs of a [`Session`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Initial retransmission timeout: an unacked payload is resent once
+    /// this much time passes without a covering ack.
+    pub rto: Duration,
+    /// Upper bound of the exponential backoff (`rto` doubles per resend of
+    /// the same payload up to this cap).
+    pub backoff_cap: Duration,
+    /// Granularity at which a blocked receiver pumps the inner transport
+    /// to drive retransmissions; the effective retransmit latency is
+    /// `rto` rounded up to the next tick.
+    pub tick: Duration,
+    /// How long [`Drop`] keeps retransmitting unacked payloads before
+    /// giving up (a poisoned session skips the drain entirely).
+    pub linger: Duration,
+    /// Receiver reorder window per peer, in sequence numbers. Payloads
+    /// beyond `next_expected + window` are discarded and must be
+    /// retransmitted once the window catches up.
+    pub window: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            rto: Duration::from_millis(25),
+            backoff_cap: Duration::from_millis(500),
+            tick: Duration::from_millis(5),
+            linger: Duration::from_secs(2),
+            window: 1024,
+        }
+    }
+}
+
+/// What a recorded [`SessionEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEventKind {
+    /// A payload was resent; the span runs from the previous transmission
+    /// to the retransmission.
+    Retransmit,
+    /// An ack covered an in-flight payload; the span runs from its last
+    /// transmission to the ack's arrival (an RTT estimate).
+    AckRtt,
+}
+
+/// One timed reliability event, for export into observability traces.
+///
+/// Times are [`Instant`]s so `sbc-net` needs no dependency on the
+/// observability crate; convert with its recorder's epoch when exporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionEvent {
+    /// What happened.
+    pub kind: SessionEventKind,
+    /// The peer the payload was addressed to.
+    pub peer: NodeId,
+    /// Span start (see [`SessionEventKind`]).
+    pub start: Instant,
+    /// Span end.
+    pub end: Instant,
+}
+
+/// A payload in flight: sent, not yet covered by a cumulative ack.
+struct Unacked {
+    seq: u64,
+    payload: Payload,
+    last_sent: Instant,
+    rto: Duration,
+}
+
+/// Sender-side state toward one peer.
+struct PeerSend {
+    next_seq: u64,
+    unacked: VecDeque<Unacked>,
+}
+
+/// Receiver-side state from one peer.
+struct PeerRecv {
+    next_expected: u64,
+    window: BTreeMap<u64, Payload>,
+}
+
+struct SessState {
+    send: Vec<PeerSend>,
+    recv: Vec<PeerRecv>,
+    /// Messages ready for the runtime: delivered payloads (in per-peer
+    /// order) and pass-through control messages, in processing order.
+    pending: VecDeque<Message>,
+}
+
+/// A reliability layer over any [`Transport`]; see the module docs for the
+/// protocol and its invariants.
+pub struct Session<T: Transport> {
+    inner: T,
+    cfg: SessionConfig,
+    state: Mutex<SessState>,
+    stats: StatsCell,
+    events: Mutex<Vec<SessionEvent>>,
+    poisoned: AtomicBool,
+}
+
+impl<T: Transport> Session<T> {
+    /// Wraps `inner` with default timing ([`SessionConfig::default`]).
+    pub fn new(inner: T) -> Self {
+        Session::with_config(inner, SessionConfig::default())
+    }
+
+    /// Wraps `inner` with explicit timing and window knobs.
+    pub fn with_config(inner: T, cfg: SessionConfig) -> Self {
+        let n = inner.num_nodes();
+        Session {
+            inner,
+            cfg,
+            state: Mutex::new(SessState {
+                send: (0..n)
+                    .map(|_| PeerSend {
+                        next_seq: 0,
+                        unacked: VecDeque::new(),
+                    })
+                    .collect(),
+                recv: (0..n)
+                    .map(|_| PeerRecv {
+                        next_expected: 0,
+                        window: BTreeMap::new(),
+                    })
+                    .collect(),
+                pending: VecDeque::new(),
+            }),
+            stats: StatsCell::default(),
+            events: Mutex::new(Vec::new()),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Payloads sent but not yet covered by an ack, across all peers.
+    pub fn unacked(&self) -> u64 {
+        self.lock()
+            .send
+            .iter()
+            .map(|p| p.unacked.len() as u64)
+            .sum()
+    }
+
+    /// Drains the recorded retransmit / ack-RTT events.
+    pub fn take_events(&self) -> Vec<SessionEvent> {
+        std::mem::take(
+            &mut self
+                .events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SessState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn push_event(&self, ev: SessionEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(ev);
+    }
+
+    /// Resends every in-flight payload whose retransmission timer expired,
+    /// doubling its timeout up to the backoff cap.
+    fn flush_retransmits(&self) {
+        let now = Instant::now();
+        let mut due: Vec<(NodeId, u64, Payload)> = Vec::new();
+        {
+            let mut st = self.lock();
+            for (dest, ps) in st.send.iter_mut().enumerate() {
+                for u in ps.unacked.iter_mut() {
+                    if now.duration_since(u.last_sent) >= u.rto {
+                        self.push_event(SessionEvent {
+                            kind: SessionEventKind::Retransmit,
+                            peer: dest as NodeId,
+                            start: u.last_sent,
+                            end: now,
+                        });
+                        u.last_sent = now;
+                        u.rto = (u.rto * 2).min(self.cfg.backoff_cap);
+                        self.stats.count_retrans(u.payload.payload_bytes());
+                        due.push((dest as NodeId, u.seq, u.payload.clone()));
+                    }
+                }
+            }
+        }
+        for (dest, seq, payload) in due {
+            self.inner.send_seq(dest, seq, payload);
+        }
+    }
+
+    /// Feeds one inner message through the session state machine; acks to
+    /// emit are returned so the caller can send them outside the lock.
+    fn process(&self, msg: Message) -> Vec<(NodeId, u64)> {
+        let mut acks = Vec::new();
+        let now = Instant::now();
+        let mut st = self.lock();
+        match msg {
+            Message::Seq { src, seq, payload } => {
+                let s = src as usize;
+                if seq >= st.recv[s].next_expected + self.cfg.window {
+                    // beyond the reorder window: discard, the sender will
+                    // retransmit once the window has advanced
+                    return acks;
+                }
+                if seq >= st.recv[s].next_expected {
+                    st.recv[s].window.entry(seq).or_insert(payload);
+                    // deliver the contiguous prefix in sequence order
+                    loop {
+                        let ne = st.recv[s].next_expected;
+                        let Some(p) = st.recv[s].window.remove(&ne) else {
+                            break;
+                        };
+                        st.recv[s].next_expected = ne + 1;
+                        self.stats.count_recv(p.payload_bytes(), 0);
+                        st.pending.push_back(Message::Payload { src, payload: p });
+                    }
+                }
+                // cumulative: re-acks duplicates, confirms new arrivals
+                acks.push((src, st.recv[s].next_expected));
+            }
+            Message::Ack { src, upto } => {
+                let ps = &mut st.send[src as usize];
+                while ps.unacked.front().is_some_and(|u| u.seq < upto) {
+                    let u = ps.unacked.pop_front().expect("checked non-empty");
+                    self.push_event(SessionEvent {
+                        kind: SessionEventKind::AckRtt,
+                        peer: src,
+                        start: u.last_sent,
+                        end: now,
+                    });
+                }
+            }
+            Message::Poison => {
+                self.poisoned.store(true, Ordering::Relaxed);
+                st.pending.push_back(Message::Poison);
+            }
+            other => st.pending.push_back(other),
+        }
+        acks
+    }
+
+    /// Core receive pump: drains pending deliveries, drives retransmits,
+    /// and feeds inner traffic through the state machine until a message
+    /// is deliverable, the deadline passes, or the inner endpoint closes.
+    fn pump(&self, deadline: Option<Instant>) -> RecvTimeout {
+        loop {
+            if let Some(m) = self.lock().pending.pop_front() {
+                return RecvTimeout::Msg(m);
+            }
+            self.flush_retransmits();
+            let mut wait = self.cfg.tick;
+            if let Some(d) = deadline {
+                let now = Instant::now();
+                if now >= d {
+                    return RecvTimeout::TimedOut;
+                }
+                wait = wait.min(d - now);
+            }
+            match self.inner.recv_timeout(wait) {
+                RecvTimeout::Msg(m) => {
+                    for (dest, upto) in self.process(m) {
+                        self.inner.send_ack(dest, upto);
+                    }
+                }
+                RecvTimeout::TimedOut => {}
+                RecvTimeout::Closed => {
+                    return match self.lock().pending.pop_front() {
+                        Some(m) => RecvTimeout::Msg(m),
+                        None => RecvTimeout::Closed,
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl<T: Transport> Transport for Session<T> {
+    fn rank(&self) -> NodeId {
+        self.inner.rank()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    fn send_payload(&self, dest: NodeId, payload: Payload) -> Option<u64> {
+        let bytes = payload.payload_bytes();
+        let seq = {
+            let mut st = self.lock();
+            let ps = &mut st.send[dest as usize];
+            let seq = ps.next_seq;
+            ps.next_seq += 1;
+            ps.unacked.push_back(Unacked {
+                seq,
+                payload: payload.clone(),
+                last_sent: Instant::now(),
+                rto: self.cfg.rto,
+            });
+            seq
+        };
+        // the logical send is counted exactly once, whatever the wire does
+        self.stats.count_send(bytes, 0);
+        self.inner.send_seq(dest, seq, payload);
+        Some(bytes)
+    }
+
+    fn send_poison(&self, dest: NodeId) {
+        // this rank is aborting: retransmitting its in-flight payloads at
+        // teardown would only delay the collective shutdown
+        self.poisoned.store(true, Ordering::Relaxed);
+        self.inner.send_poison(dest);
+    }
+
+    fn send_result(&self, dest: NodeId, tile_ref: TileRef, tile: Tile) {
+        self.inner.send_result(dest, tile_ref, tile);
+    }
+
+    fn send_done(&self, dest: NodeId, stats: PeerStats) {
+        self.inner.send_done(dest, stats);
+    }
+
+    fn wake(&self) {
+        self.inner.wake();
+    }
+
+    fn recv(&self) -> Option<Message> {
+        match self.pump(None) {
+            RecvTimeout::Msg(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn try_recv(&self) -> Option<Message> {
+        while let Some(m) = self.inner.try_recv() {
+            for (dest, upto) in self.process(m) {
+                self.inner.send_ack(dest, upto);
+            }
+        }
+        self.flush_retransmits();
+        self.lock().pending.pop_front()
+    }
+
+    fn send_seq(&self, dest: NodeId, seq: u64, payload: Payload) -> Option<u64> {
+        // sessions do not nest; treat an outer sequenced send as logical
+        let _ = seq;
+        self.send_payload(dest, payload)
+    }
+
+    fn send_ack(&self, dest: NodeId, upto: u64) {
+        self.inner.send_ack(dest, upto);
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> RecvTimeout {
+        self.pump(Some(Instant::now() + timeout))
+    }
+
+    fn stats(&self) -> TransportStats {
+        let inner = self.inner.stats();
+        let own = self.stats.snapshot();
+        TransportStats {
+            // logical payload accounting: one count per payload, however
+            // many copies the wire carried or dropped
+            sent_messages: own.sent_messages,
+            sent_payload_bytes: own.sent_payload_bytes,
+            recv_messages: own.recv_messages,
+            recv_payload_bytes: own.recv_payload_bytes,
+            // the wire's own truth for raw volume
+            sent_frame_bytes: inner.sent_frame_bytes,
+            recv_frame_bytes: inner.recv_frame_bytes,
+            retrans_messages: own.retrans_messages + inner.retrans_messages,
+            retrans_bytes: own.retrans_bytes + inner.retrans_bytes,
+            control_messages: own.control_messages + inner.control_messages,
+            control_bytes: own.control_bytes + inner.control_bytes,
+        }
+    }
+}
+
+impl<T: Transport> Drop for Session<T> {
+    fn drop(&mut self) {
+        if self.poisoned.load(Ordering::Relaxed) {
+            return;
+        }
+        let deadline = Instant::now() + self.cfg.linger;
+        while self.unacked() > 0 && Instant::now() < deadline {
+            self.flush_retransmits();
+            match self.inner.recv_timeout(self.cfg.tick) {
+                RecvTimeout::Msg(m) => {
+                    // keep acking inbound payloads so peers' drains finish
+                    for (dest, upto) in self.process(m) {
+                        self.inner.send_ack(dest, upto);
+                    }
+                }
+                RecvTimeout::TimedOut => {}
+                RecvTimeout::Closed => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faulty::{FaultConfig, Faulty};
+    use crate::inproc::inproc_mesh;
+
+    fn payload(k: u32) -> Payload {
+        Payload::Data {
+            producer: k,
+            tile: Tile::zeros(2),
+        }
+    }
+
+    fn fast() -> SessionConfig {
+        SessionConfig {
+            rto: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(20),
+            tick: Duration::from_millis(1),
+            linger: Duration::from_secs(5),
+            window: 64,
+        }
+    }
+
+    fn producer_of(m: &Message) -> u32 {
+        match m {
+            Message::Payload {
+                payload: Payload::Data { producer, .. },
+                ..
+            } => *producer,
+            other => panic!("expected a data payload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_channel_delivers_in_order_with_logical_counts() {
+        let mut mesh = inproc_mesh(2).into_iter();
+        let a = Session::with_config(mesh.next().unwrap(), fast());
+        let b = Session::with_config(mesh.next().unwrap(), fast());
+        for k in 0..5 {
+            assert_eq!(a.send_payload(1, payload(k)), Some(32));
+        }
+        for k in 0..5 {
+            let m = b.recv_timeout(Duration::from_secs(5));
+            let RecvTimeout::Msg(m) = m else {
+                panic!("expected a message, got {m:?}")
+            };
+            assert_eq!(producer_of(&m), k);
+        }
+        // pump a until the acks land
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while a.unacked() > 0 && Instant::now() < deadline {
+            a.recv_timeout(Duration::from_millis(1));
+        }
+        assert_eq!(a.unacked(), 0, "acks cover everything");
+        let s = a.stats();
+        assert_eq!((s.sent_messages, s.sent_payload_bytes), (5, 160));
+        assert_eq!(s.retrans_messages, 0, "no loss, no retransmits");
+        let s = b.stats();
+        assert_eq!((s.recv_messages, s.recv_payload_bytes), (5, 160));
+        assert!(s.control_messages > 0, "acks were sent");
+    }
+
+    #[test]
+    fn dropped_payloads_are_recovered_by_retransmission() {
+        let mut mesh = inproc_mesh(2).into_iter();
+        let a = Session::with_config(
+            Faulty::new(
+                mesh.next().unwrap(),
+                FaultConfig {
+                    drop_every: 2,
+                    max_drops: 4,
+                    ..Default::default()
+                },
+            ),
+            fast(),
+        );
+        let b = Session::with_config(mesh.next().unwrap(), fast());
+        for k in 0..8 {
+            a.send_payload(1, payload(k));
+        }
+        let (a, b) = (&a, &b);
+        std::thread::scope(|s| {
+            // a's pump drives the retransmissions b's receipt depends on
+            let pump = s.spawn(move || {
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while a.unacked() > 0 && Instant::now() < deadline {
+                    a.recv_timeout(Duration::from_millis(1));
+                }
+            });
+            for k in 0..8 {
+                let m = b.recv_timeout(Duration::from_secs(10));
+                let RecvTimeout::Msg(m) = m else {
+                    panic!("payload {k} never recovered: {m:?}")
+                };
+                assert_eq!(producer_of(&m), k, "in order despite drops");
+            }
+            pump.join().unwrap();
+        });
+        assert_eq!(a.unacked(), 0);
+        let dropped = a.inner().dropped();
+        assert!(
+            (1..=4).contains(&dropped),
+            "seeded loss should swallow between 1 and max_drops payloads, got {dropped}"
+        );
+        let s = a.stats();
+        assert_eq!(s.sent_messages, 8, "logical sends count once");
+        assert!(
+            s.retrans_messages >= dropped,
+            "each drop forced at least one retransmit, got {} for {dropped} drops",
+            s.retrans_messages
+        );
+        assert_eq!(b.stats().recv_messages, 8, "exactly-once delivery");
+        assert!(
+            a.take_events()
+                .iter()
+                .any(|e| e.kind == SessionEventKind::Retransmit),
+            "retransmit events were recorded"
+        );
+    }
+
+    #[test]
+    fn duplicates_are_delivered_exactly_once() {
+        let mut mesh = inproc_mesh(2).into_iter();
+        let a = Session::with_config(
+            Faulty::new(mesh.next().unwrap(), FaultConfig::duplicating(2)),
+            fast(),
+        );
+        let b = Session::with_config(mesh.next().unwrap(), fast());
+        for k in 0..6 {
+            a.send_payload(1, payload(k));
+        }
+        for k in 0..6 {
+            let m = b.recv_timeout(Duration::from_secs(5));
+            let RecvTimeout::Msg(m) = m else {
+                panic!("missing payload {k}")
+            };
+            assert_eq!(producer_of(&m), k);
+        }
+        assert!(
+            matches!(
+                b.recv_timeout(Duration::from_millis(20)),
+                RecvTimeout::TimedOut
+            ),
+            "duplicates must not surface twice"
+        );
+        assert_eq!(b.stats().recv_messages, 6);
+        assert_eq!(a.inner().duplicated(), 3);
+    }
+
+    #[test]
+    fn control_messages_pass_through_unsequenced() {
+        let mut mesh = inproc_mesh(2).into_iter();
+        let a = Session::with_config(mesh.next().unwrap(), fast());
+        let b = Session::with_config(mesh.next().unwrap(), fast());
+        a.send_done(1, PeerStats::default());
+        a.send_poison(1);
+        assert!(matches!(
+            b.recv_timeout(Duration::from_secs(5)),
+            RecvTimeout::Msg(Message::Done { .. })
+        ));
+        assert!(matches!(
+            b.recv_timeout(Duration::from_secs(5)),
+            RecvTimeout::Msg(Message::Poison)
+        ));
+        assert_eq!(a.stats().sent_messages, 0, "control is not payload");
+    }
+
+    #[test]
+    fn drop_drains_unacked_payloads() {
+        let mut mesh = inproc_mesh(2).into_iter();
+        let a = Session::with_config(
+            Faulty::new(
+                mesh.next().unwrap(),
+                FaultConfig {
+                    drop_every: 1,
+                    max_drops: 2,
+                    ..Default::default()
+                },
+            ),
+            fast(),
+        );
+        let b = Session::with_config(mesh.next().unwrap(), fast());
+        a.send_payload(1, payload(0));
+        a.send_payload(1, payload(1));
+        assert_eq!(a.inner().dropped(), 2, "both originals were swallowed");
+        let (a, b) = (a, &b);
+        std::thread::scope(|s| {
+            let h = s.spawn(move || drop(a)); // Drop drains the retransmits
+            for k in 0..2 {
+                let m = b.recv_timeout(Duration::from_secs(10));
+                let RecvTimeout::Msg(m) = m else {
+                    panic!("payload {k} lost at teardown: {m:?}")
+                };
+                assert_eq!(producer_of(&m), k);
+            }
+            h.join().unwrap();
+        });
+        assert_eq!(b.stats().recv_messages, 2);
+    }
+}

@@ -16,7 +16,7 @@
 //! aborting anyone.
 
 use crate::msg::{Message, NodeId, Payload, PeerStats};
-use crate::transport::{StatsCell, Transport, TransportStats};
+use crate::transport::{RecvTimeout, StatsCell, Transport, TransportStats};
 use crate::wire::{self, Frame};
 use sbc_kernels::Tile;
 use sbc_taskgraph::TileRef;
@@ -203,6 +203,31 @@ impl Inbox {
         }
     }
 
+    fn pop_wait_timeout(&self, timeout: Duration) -> RecvTimeout {
+        let deadline = Instant::now() + timeout;
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(m) = st.q.pop_front() {
+                return RecvTimeout::Msg(m);
+            }
+            if st.closed {
+                return RecvTimeout::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return RecvTimeout::TimedOut;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
     fn pop(&self) -> Option<Message> {
         self.state
             .lock()
@@ -327,6 +352,10 @@ fn reader_loop(mut stream: BoxStream, inbox: &Inbox, stats: &StatsCell) {
                         stats.count_recv(payload.payload_bytes(), frame_bytes);
                         Message::Payload { src, payload }
                     }
+                    Frame::Seq { src, seq, payload } => {
+                        stats.count_recv(payload.payload_bytes(), frame_bytes);
+                        Message::Seq { src, seq, payload }
+                    }
                     other => {
                         stats
                             .recv_frame_bytes
@@ -335,11 +364,14 @@ fn reader_loop(mut stream: BoxStream, inbox: &Inbox, stats: &StatsCell) {
                             Frame::Poison => Message::Poison,
                             Frame::Result { tile_ref, tile } => Message::Result { tile_ref, tile },
                             Frame::Done { src, stats } => Message::Done { src, stats },
+                            Frame::Ack { src, upto } => Message::Ack { src, upto },
                             // setup frames never appear mid-run; ignore
                             Frame::Hello { .. } | Frame::Addr { .. } | Frame::Table { .. } => {
                                 continue;
                             }
-                            Frame::Payload { .. } => unreachable!("matched above"),
+                            Frame::Payload { .. } | Frame::Seq { .. } => {
+                                unreachable!("matched above")
+                            }
                         }
                     }
                 };
@@ -432,6 +464,37 @@ impl Transport for StreamTransport {
 
     fn try_recv(&self) -> Option<Message> {
         self.inbox.pop()
+    }
+
+    fn send_seq(&self, dest: NodeId, seq: u64, payload: Payload) -> Option<u64> {
+        let bytes = payload.payload_bytes();
+        let frame = Frame::Seq {
+            src: self.rank,
+            seq,
+            payload,
+        };
+        let buf = wire::encode(&frame);
+        let frame_bytes = buf.len() as u64;
+        self.peers[dest as usize].as_ref()?.send(buf).ok()?;
+        self.stats.count_send(bytes, frame_bytes);
+        Some(bytes)
+    }
+
+    fn send_ack(&self, dest: NodeId, upto: u64) {
+        if let Some(tx) = self.peers[dest as usize].as_ref() {
+            let buf = wire::encode(&Frame::Ack {
+                src: self.rank,
+                upto,
+            });
+            let frame_bytes = buf.len() as u64;
+            if tx.send(buf).is_ok() {
+                self.stats.count_control(frame_bytes);
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> RecvTimeout {
+        self.inbox.pop_wait_timeout(timeout)
     }
 
     fn stats(&self) -> TransportStats {

@@ -4,6 +4,7 @@ use crate::msg::{Message, NodeId, Payload, PeerStats};
 use sbc_kernels::Tile;
 use sbc_taskgraph::TileRef;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Wire-level accounting of one rank's endpoint.
 ///
@@ -27,6 +28,16 @@ pub struct TransportStats {
     pub sent_frame_bytes: u64,
     /// Total bytes read from the wire, framing included (0 in-process).
     pub recv_frame_bytes: u64,
+    /// Retransmitted payload messages (reliability-session resends). Never
+    /// folded into `sent_messages` — the analytic model counts each logical
+    /// payload once.
+    pub retrans_messages: u64,
+    /// Retransmitted payload bytes (tile bodies of resent messages).
+    pub retrans_bytes: u64,
+    /// Control messages sent (acks); free in the analytic model.
+    pub control_messages: u64,
+    /// Control bytes sent (ack frame bodies; 0 in-process).
+    pub control_bytes: u64,
 }
 
 /// One rank's endpoint into the interconnect.
@@ -69,8 +80,53 @@ pub trait Transport: Send + Sync {
     /// Returns the next message if one is already queued.
     fn try_recv(&self) -> Option<Message>;
 
+    /// Sends a sequenced payload to `dest` on behalf of a reliability
+    /// session. Counted exactly like [`Transport::send_payload`]; the `seq`
+    /// travels with the message so the receiving session can reorder and
+    /// deduplicate.
+    ///
+    /// The default implementation ignores `seq` and degrades to a plain
+    /// payload send, which is correct only over loss-free transports.
+    fn send_seq(&self, dest: NodeId, seq: u64, payload: Payload) -> Option<u64> {
+        let _ = seq;
+        self.send_payload(dest, payload)
+    }
+
+    /// Sends a cumulative ack ("everything below `upto` arrived") to
+    /// `dest`. Control traffic: counted in `control_messages`/
+    /// `control_bytes`, never in payload volume. The default implementation
+    /// is a no-op for backends that predate sessions.
+    fn send_ack(&self, dest: NodeId, upto: u64) {
+        let _ = (dest, upto);
+    }
+
+    /// Blocks for the next message for at most `timeout`.
+    ///
+    /// The default implementation cannot honor the timeout and degrades to
+    /// a blocking [`Transport::recv`]; real backends override it so
+    /// watchdogs and session retransmit timers can make progress while a
+    /// rank waits.
+    fn recv_timeout(&self, timeout: Duration) -> RecvTimeout {
+        let _ = timeout;
+        match self.recv() {
+            Some(m) => RecvTimeout::Msg(m),
+            None => RecvTimeout::Closed,
+        }
+    }
+
     /// A snapshot of this endpoint's wire-level accounting.
     fn stats(&self) -> TransportStats;
+}
+
+/// Outcome of a bounded wait on a rank's inbox.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecvTimeout {
+    /// A message arrived within the timeout.
+    Msg(Message),
+    /// Nothing arrived before the timeout elapsed.
+    TimedOut,
+    /// The endpoint closed; no further messages will arrive.
+    Closed,
 }
 
 /// Shared atomic backing for [`TransportStats`].
@@ -82,6 +138,10 @@ pub(crate) struct StatsCell {
     pub recv_payload_bytes: AtomicU64,
     pub sent_frame_bytes: AtomicU64,
     pub recv_frame_bytes: AtomicU64,
+    pub retrans_messages: AtomicU64,
+    pub retrans_bytes: AtomicU64,
+    pub control_messages: AtomicU64,
+    pub control_bytes: AtomicU64,
 }
 
 impl StatsCell {
@@ -101,6 +161,19 @@ impl StatsCell {
             .fetch_add(frame_bytes, Ordering::Relaxed);
     }
 
+    pub fn count_retrans(&self, payload_bytes: u64) {
+        self.retrans_messages.fetch_add(1, Ordering::Relaxed);
+        self.retrans_bytes
+            .fetch_add(payload_bytes, Ordering::Relaxed);
+    }
+
+    pub fn count_control(&self, frame_bytes: u64) {
+        self.control_messages.fetch_add(1, Ordering::Relaxed);
+        self.control_bytes.fetch_add(frame_bytes, Ordering::Relaxed);
+        self.sent_frame_bytes
+            .fetch_add(frame_bytes, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> TransportStats {
         TransportStats {
             sent_messages: self.sent_messages.load(Ordering::Relaxed),
@@ -109,6 +182,10 @@ impl StatsCell {
             recv_payload_bytes: self.recv_payload_bytes.load(Ordering::Relaxed),
             sent_frame_bytes: self.sent_frame_bytes.load(Ordering::Relaxed),
             recv_frame_bytes: self.recv_frame_bytes.load(Ordering::Relaxed),
+            retrans_messages: self.retrans_messages.load(Ordering::Relaxed),
+            retrans_bytes: self.retrans_bytes.load(Ordering::Relaxed),
+            control_messages: self.control_messages.load(Ordering::Relaxed),
+            control_bytes: self.control_bytes.load(Ordering::Relaxed),
         }
     }
 }

@@ -22,6 +22,9 @@
 //! | 6 | `Hello` | `src u32` (first frame on every mesh connection) |
 //! | 7 | `Addr` | `src u32, addr string` (rendezvous: worker → root) |
 //! | 8 | `Table` | `count u32, addr strings` (rendezvous: root → worker) |
+//! | 9 | `Seq`/`Data` | `src u32, seq u64, producer u32, tile` |
+//! | 10 | `Seq`/`Orig` | `src u32, seq u64, tile_ref, tile` |
+//! | 11 | `Ack` | `src u32, upto u64` (cumulative session ack) |
 //!
 //! A `tile_ref` is `kind u8, phase u8, slice u8, i u32, j u32` (kind 0 =
 //! matrix tile `A`, 1 = 2.5D buffer, 2 = RHS row). Strings are
@@ -44,6 +47,9 @@ const TAG_DONE: u8 = 5;
 const TAG_HELLO: u8 = 6;
 const TAG_ADDR: u8 = 7;
 const TAG_TABLE: u8 = 8;
+const TAG_SEQ_DATA: u8 = 9;
+const TAG_SEQ_ORIG: u8 = 10;
+const TAG_ACK: u8 = 11;
 
 /// Everything that can travel over a stream connection.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,6 +93,22 @@ pub enum Frame {
     Table {
         /// `addrs[rank]` is that rank's listener address.
         addrs: Vec<String>,
+    },
+    /// A counted tile payload carrying a session sequence number.
+    Seq {
+        /// Sending rank.
+        src: NodeId,
+        /// Per-(src, dest) sequence number.
+        seq: u64,
+        /// The tile payload.
+        payload: Payload,
+    },
+    /// Cumulative session ack: every `seq < upto` arrived. Control traffic.
+    Ack {
+        /// Acknowledging rank.
+        src: NodeId,
+        /// One past the highest contiguously received sequence number.
+        upto: u64,
     },
 }
 
@@ -319,6 +341,33 @@ pub fn encode(f: &Frame) -> Vec<u8> {
             }
             TAG_TABLE
         }
+        Frame::Seq {
+            src,
+            seq,
+            payload: Payload::Data { producer, tile },
+        } => {
+            put_u32(&mut body, *src);
+            put_u64(&mut body, *seq);
+            put_u32(&mut body, *producer);
+            put_tile(&mut body, tile);
+            TAG_SEQ_DATA
+        }
+        Frame::Seq {
+            src,
+            seq,
+            payload: Payload::Orig { tile_ref, tile },
+        } => {
+            put_u32(&mut body, *src);
+            put_u64(&mut body, *seq);
+            put_tile_ref(&mut body, *tile_ref);
+            put_tile(&mut body, tile);
+            TAG_SEQ_ORIG
+        }
+        Frame::Ack { src, upto } => {
+            put_u32(&mut body, *src);
+            put_u64(&mut body, *upto);
+            TAG_ACK
+        }
     };
     let mut out = Vec::with_capacity(body.len() + 9);
     out.push(tag);
@@ -383,6 +432,33 @@ fn parse_body(tag: u8, body: &[u8]) -> Result<Frame, FrameError> {
                 addrs.push(b.string()?);
             }
             Frame::Table { addrs }
+        }
+        TAG_SEQ_DATA => {
+            let src = b.u32()?;
+            let seq = b.u64()?;
+            let producer: TaskId = b.u32()?;
+            let tile = b.tile()?;
+            Frame::Seq {
+                src,
+                seq,
+                payload: Payload::Data { producer, tile },
+            }
+        }
+        TAG_SEQ_ORIG => {
+            let src = b.u32()?;
+            let seq = b.u64()?;
+            let tile_ref = b.tile_ref()?;
+            let tile = b.tile()?;
+            Frame::Seq {
+                src,
+                seq,
+                payload: Payload::Orig { tile_ref, tile },
+            }
+        }
+        TAG_ACK => {
+            let src = b.u32()?;
+            let upto = b.u64()?;
+            Frame::Ack { src, upto }
         }
         other => return Err(FrameError::BadTag(other)),
     };
@@ -498,6 +574,35 @@ mod tests {
         roundtrip(&Frame::Table { addrs: vec![] });
         roundtrip(&Frame::Table {
             addrs: vec!["a".into(), String::new(), "/tmp/sock".into()],
+        });
+    }
+
+    #[test]
+    fn session_frames_roundtrip() {
+        roundtrip(&Frame::Ack { src: 5, upto: 0 });
+        roundtrip(&Frame::Ack {
+            src: 0,
+            upto: u64::MAX,
+        });
+        roundtrip(&Frame::Seq {
+            src: 3,
+            seq: 17,
+            payload: Payload::Data {
+                producer: 9,
+                tile: tile_of(4, 11),
+            },
+        });
+        roundtrip(&Frame::Seq {
+            src: 1,
+            seq: u64::MAX,
+            payload: Payload::Orig {
+                tile_ref: TileRef::Buf {
+                    slice: 2,
+                    i: 5,
+                    j: 6,
+                },
+                tile: tile_of(0, 0),
+            },
         });
     }
 

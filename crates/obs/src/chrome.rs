@@ -176,6 +176,20 @@ pub fn chrome_trace(rec: &Recording) -> String {
                     us(end - start),
                 ));
             }
+            Event::Fault {
+                node,
+                kind,
+                start,
+                end,
+            } => {
+                w.event(format_args!(
+                    "\"ph\":\"X\",\"pid\":{node},\"tid\":0,\"ts\":{:.3},\"dur\":{:.3},\
+                     \"name\":\"{}\",\"cat\":\"fault\",\"args\":{{}}",
+                    us(start),
+                    us(end - start),
+                    kind.name(),
+                ));
+            }
             Event::Gauge {
                 node,
                 gauge,
@@ -263,9 +277,11 @@ mod tests {
         h.recv(2, 2048, false);
         h.dep_wait(0.25, 0.5);
         h.gauge(GaugeKind::TileStore, 12.0);
+        h.fault(crate::recorder::FaultKind::Retransmit, 0.3, 0.3);
         drop(h);
         let json = chrome_trace(&rec.drain());
         validate(&json).unwrap();
+        assert!(json.contains("\"name\":\"retransmit\",\"cat\":\"fault\""));
         assert!(json.contains("\"traceEvents\""));
         assert!(json.contains("\"name\":\"gemm\""));
         assert!(json.contains("\"name\":\"send to 1\""));

@@ -58,5 +58,5 @@ pub mod trace;
 pub use chrome::{chrome_trace, chrome_trace_from_spans, merge_chrome_traces};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use profile::{metrics_from_recording, ExecProfile, KindStats, BYTES_BOUNDS, LATENCY_BOUNDS};
-pub use recorder::{Event, GaugeKind, NodeRecorder, Recorder, Recording};
+pub use recorder::{Event, FaultKind, GaugeKind, NodeRecorder, Recorder, Recording};
 pub use trace::{render_gantt, task_spans, TraceEvent};

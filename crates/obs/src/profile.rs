@@ -102,7 +102,7 @@ impl ExecProfile {
                 Event::DepWait { start, end, .. } => {
                     dep_wait_seconds += (end - start).max(0.0);
                 }
-                Event::Recv { .. } | Event::Gauge { .. } => {}
+                Event::Recv { .. } | Event::Gauge { .. } | Event::Fault { .. } => {}
             }
         }
         ExecProfile {
@@ -158,6 +158,20 @@ pub fn metrics_from_recording(rec: &Recording) -> Metrics {
             Event::DepWait { start, end, .. } => {
                 m.histogram("wait.dependency", &LATENCY_BOUNDS)
                     .observe((end - start).max(0.0));
+            }
+            Event::Fault {
+                kind, start, end, ..
+            } => {
+                use crate::recorder::FaultKind;
+                match kind {
+                    FaultKind::AckRtt => {
+                        m.histogram("ack.rtt", &LATENCY_BOUNDS)
+                            .observe((end - start).max(0.0));
+                    }
+                    FaultKind::Retransmit | FaultKind::Stall => {
+                        m.counter(&format!("faults.{}", kind.name())).inc();
+                    }
+                }
             }
             Event::Gauge { gauge, value, .. } => {
                 m.gauge(&format!("gauge.{}", gauge.name())).set(value);
@@ -219,6 +233,28 @@ mod tests {
         assert_eq!(s.histogram("wait.dependency").unwrap().count, 1);
         assert_eq!(s.histogram("message.bytes").unwrap().count, 1);
         assert!(s.render().contains("latency.potrf"));
+    }
+
+    #[test]
+    fn fault_events_feed_counters_and_rtt_histogram() {
+        use crate::recorder::FaultKind;
+        let rec = Recorder::new();
+        let mut h = rec.node(0);
+        h.fault(FaultKind::Retransmit, 0.1, 0.1);
+        h.fault(FaultKind::Retransmit, 0.2, 0.2);
+        h.fault(FaultKind::AckRtt, 0.1, 0.15);
+        h.fault(FaultKind::Stall, 0.0, 1.0);
+        drop(h);
+        let recording = rec.drain();
+        let m = metrics_from_recording(&recording);
+        let s = m.snapshot();
+        assert_eq!(s.counter("faults.retransmit"), Some(2));
+        assert_eq!(s.counter("faults.stall"), Some(1));
+        assert_eq!(s.histogram("ack.rtt").unwrap().count, 1);
+        // faults never leak into the payload aggregates
+        let p = ExecProfile::from_recording(&recording);
+        assert_eq!(p.messages, 0);
+        assert_eq!(p.bytes, 0);
     }
 
     #[test]

@@ -32,6 +32,29 @@ pub enum GaugeKind {
 /// How many [`GaugeKind`] variants exist (size of the coalescing cache).
 const GAUGE_KINDS: usize = 3;
 
+/// A reliability-layer incident observed during an execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A payload's retransmission timer fired and the payload was resent.
+    Retransmit,
+    /// A cumulative ack arrived; the span is the oldest covered payload's
+    /// send-to-ack round trip.
+    AckRtt,
+    /// A rank exceeded its progress deadline while blocked on the network.
+    Stall,
+}
+
+impl FaultKind {
+    /// Stable display name (also the Chrome-trace span name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Retransmit => "retransmit",
+            FaultKind::AckRtt => "ack_rtt",
+            FaultKind::Stall => "stall",
+        }
+    }
+}
+
 impl GaugeKind {
     /// Stable display name (also the Chrome-trace counter name).
     pub fn name(&self) -> &'static str {
@@ -104,6 +127,17 @@ pub enum Event {
         /// When the awaited message arrived.
         end: f64,
     },
+    /// A reliability-layer incident (retransmission, ack round trip, stall).
+    Fault {
+        /// Node the incident belongs to.
+        node: u32,
+        /// What happened.
+        kind: FaultKind,
+        /// Start of the incident span (send time for ack RTTs).
+        start: f64,
+        /// End of the incident span.
+        end: f64,
+    },
     /// A sampled gauge value.
     Gauge {
         /// Sampling node.
@@ -121,7 +155,9 @@ impl Event {
     /// The time this event is ordered by (span start for spans).
     pub fn at(&self) -> f64 {
         match *self {
-            Event::Task { start, .. } | Event::DepWait { start, .. } => start,
+            Event::Task { start, .. }
+            | Event::DepWait { start, .. }
+            | Event::Fault { start, .. } => start,
             Event::Send { at, .. } | Event::Recv { at, .. } | Event::Gauge { at, .. } => at,
         }
     }
@@ -133,6 +169,7 @@ impl Event {
             | Event::Send { node, .. }
             | Event::Recv { node, .. }
             | Event::DepWait { node, .. }
+            | Event::Fault { node, .. }
             | Event::Gauge { node, .. } => node,
         }
     }
@@ -189,6 +226,13 @@ impl Recorder {
     /// Seconds elapsed since the recorder was created.
     pub fn now(&self) -> f64 {
         self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Converts an externally captured [`Instant`] (e.g. a transport
+    /// session's event timestamp) onto the recorder clock. Instants taken
+    /// before the recorder existed map to 0.
+    pub fn time_of(&self, t: Instant) -> f64 {
+        t.saturating_duration_since(self.epoch).as_secs_f64()
     }
 
     /// A per-thread handle recording on behalf of `node` (worker 0).
@@ -269,6 +313,16 @@ impl NodeRecorder<'_> {
             bytes,
             orig,
             at,
+        });
+    }
+
+    /// Records a reliability-layer incident span.
+    pub fn fault(&mut self, kind: FaultKind, start: f64, end: f64) {
+        self.buf.push(Event::Fault {
+            node: self.node,
+            kind,
+            start,
+            end,
         });
     }
 

@@ -24,13 +24,14 @@
 use sbc_kernels as k;
 use sbc_kernels::{KernelError, Tile, Trans};
 use sbc_matrix::generate;
-use sbc_net::{inproc_mesh, Message, Payload, PeerStats, Transport};
-use sbc_obs::{GaugeKind, NodeRecorder, Recorder};
+use sbc_net::{inproc_mesh, Message, Payload, PeerStats, RecvTimeout, Transport};
+use sbc_obs::{FaultKind, GaugeKind, NodeRecorder, Recorder};
 use sbc_taskgraph::{flops_priorities, EdgeKind, TaskGraph, TaskId, TaskKind, TileRef};
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, RwLock};
+use std::time::{Duration, Instant};
 
 /// Communication statistics of one distributed execution.
 ///
@@ -94,6 +95,50 @@ pub enum ExecError {
     /// the transport, or the endpoint closed). The originating error is
     /// reported by the failing rank's own process.
     Remote,
+    /// The liveness watchdog fired: a rank made no progress for longer
+    /// than the configured [`FaultPolicy::deadline`] while waiting on
+    /// undelivered messages — the deadlock-free replacement for a silent
+    /// hang over a lossy transport without a reliability session.
+    Stalled {
+        /// The rank whose watchdog fired.
+        rank: u32,
+        /// What the rank was blocked on, for diagnosis.
+        waiting_on: String,
+    },
+}
+
+/// Liveness policy of an execution: how long a rank may go without
+/// progress (applying a message or completing a task) before its watchdog
+/// aborts the run with [`ExecError::Stalled`] instead of hanging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Maximum time without progress before a rank declares itself
+    /// stalled; `None` (the default) disables the watchdog and restores
+    /// blocking receives.
+    pub deadline: Option<Duration>,
+    /// How often a blocked rank wakes to check its deadline (and, under a
+    /// reliability session, to drive retransmissions).
+    pub heartbeat: Duration,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            deadline: None,
+            heartbeat: Duration::from_millis(50),
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// A policy with the given no-progress deadline and the default
+    /// heartbeat.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        FaultPolicy {
+            deadline: Some(deadline),
+            ..Default::default()
+        }
+    }
 }
 
 impl std::fmt::Display for ExecError {
@@ -110,6 +155,9 @@ impl std::fmt::Display for ExecError {
                     f,
                     "a remote rank aborted; see its process output for the cause"
                 )
+            }
+            ExecError::Stalled { rank, waiting_on } => {
+                write!(f, "rank {rank} stalled past its deadline: {waiting_on}")
             }
         }
     }
@@ -189,6 +237,49 @@ struct NodeScheduler {
     gathered: Mutex<Vec<(TileRef, Tile)>>,
     /// `Done` reports that arrived while this rank was still executing.
     dones: Mutex<Vec<(u32, PeerStats)>>,
+    /// Watchdog epoch: when this rank's scheduler was built.
+    started: Instant,
+    /// Nanoseconds after `started` at which progress (a task completed or
+    /// a message applied) last happened.
+    progress_ns: AtomicU64,
+}
+
+impl NodeScheduler {
+    fn touch_progress(&self) {
+        self.progress_ns
+            .store(self.started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Time since this rank last made progress.
+    fn stalled_for(&self) -> Duration {
+        self.started.elapsed().saturating_sub(Duration::from_nanos(
+            self.progress_ns.load(Ordering::Relaxed),
+        ))
+    }
+
+    /// A human-readable account of the remote arrivals this rank is still
+    /// missing, for [`ExecError::Stalled`].
+    fn describe_waiting(&self) -> String {
+        let cache = self
+            .cache
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut missing: Vec<String> = self
+            .waits
+            .keys()
+            .filter(|k| !cache.contains_key(k))
+            .map(|k| format!("{k:?}"))
+            .collect();
+        if missing.is_empty() {
+            return "no undelivered remote dependencies".to_string();
+        }
+        missing.sort();
+        format!(
+            "{} undelivered remote arrivals, first {}",
+            missing.len(),
+            missing[0]
+        )
+    }
 }
 
 /// What one rank's execution produced, before any cross-rank merge.
@@ -245,6 +336,7 @@ pub struct Executor<'g> {
     recorder: Option<&'g Recorder>,
     workers: Option<usize>,
     policy: Policy,
+    fault: FaultPolicy,
 }
 
 /// Configures and builds an [`Executor`] — the single surface for every
@@ -259,6 +351,7 @@ pub struct ExecutorBuilder<'g> {
     recorder: Option<&'g Recorder>,
     workers: Option<usize>,
     policy: Policy,
+    fault: FaultPolicy,
 }
 
 impl<'g> ExecutorBuilder<'g> {
@@ -312,6 +405,20 @@ impl<'g> ExecutorBuilder<'g> {
         self
     }
 
+    /// Liveness policy: watchdog deadline and heartbeat (default: no
+    /// watchdog, blocking receives).
+    pub fn fault_policy(mut self, fault: FaultPolicy) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Shorthand: arms the watchdog with the given no-progress deadline,
+    /// keeping the default heartbeat.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.fault.deadline = Some(deadline);
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> Executor<'g> {
         let (nt, b) = (self.graph.nt, self.b);
@@ -327,6 +434,7 @@ impl<'g> ExecutorBuilder<'g> {
             recorder: self.recorder,
             workers: self.workers,
             policy: self.policy,
+            fault: self.fault,
         }
     }
 }
@@ -344,6 +452,7 @@ impl<'g> Executor<'g> {
             recorder: None,
             workers: None,
             policy: Policy::default(),
+            fault: FaultPolicy::default(),
         }
     }
 
@@ -495,20 +604,48 @@ impl<'g> Executor<'g> {
             }
         }
         let mut poisoned = run.poisoned;
+        let mut last_report = Instant::now();
         while done < n - 1 && !poisoned {
-            match net.recv() {
+            let msg = match self.fault.deadline {
+                None => net.recv(),
+                Some(deadline) => match net.recv_timeout(self.fault.heartbeat) {
+                    RecvTimeout::Msg(m) => Some(m),
+                    RecvTimeout::Closed => None,
+                    RecvTimeout::TimedOut => {
+                        if last_report.elapsed() <= deadline {
+                            continue;
+                        }
+                        // the gather itself stalled: missing worker
+                        // reports will never arrive — abort the mesh
+                        for r in 1..n as u32 {
+                            net.send_poison(r);
+                        }
+                        return Err(ExecError::Stalled {
+                            rank: 0,
+                            waiting_on: format!("gather: {done}/{} worker reports received", n - 1),
+                        });
+                    }
+                },
+            };
+            match msg {
                 Some(Message::Result { tile_ref, tile }) => {
                     tiles.insert(tile_ref, tile);
+                    last_report = Instant::now();
                 }
                 Some(Message::Done { src, stats }) => {
                     if peer[src as usize].replace(stats).is_none() {
                         done += 1;
                     }
+                    last_report = Instant::now();
                 }
                 Some(Message::Poison) | None => poisoned = true,
-                // stray wakes from our own completion, or a duplicate
-                // payload injected after our run finished — both harmless
-                Some(Message::Wake) | Some(Message::Payload { .. }) => {}
+                // stray wakes from our own completion, a duplicate payload
+                // injected after our run finished, or leftover session
+                // traffic — all harmless
+                Some(Message::Wake)
+                | Some(Message::Payload { .. })
+                | Some(Message::Seq { .. })
+                | Some(Message::Ack { .. }) => {}
             }
         }
         if let Some(e) = run.error {
@@ -619,6 +756,8 @@ impl<'g> Executor<'g> {
             applied: AtomicU64::new(0),
             gathered: Mutex::new(Vec::new()),
             dones: Mutex::new(Vec::new()),
+            started: Instant::now(),
+            progress_ns: AtomicU64::new(0),
         };
 
         std::thread::scope(|scope| {
@@ -680,6 +819,19 @@ enum Step {
     Exit,
 }
 
+/// Outcome of a (possibly watchdog-guarded) blocking receive.
+enum Watched {
+    /// A message arrived.
+    Msg(Message),
+    /// The rank finished or was poisoned while this worker was parked;
+    /// nothing to apply.
+    Interrupted,
+    /// The endpoint closed.
+    Closed,
+    /// No progress for longer than the deadline: the watchdog fired.
+    Stalled,
+}
+
 /// Everything one worker thread needs: the executor, its rank's scheduler
 /// and the rank's transport endpoint.
 #[derive(Clone, Copy)]
@@ -696,6 +848,40 @@ struct WorkerCtx<'w, 'g> {
 impl WorkerCtx<'_, '_> {
     fn prio_of(&self, t: TaskId) -> u32 {
         self.prio.get(t as usize).copied().unwrap_or(0)
+    }
+
+    /// Blocks for the next message; with an armed watchdog, wakes every
+    /// heartbeat to re-check the exit conditions and the no-progress
+    /// deadline instead of parking forever.
+    fn recv_watched(&self, obs: &mut Option<NodeRecorder<'_>>) -> Watched {
+        let Some(deadline) = self.exec.fault.deadline else {
+            return match self.net.recv() {
+                Some(m) => Watched::Msg(m),
+                None => Watched::Closed,
+            };
+        };
+        loop {
+            match self.net.recv_timeout(self.exec.fault.heartbeat) {
+                RecvTimeout::Msg(m) => return Watched::Msg(m),
+                RecvTimeout::Closed => return Watched::Closed,
+                RecvTimeout::TimedOut => {
+                    {
+                        let st = lock(&self.sched.state);
+                        if st.poisoned || st.remaining == 0 {
+                            return Watched::Interrupted;
+                        }
+                    }
+                    let stalled = self.sched.stalled_for();
+                    if stalled > deadline {
+                        if let Some(o) = obs.as_mut() {
+                            let end = o.now();
+                            o.fault(FaultKind::Stall, end - stalled.as_secs_f64(), end);
+                        }
+                        return Watched::Stalled;
+                    }
+                }
+            }
+        }
     }
 
     /// Sends one payload message. The transport counts it at its real byte
@@ -737,6 +923,7 @@ impl WorkerCtx<'_, '_> {
             let mut st = lock(&self.sched.state);
             st.shipped = true;
             drop(st);
+            self.sched.touch_progress();
             self.sched.cv.notify_all();
         }
 
@@ -790,19 +977,35 @@ impl WorkerCtx<'_, '_> {
 
     /// Blocks on the transport as the designated receiver, applies the
     /// arrived batch and wakes the other workers. Returns `false` when the
-    /// endpoint is closed (cannot happen on a healthy run).
+    /// endpoint is closed or this rank's watchdog declared it stalled.
     fn receive_and_apply(&self, obs: &mut Option<NodeRecorder<'_>>) -> bool {
         let wait_start = obs.as_ref().map(|o| o.now());
         let mut batch = Vec::new();
-        let alive = match self.net.recv() {
-            Some(m) => {
+        let alive = match self.recv_watched(obs) {
+            Watched::Msg(m) => {
                 batch.push(m);
                 while let Some(m) = self.net.try_recv() {
                     batch.push(m);
                 }
                 true
             }
-            None => false,
+            Watched::Interrupted => true,
+            Watched::Closed => false,
+            Watched::Stalled => {
+                if let Some(o) = obs.as_mut() {
+                    let end = o.now();
+                    o.dep_wait(wait_start.unwrap_or(end), end);
+                }
+                self.fail(
+                    ExecError::Stalled {
+                        rank: self.me,
+                        waiting_on: self.sched.describe_waiting(),
+                    },
+                    obs,
+                    false,
+                );
+                return false;
+            }
         };
         if let Some(o) = obs.as_mut() {
             let end = o.now();
@@ -816,7 +1019,9 @@ impl WorkerCtx<'_, '_> {
         let mut poisoned = !alive;
         for msg in batch {
             match msg {
-                Message::Payload { src, payload } => {
+                // a bare Seq means no session is wrapping this endpoint;
+                // the cache's occupancy check below deduplicates it anyway
+                Message::Payload { src, payload } | Message::Seq { src, payload, .. } => {
                     let key = match &payload {
                         Payload::Data { producer, .. } => WaitKey::Task(*producer),
                         Payload::Orig { tile_ref, .. } => WaitKey::Orig(*tile_ref),
@@ -848,13 +1053,14 @@ impl WorkerCtx<'_, '_> {
                         continue;
                     }
                     self.sched.applied.fetch_add(1, Ordering::Relaxed);
+                    self.sched.touch_progress();
                     if let Some(o) = obs.as_mut() {
                         o.recv(src, bytes, orig);
                     }
                     arrived.push(key);
                 }
                 Message::Poison => poisoned = true,
-                Message::Wake => {}
+                Message::Wake | Message::Ack { .. } => {}
                 // gather traffic reaching rank 0 before its own run ends
                 Message::Result { tile_ref, tile } => {
                     lock(&self.sched.gathered).push((tile_ref, tile));
@@ -916,10 +1122,12 @@ impl WorkerCtx<'_, '_> {
                         error: e,
                     },
                     obs,
+                    true,
                 );
                 return;
             }
         }
+        self.sched.touch_progress();
         if let Some(o) = obs.as_mut() {
             let end = o.now();
             o.task(
@@ -989,12 +1197,19 @@ impl WorkerCtx<'_, '_> {
     }
 
     /// Records a local failure, poisons every other rank and unblocks this
-    /// rank's receiver.
-    fn fail(&self, e: ExecError, obs: &mut Option<NodeRecorder<'_>>) {
+    /// rank's receiver. `dec_active` is true only when called from a task
+    /// execution path, which incremented the active-worker count.
+    fn fail(&self, e: ExecError, obs: &mut Option<NodeRecorder<'_>>, dec_active: bool) {
         let _ = obs;
         {
             let mut st = lock(&self.sched.state);
-            st.active -= 1;
+            if dec_active {
+                st.active -= 1;
+            } else {
+                // called from the receive path: this worker was the
+                // designated receiver and is abandoning that role
+                st.receiving = false;
+            }
             if st.error.is_none() {
                 st.error = Some(e);
             }

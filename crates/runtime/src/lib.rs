@@ -40,7 +40,7 @@ pub mod planned;
 pub mod run;
 
 pub use executor::{
-    CommStats, ExecError, ExecOutcome, Executor, ExecutorBuilder, Policy, TileProvider,
+    CommStats, ExecError, ExecOutcome, Executor, ExecutorBuilder, FaultPolicy, Policy, TileProvider,
 };
 pub use planned::{run_plan, PlannedExecutor};
 pub use run::{Run, RunOutput, RunResult, Workload};

@@ -25,7 +25,9 @@
 //! the workload's result fallibly: a tile missing from the merged stores
 //! surfaces as [`ExecError::MissingTile`] instead of a panic.
 
-use crate::executor::{CommStats, ExecError, ExecOutcome, Executor, Policy, TileProvider};
+use crate::executor::{
+    CommStats, ExecError, ExecOutcome, Executor, FaultPolicy, Policy, TileProvider,
+};
 use sbc_dist::{Distribution, RowCyclic, TwoPointFiveD};
 use sbc_kernels::Tile;
 use sbc_matrix::{generate, FullTiledMatrix, SymmetricTiledMatrix, TiledPanel};
@@ -148,6 +150,7 @@ pub struct Run<'a> {
     seed_rhs: Option<u64>,
     workers: Option<usize>,
     policy: Policy,
+    fault: FaultPolicy,
     recorder: Option<&'a Recorder>,
     provider: Option<Box<TileProvider<'a>>>,
 }
@@ -165,6 +168,7 @@ impl<'a> Run<'a> {
             seed_rhs: None,
             workers: None,
             policy: Policy::default(),
+            fault: FaultPolicy::default(),
             recorder: None,
             provider: None,
         }
@@ -250,6 +254,21 @@ impl<'a> Run<'a> {
         self
     }
 
+    /// Liveness watchdog configuration (default: no deadline — blocking
+    /// receives never time out).
+    pub fn fault_policy(mut self, fault: FaultPolicy) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Shorthand: arm the watchdog with `deadline` as the maximum time a
+    /// rank may sit without progress before the run fails with
+    /// [`ExecError::Stalled`] instead of hanging.
+    pub fn deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.fault.deadline = Some(deadline);
+        self
+    }
+
     /// Record the execution: task spans per worker, message events,
     /// dependency waits, scheduler gauges.
     pub fn recorder(mut self, recorder: &'a Recorder) -> Self {
@@ -311,6 +330,7 @@ impl<'a> Run<'a> {
             seed_rhs,
             workers,
             policy,
+            fault,
             recorder,
             provider,
         } = self;
@@ -319,7 +339,8 @@ impl<'a> Run<'a> {
         let mut builder = Executor::builder(&graph)
             .block(b)
             .seeds(seed, seed_rhs)
-            .priorities(policy);
+            .priorities(policy)
+            .fault_policy(fault);
         if let Some(w) = workers {
             builder = builder.workers(w);
         }

@@ -188,6 +188,98 @@ fn faulty_transport_is_deduplicated_by_the_runtime() {
     }
 }
 
+mod session_frame_props {
+    //! Property tests for the reliability session's wire vocabulary: `Seq`
+    //! and `Ack` frames round-trip exactly, decode consumes precisely the
+    //! encoded length, and every truncation or bit flip is rejected with an
+    //! error — never a panic, never a silently wrong frame.
+
+    use proptest::prelude::*;
+    use sbc::kernels::Tile;
+    use sbc::net::wire::{decode, encode, Frame, FrameError};
+    use sbc::net::Payload;
+    use sbc::taskgraph::TileRef;
+
+    fn arb_tile() -> impl Strategy<Value = Tile> {
+        (0usize..6, any::<u64>()).prop_map(|(dim, seed)| {
+            Tile::from_fn(dim, |i, j| {
+                let x = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((i * 31 + j) as u64);
+                (x % 1000) as f64 / 7.0 - 60.0
+            })
+        })
+    }
+
+    fn arb_payload() -> impl Strategy<Value = Payload> {
+        prop_oneof![
+            (any::<u32>(), arb_tile())
+                .prop_map(|(producer, tile)| Payload::Data { producer, tile }),
+            (0u32..4, 0u32..4, any::<u32>(), any::<u32>(), arb_tile()).prop_map(
+                |(phase, slice, i, j, tile)| Payload::Orig {
+                    tile_ref: TileRef::A {
+                        phase: phase as u8,
+                        slice: slice as u8,
+                        i,
+                        j,
+                    },
+                    tile,
+                }
+            ),
+        ]
+    }
+
+    fn arb_session_frame() -> impl Strategy<Value = Frame> {
+        prop_oneof![
+            (any::<u32>(), any::<u64>(), arb_payload())
+                .prop_map(|(src, seq, payload)| Frame::Seq { src, seq, payload }),
+            (any::<u32>(), any::<u64>()).prop_map(|(src, upto)| Frame::Ack { src, upto }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Round trip: decode(encode(f)) == f, consuming the whole buffer.
+        #[test]
+        fn session_frames_roundtrip_exactly(f in arb_session_frame()) {
+            let buf = encode(&f);
+            let (back, used) = decode(&buf).expect("fresh frame must decode");
+            prop_assert_eq!(&back, &f);
+            prop_assert_eq!(used, buf.len(), "decode consumed a different byte count");
+        }
+
+        /// Every proper prefix of an encoded session frame is `Truncated`.
+        #[test]
+        fn truncated_session_frames_are_rejected(f in arb_session_frame(), cut in any::<u64>()) {
+            let buf = encode(&f);
+            let cut = (cut % buf.len() as u64) as usize; // 0..len, never the full frame
+            prop_assert_eq!(decode(&buf[..cut]).unwrap_err(), FrameError::Truncated);
+        }
+
+        /// Any single bit flip is caught (CRC for body flips, tag/length
+        /// validation otherwise) — decode returns an error, never a frame
+        /// and never a panic.
+        #[test]
+        fn bitflipped_session_frames_are_rejected(
+            f in arb_session_frame(),
+            at in any::<u64>(),
+            bit in 0u32..8,
+        ) {
+            let mut buf = encode(&f);
+            let at = (at % buf.len() as u64) as usize;
+            buf[at] ^= 1 << bit;
+            prop_assert!(
+                decode(&buf).is_err(),
+                "flipping bit {} of byte {}/{} went undetected",
+                bit,
+                at,
+                buf.len()
+            );
+        }
+    }
+}
+
 /// Control traffic (poison/wake/result/done) is never counted as payload on
 /// any backend: a single-task-per-rank run's accounting is pure tile bytes.
 #[test]

@@ -9,7 +9,7 @@
 
 /// Multi-producer channels, mirroring `crossbeam-channel`'s `unbounded`.
 pub mod channel {
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// Unbounded FIFO channel sender (clonable, shareable across threads).
     pub type Sender<T> = std::sync::mpsc::Sender<T>;
