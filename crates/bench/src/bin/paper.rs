@@ -46,7 +46,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|w| w.parse().expect("--workers takes a positive integer"));
     // Skip flags and the values consumed by value-taking options.
-    const VALUE_FLAGS: [&str; 9] = [
+    const VALUE_FLAGS: [&str; 13] = [
         "--out",
         "--workers",
         "--nodes",
@@ -56,6 +56,10 @@ fn main() {
         "--faults",
         "--seed",
         "--deadline",
+        "--addr",
+        "--max-inflight",
+        "--batch",
+        "--prio",
     ];
     let mut skip_next = false;
     let targets: Vec<&str> = args
@@ -126,10 +130,20 @@ fn main() {
         net_run(&args, &out_path, workers);
         ran = true;
     }
+    // not part of `all`: `serve` blocks until a client sends Shutdown,
+    // `submit` needs a running server
+    if target == "serve" {
+        serve_run(&args, &out_path, workers);
+        ran = true;
+    }
+    if target == "submit" {
+        submit_run(&args);
+        ran = true;
+    }
 
     if !ran {
         eprintln!(
-            "unknown target '{target}'. Use one of: all, table1, patterns, fig7..fig14, ablations, planner, trace, obs, net [--full] [--out <path>] [--workers <n>] [--nodes <n>] [--backend tcp|uds] [--nt <tiles>] [--block <b>] [--faults drop:N,dup:N,delay:MS] [--seed <s>] [--deadline <secs>]"
+            "unknown target '{target}'. Use one of: all, table1, patterns, fig7..fig14, ablations, planner, trace, obs, net, serve, submit [--full] [--out <path>] [--workers <n>] [--nodes <n>] [--backend tcp|uds] [--nt <tiles>] [--block <b>] [--faults drop:N,dup:N,delay:MS] [--seed <s>] [--deadline <secs>] [--addr <path|host:port>] [--max-inflight <n>] [--batch <n>] [--prio <n>] [--shutdown]"
         );
         std::process::exit(2);
     }
@@ -310,6 +324,168 @@ fn net_run(args: &[String], out_path: &str, workers: Option<usize>) {
         "chrome trace: {out_path} ({} bytes, {nodes} rank files merged) — load in Perfetto",
         merged.len()
     );
+}
+
+/// `paper serve`: the resident factorization service. Binds `--addr` (a
+/// socket path or `host:port`), keeps `--nodes` rank engines and the plan
+/// cache warm, and streams jobs submitted by `paper submit` processes
+/// until one of them sends a shutdown. On exit prints the jobs/sec
+/// throughput and the metrics registry, writes the per-job Chrome trace
+/// to `--out`, and appends a jobs/sec record to `$SBC_BENCH_JSON` when
+/// that is set (the same file the criterion benches append to).
+fn serve_run(args: &[String], out_path: &str, workers: Option<usize>) {
+    use sbc_serve::{serve, ServeConfig, Service};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let addr = value_of("--addr")
+        .cloned()
+        .unwrap_or_else(|| "/tmp/sbc-serve.sock".to_string());
+    let mut cfg = ServeConfig::default();
+    if let Some(n) = value_of("--nodes") {
+        cfg.nodes = n.parse().expect("--nodes takes a positive integer");
+        assert!(cfg.nodes >= 1, "--nodes must be at least 1");
+    }
+    if let Some(m) = value_of("--max-inflight") {
+        cfg.max_inflight = m.parse().expect("--max-inflight takes a positive integer");
+    }
+    if let Some(d) = value_of("--deadline") {
+        let secs: f64 = d.parse().expect("--deadline takes seconds (a float)");
+        cfg.deadline = Some(Duration::from_secs_f64(secs));
+    }
+    if let Some(w) = workers {
+        cfg.workers = w;
+    }
+
+    let service = Service::start(cfg);
+    println!(
+        "== serve: resident factorization service on {addr} ({} nodes, {} workers/node, max {} jobs in flight) ==",
+        cfg.nodes, cfg.workers, cfg.max_inflight
+    );
+    serve(Arc::clone(&service), &addr).expect("service failed");
+
+    let jobs = service.completed();
+    let jps = service.jobs_per_sec();
+    println!("drained: {jobs} jobs served, {jps:.2} jobs/sec");
+    println!("{}", service.metrics().snapshot().render());
+    let trace = service.chrome_trace();
+    std::fs::write(out_path, &trace).expect("failed to write the per-job trace");
+    println!("per-job chrome trace: {out_path} ({} bytes)", trace.len());
+    if let Ok(path) = std::env::var("SBC_BENCH_JSON") {
+        let record = format!(
+            r#"{{"name":"serve.jobs_per_sec","rate":{jps:.3},"rate_unit":"jobs/s","jobs":{jobs}}}"#
+        );
+        append_bench_record(&path, &record);
+        println!("bench record appended to {path}");
+    }
+}
+
+/// `paper submit`: a client process of a running `paper serve`. Submits a
+/// batch of POTRF jobs, validates every returned factor bit-for-bit
+/// against the sequential algorithm, prints per-job stats, and exits
+/// non-zero if anything was rejected, failed or mismatched. `--shutdown`
+/// asks the service to drain and exit afterwards.
+fn submit_run(args: &[String]) {
+    use sbc_serve::{factor_matches, Client, JobReply, JobRequest};
+
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let addr = value_of("--addr")
+        .cloned()
+        .unwrap_or_else(|| "/tmp/sbc-serve.sock".to_string());
+    let nt: usize = value_of("--nt")
+        .map(|v| v.parse().expect("--nt takes a positive integer"))
+        .unwrap_or(10);
+    let b: usize = value_of("--block")
+        .map(|v| v.parse().expect("--block takes a positive integer"))
+        .unwrap_or(8);
+    let seed: u64 = value_of("--seed")
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(2022);
+    let batch: u32 = value_of("--batch")
+        .map(|v| v.parse().expect("--batch takes a positive integer"))
+        .unwrap_or(1);
+    let prio: u8 = value_of("--prio")
+        .map(|v| v.parse().expect("--prio takes 0..=255"))
+        .unwrap_or(0);
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+
+    let mut client =
+        Client::connect(&addr).expect("connect to the service (is `paper serve` running?)");
+    let request = JobRequest {
+        nt,
+        b,
+        seed,
+        seed_rhs: seed ^ 0x5EED,
+        prio,
+        batch,
+    };
+    let replies = client.submit(&request).expect("submission failed");
+    let mut bad = 0;
+    for (k, reply) in replies.iter().enumerate() {
+        match reply {
+            JobReply::Done {
+                messages,
+                bytes,
+                elapsed,
+                plan_cached,
+                tiles,
+            } => {
+                let ok = factor_matches(tiles, nt, b, seed + k as u64);
+                if !ok {
+                    bad += 1;
+                }
+                println!(
+                    "job {k} (nt={nt} b={b} seed={}): {messages} messages, {bytes} bytes, \
+                     {elapsed:?}, plan {}, factor {}",
+                    seed + k as u64,
+                    if *plan_cached { "cached" } else { "computed" },
+                    if ok { "bit-exact" } else { "MISMATCH" },
+                );
+            }
+            JobReply::Rejected(info) => {
+                bad += 1;
+                println!("job {k}: rejected — {info}");
+            }
+            JobReply::Failed(info) => {
+                bad += 1;
+                println!("job {k}: failed — {info}");
+            }
+        }
+    }
+    if shutdown {
+        client.shutdown().expect("shutdown request failed");
+        println!("shutdown requested");
+    }
+    if bad > 0 {
+        eprintln!("{bad} of {} jobs did not validate", replies.len());
+        std::process::exit(1);
+    }
+}
+
+/// Appends one record to a JSON-array file, keeping it valid JSON after
+/// every append (same format the vendored criterion writes).
+fn append_bench_record(path: &str, record: &str) {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let body = existing
+        .trim_end()
+        .strip_suffix(']')
+        .map(|s| s.trim_end().trim_end_matches(',').to_string())
+        .unwrap_or_default();
+    let merged = if body.trim() == "[" || body.trim().is_empty() {
+        format!("[\n{record}\n]\n")
+    } else {
+        format!("{body},\n{record}\n]\n")
+    };
+    std::fs::write(path, merged).expect("failed to append the bench record");
 }
 
 /// The observability pipeline end to end: plan a POTRF, execute it on the

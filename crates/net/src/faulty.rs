@@ -259,6 +259,7 @@ mod tests {
 
     fn payload(k: u32) -> Payload {
         Payload::Data {
+            job: 0,
             producer: k,
             tile: Tile::zeros(2),
         }

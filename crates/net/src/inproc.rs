@@ -169,6 +169,7 @@ mod tests {
             mesh[0].send_payload(
                 1,
                 Payload::Data {
+                    job: 0,
                     producer: 3,
                     tile: t.clone()
                 }

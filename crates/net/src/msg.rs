@@ -19,6 +19,11 @@ pub type NodeId = u32;
 pub enum Payload {
     /// Output tile of a remote producer task.
     Data {
+        /// The job this tile belongs to (0 for single-job runs). A resident
+        /// service multiplexes many factorizations over one mesh; the job id
+        /// namespaces the receiver's tile stores so concurrent jobs never
+        /// clobber each other.
+        job: u32,
         /// The producing task (the receiver keys its cache by it).
         producer: TaskId,
         /// The produced tile.
@@ -26,6 +31,8 @@ pub enum Payload {
     },
     /// Original input tile fetched from its home node.
     Orig {
+        /// The job this tile belongs to (0 for single-job runs).
+        job: u32,
         /// Which logical tile this is.
         tile_ref: TileRef,
         /// The tile contents.
@@ -34,6 +41,13 @@ pub enum Payload {
 }
 
 impl Payload {
+    /// The job this payload belongs to.
+    pub fn job(&self) -> u32 {
+        match self {
+            Payload::Data { job, .. } | Payload::Orig { job, .. } => *job,
+        }
+    }
+
     /// The tile being carried.
     pub fn tile(&self) -> &Tile {
         match self {

@@ -365,8 +365,16 @@ fn reader_loop(mut stream: BoxStream, inbox: &Inbox, stats: &StatsCell) {
                             Frame::Result { tile_ref, tile } => Message::Result { tile_ref, tile },
                             Frame::Done { src, stats } => Message::Done { src, stats },
                             Frame::Ack { src, upto } => Message::Ack { src, upto },
-                            // setup frames never appear mid-run; ignore
-                            Frame::Hello { .. } | Frame::Addr { .. } | Frame::Table { .. } => {
+                            // setup frames never appear mid-run, and the
+                            // job protocol is spoken on dedicated client
+                            // connections, never inside a mesh; ignore
+                            Frame::Hello { .. }
+                            | Frame::Addr { .. }
+                            | Frame::Table { .. }
+                            | Frame::JobSubmit { .. }
+                            | Frame::JobStatus { .. }
+                            | Frame::JobResult { .. }
+                            | Frame::Shutdown => {
                                 continue;
                             }
                             Frame::Payload { .. } | Frame::Seq { .. } => {
@@ -549,6 +557,7 @@ mod tests {
             .send_payload(
                 2,
                 Payload::Data {
+                    job: 0,
                     producer: 11,
                     tile: tile.clone(),
                 },
@@ -575,6 +584,7 @@ mod tests {
                         Payload::Data {
                             producer: 11,
                             tile: t,
+                            ..
                         },
                 } => {
                     assert_eq!(t.as_slice(), tile.as_slice(), "bit-exact transfer");
@@ -682,6 +692,7 @@ mod tests {
                 .send_payload(
                     1,
                     Payload::Data {
+                        job: 0,
                         producer: k,
                         tile: Tile::zeros(8),
                     },

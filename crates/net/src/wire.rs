@@ -14,21 +14,28 @@
 //!
 //! | tag | frame | body |
 //! |-----|-------|------|
-//! | 1 | `Data` | `src u32, producer u32, tile` |
-//! | 2 | `Orig` | `src u32, tile_ref, tile` |
+//! | 1 | `Data` | `src u32, job u32, producer u32, tile` |
+//! | 2 | `Orig` | `src u32, job u32, tile_ref, tile` |
 //! | 3 | `Poison` | empty |
 //! | 4 | `Result` | `tile_ref, tile` |
 //! | 5 | `Done` | `src u32, sent u64, sent_bytes u64, applied u64` |
 //! | 6 | `Hello` | `src u32` (first frame on every mesh connection) |
 //! | 7 | `Addr` | `src u32, addr string` (rendezvous: worker → root) |
 //! | 8 | `Table` | `count u32, addr strings` (rendezvous: root → worker) |
-//! | 9 | `Seq`/`Data` | `src u32, seq u64, producer u32, tile` |
-//! | 10 | `Seq`/`Orig` | `src u32, seq u64, tile_ref, tile` |
+//! | 9 | `Seq`/`Data` | `src u32, seq u64, job u32, producer u32, tile` |
+//! | 10 | `Seq`/`Orig` | `src u32, seq u64, job u32, tile_ref, tile` |
 //! | 11 | `Ack` | `src u32, upto u64` (cumulative session ack) |
+//! | 12 | `JobSubmit` | `req u32, op u8, prio u8, batch u32, nt u32, b u32, seed u64, seed_rhs u64` |
+//! | 13 | `JobStatus` | `req u32, state u8, info string` |
+//! | 14 | `JobResult` | `req u32, messages u64, bytes u64, elapsed_ns u64, plan_cached u8, count u32, (tile_ref, tile)*` |
+//! | 15 | `Shutdown` | empty (client asks the service to drain and exit) |
 //!
 //! A `tile_ref` is `kind u8, phase u8, slice u8, i u32, j u32` (kind 0 =
 //! matrix tile `A`, 1 = 2.5D buffer, 2 = RHS row). Strings are
-//! `len u32 + UTF-8 bytes`.
+//! `len u32 + UTF-8 bytes`. Tags 12–15 form the client↔service job
+//! protocol spoken on `paper serve` connections; they share the framing
+//! and CRC trailer with the mesh tags, so a corrupt submission is caught
+//! exactly like a corrupt tile.
 
 use crate::msg::{NodeId, Payload, PeerStats};
 use sbc_kernels::Tile;
@@ -50,6 +57,10 @@ const TAG_TABLE: u8 = 8;
 const TAG_SEQ_DATA: u8 = 9;
 const TAG_SEQ_ORIG: u8 = 10;
 const TAG_ACK: u8 = 11;
+const TAG_JOB_SUBMIT: u8 = 12;
+const TAG_JOB_STATUS: u8 = 13;
+const TAG_JOB_RESULT: u8 = 14;
+const TAG_SHUTDOWN: u8 = 15;
 
 /// Everything that can travel over a stream connection.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,6 +121,55 @@ pub enum Frame {
         /// One past the highest contiguously received sequence number.
         upto: u64,
     },
+    /// Client → service: submit a factorization job.
+    JobSubmit {
+        /// Client-chosen request id, echoed in every response about this job.
+        req: u32,
+        /// Operation code (`0` POTRF, `1` POSV, `2` TRTRI, `3` LAUUM,
+        /// `4` POTRI, `5` LU — planner-stable order).
+        op: u8,
+        /// Job priority; higher preempts in the shared ready heap.
+        prio: u8,
+        /// Number of same-shape jobs in this submission (seed increments per
+        /// job); `0` is treated as `1`.
+        batch: u32,
+        /// Tile count per side.
+        nt: u32,
+        /// Tile (block) size.
+        b: u32,
+        /// SPD input seed of the first job in the batch.
+        seed: u64,
+        /// Right-hand-side seed of the first job in the batch.
+        seed_rhs: u64,
+    },
+    /// Service → client: job lifecycle update (also the rejection channel).
+    JobStatus {
+        /// Echo of the submission's request id.
+        req: u32,
+        /// Lifecycle state (`0` queued, `1` running, `2` done, `3` rejected,
+        /// `4` failed).
+        state: u8,
+        /// Human-readable detail; rejection and failure reasons live here.
+        info: String,
+    },
+    /// Service → client: one finished job's exact stats and factor tiles.
+    JobResult {
+        /// Echo of the submission's request id (batch jobs answer with one
+        /// `JobResult` per job, in seed order).
+        req: u32,
+        /// Payload messages the job moved across the mesh.
+        messages: u64,
+        /// Payload bytes the job moved across the mesh.
+        bytes: u64,
+        /// Wall-clock from admission to factor gather, in nanoseconds.
+        elapsed_ns: u64,
+        /// `1` when the plan came from the warm plan cache.
+        plan_cached: u8,
+        /// Gathered factor tiles (lower triangle, bit-exact).
+        tiles: Vec<(TileRef, Tile)>,
+    },
+    /// Client → service: drain in-flight jobs and exit the accept loop.
+    Shutdown,
 }
 
 /// Why a frame could not be decoded.
@@ -300,18 +360,30 @@ pub fn encode(f: &Frame) -> Vec<u8> {
         }
         Frame::Payload {
             src,
-            payload: Payload::Data { producer, tile },
+            payload:
+                Payload::Data {
+                    job,
+                    producer,
+                    tile,
+                },
         } => {
             put_u32(&mut body, *src);
+            put_u32(&mut body, *job);
             put_u32(&mut body, *producer);
             put_tile(&mut body, tile);
             TAG_DATA
         }
         Frame::Payload {
             src,
-            payload: Payload::Orig { tile_ref, tile },
+            payload:
+                Payload::Orig {
+                    job,
+                    tile_ref,
+                    tile,
+                },
         } => {
             put_u32(&mut body, *src);
+            put_u32(&mut body, *job);
             put_tile_ref(&mut body, *tile_ref);
             put_tile(&mut body, tile);
             TAG_ORIG
@@ -344,10 +416,16 @@ pub fn encode(f: &Frame) -> Vec<u8> {
         Frame::Seq {
             src,
             seq,
-            payload: Payload::Data { producer, tile },
+            payload:
+                Payload::Data {
+                    job,
+                    producer,
+                    tile,
+                },
         } => {
             put_u32(&mut body, *src);
             put_u64(&mut body, *seq);
+            put_u32(&mut body, *job);
             put_u32(&mut body, *producer);
             put_tile(&mut body, tile);
             TAG_SEQ_DATA
@@ -355,10 +433,16 @@ pub fn encode(f: &Frame) -> Vec<u8> {
         Frame::Seq {
             src,
             seq,
-            payload: Payload::Orig { tile_ref, tile },
+            payload:
+                Payload::Orig {
+                    job,
+                    tile_ref,
+                    tile,
+                },
         } => {
             put_u32(&mut body, *src);
             put_u64(&mut body, *seq);
+            put_u32(&mut body, *job);
             put_tile_ref(&mut body, *tile_ref);
             put_tile(&mut body, tile);
             TAG_SEQ_ORIG
@@ -368,6 +452,53 @@ pub fn encode(f: &Frame) -> Vec<u8> {
             put_u64(&mut body, *upto);
             TAG_ACK
         }
+        Frame::JobSubmit {
+            req,
+            op,
+            prio,
+            batch,
+            nt,
+            b,
+            seed,
+            seed_rhs,
+        } => {
+            put_u32(&mut body, *req);
+            body.push(*op);
+            body.push(*prio);
+            put_u32(&mut body, *batch);
+            put_u32(&mut body, *nt);
+            put_u32(&mut body, *b);
+            put_u64(&mut body, *seed);
+            put_u64(&mut body, *seed_rhs);
+            TAG_JOB_SUBMIT
+        }
+        Frame::JobStatus { req, state, info } => {
+            put_u32(&mut body, *req);
+            body.push(*state);
+            put_str(&mut body, info);
+            TAG_JOB_STATUS
+        }
+        Frame::JobResult {
+            req,
+            messages,
+            bytes,
+            elapsed_ns,
+            plan_cached,
+            tiles,
+        } => {
+            put_u32(&mut body, *req);
+            put_u64(&mut body, *messages);
+            put_u64(&mut body, *bytes);
+            put_u64(&mut body, *elapsed_ns);
+            body.push(*plan_cached);
+            put_u32(&mut body, tiles.len() as u32);
+            for (r, t) in tiles {
+                put_tile_ref(&mut body, *r);
+                put_tile(&mut body, t);
+            }
+            TAG_JOB_RESULT
+        }
+        Frame::Shutdown => TAG_SHUTDOWN,
     };
     let mut out = Vec::with_capacity(body.len() + 9);
     out.push(tag);
@@ -384,20 +515,30 @@ fn parse_body(tag: u8, body: &[u8]) -> Result<Frame, FrameError> {
         TAG_HELLO => Frame::Hello { src: b.u32()? },
         TAG_DATA => {
             let src = b.u32()?;
+            let job = b.u32()?;
             let producer: TaskId = b.u32()?;
             let tile = b.tile()?;
             Frame::Payload {
                 src,
-                payload: Payload::Data { producer, tile },
+                payload: Payload::Data {
+                    job,
+                    producer,
+                    tile,
+                },
             }
         }
         TAG_ORIG => {
             let src = b.u32()?;
+            let job = b.u32()?;
             let tile_ref = b.tile_ref()?;
             let tile = b.tile()?;
             Frame::Payload {
                 src,
-                payload: Payload::Orig { tile_ref, tile },
+                payload: Payload::Orig {
+                    job,
+                    tile_ref,
+                    tile,
+                },
             }
         }
         TAG_POISON => Frame::Poison,
@@ -436,23 +577,33 @@ fn parse_body(tag: u8, body: &[u8]) -> Result<Frame, FrameError> {
         TAG_SEQ_DATA => {
             let src = b.u32()?;
             let seq = b.u64()?;
+            let job = b.u32()?;
             let producer: TaskId = b.u32()?;
             let tile = b.tile()?;
             Frame::Seq {
                 src,
                 seq,
-                payload: Payload::Data { producer, tile },
+                payload: Payload::Data {
+                    job,
+                    producer,
+                    tile,
+                },
             }
         }
         TAG_SEQ_ORIG => {
             let src = b.u32()?;
             let seq = b.u64()?;
+            let job = b.u32()?;
             let tile_ref = b.tile_ref()?;
             let tile = b.tile()?;
             Frame::Seq {
                 src,
                 seq,
-                payload: Payload::Orig { tile_ref, tile },
+                payload: Payload::Orig {
+                    job,
+                    tile_ref,
+                    tile,
+                },
             }
         }
         TAG_ACK => {
@@ -460,6 +611,58 @@ fn parse_body(tag: u8, body: &[u8]) -> Result<Frame, FrameError> {
             let upto = b.u64()?;
             Frame::Ack { src, upto }
         }
+        TAG_JOB_SUBMIT => {
+            let req = b.u32()?;
+            let op = b.u8()?;
+            let prio = b.u8()?;
+            let batch = b.u32()?;
+            let nt = b.u32()?;
+            let block = b.u32()?;
+            let seed = b.u64()?;
+            let seed_rhs = b.u64()?;
+            Frame::JobSubmit {
+                req,
+                op,
+                prio,
+                batch,
+                nt,
+                b: block,
+                seed,
+                seed_rhs,
+            }
+        }
+        TAG_JOB_STATUS => {
+            let req = b.u32()?;
+            let state = b.u8()?;
+            let info = b.string()?;
+            Frame::JobStatus { req, state, info }
+        }
+        TAG_JOB_RESULT => {
+            let req = b.u32()?;
+            let messages = b.u64()?;
+            let bytes = b.u64()?;
+            let elapsed_ns = b.u64()?;
+            let plan_cached = b.u8()?;
+            let count = b.u32()? as usize;
+            if count > MAX_BODY as usize / 16 {
+                return Err(FrameError::BadBody("result tile count overflows its body"));
+            }
+            let mut tiles = Vec::with_capacity(count);
+            for _ in 0..count {
+                let r = b.tile_ref()?;
+                let t = b.tile()?;
+                tiles.push((r, t));
+            }
+            Frame::JobResult {
+                req,
+                messages,
+                bytes,
+                elapsed_ns,
+                plan_cached,
+                tiles,
+            }
+        }
+        TAG_SHUTDOWN => Frame::Shutdown,
         other => return Err(FrameError::BadTag(other)),
     };
     b.done()?;
@@ -588,6 +791,7 @@ mod tests {
             src: 3,
             seq: 17,
             payload: Payload::Data {
+                job: 5,
                 producer: 9,
                 tile: tile_of(4, 11),
             },
@@ -596,6 +800,7 @@ mod tests {
             src: 1,
             seq: u64::MAX,
             payload: Payload::Orig {
+                job: u32::MAX,
                 tile_ref: TileRef::Buf {
                     slice: 2,
                     i: 5,
@@ -607,10 +812,84 @@ mod tests {
     }
 
     #[test]
+    fn job_frames_roundtrip() {
+        roundtrip(&Frame::JobSubmit {
+            req: 42,
+            op: 0,
+            prio: 7,
+            batch: 4,
+            nt: 16,
+            b: 8,
+            seed: u64::MAX,
+            seed_rhs: 1,
+        });
+        roundtrip(&Frame::JobStatus {
+            req: 42,
+            state: 3,
+            info: "queue full: 8 jobs in flight".into(),
+        });
+        roundtrip(&Frame::JobStatus {
+            req: 0,
+            state: 0,
+            info: String::new(),
+        });
+        roundtrip(&Frame::JobResult {
+            req: 42,
+            messages: 96,
+            bytes: 49152,
+            elapsed_ns: 1_000_000,
+            plan_cached: 1,
+            tiles: vec![
+                (
+                    TileRef::A {
+                        phase: 0,
+                        slice: 0,
+                        i: 1,
+                        j: 0,
+                    },
+                    tile_of(4, 9),
+                ),
+                (TileRef::B { i: 2 }, tile_of(0, 0)),
+            ],
+        });
+        roundtrip(&Frame::JobResult {
+            req: 1,
+            messages: 0,
+            bytes: 0,
+            elapsed_ns: 0,
+            plan_cached: 0,
+            tiles: vec![],
+        });
+        roundtrip(&Frame::Shutdown);
+    }
+
+    #[test]
+    fn job_result_tile_count_is_bounded() {
+        let buf = encode(&Frame::JobResult {
+            req: 1,
+            messages: 0,
+            bytes: 0,
+            elapsed_ns: 0,
+            plan_cached: 0,
+            tiles: vec![],
+        });
+        // Patch the tile count to an absurd value and re-seal the CRC: the
+        // parser must reject it before reserving memory for the tiles.
+        let mut bad = buf.clone();
+        let count_at = 5 + 4 + 8 + 8 + 8 + 1;
+        bad[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let n = bad.len();
+        let crc = crc32(&bad[..n - 4]);
+        bad[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(decode(&bad), Err(FrameError::BadBody(_))));
+    }
+
+    #[test]
     fn zero_dim_tile_roundtrips() {
         roundtrip(&Frame::Payload {
             src: 0,
             payload: Payload::Data {
+                job: 0,
                 producer: 0,
                 tile: Tile::zeros(0),
             },
@@ -626,6 +905,7 @@ mod tests {
         let buf = encode(&Frame::Payload {
             src: 1,
             payload: Payload::Data {
+                job: 1,
                 producer: 9,
                 tile: tile_of(4, 1),
             },
@@ -652,6 +932,7 @@ mod tests {
         let buf = encode(&Frame::Payload {
             src: 1,
             payload: Payload::Orig {
+                job: 0,
                 tile_ref: TileRef::A {
                     phase: 1,
                     slice: 2,
@@ -712,32 +993,35 @@ mod tests {
         #[test]
         fn payload_frames_roundtrip(
             src in 0u32..64,
+            job in any::<u32>(),
             producer in any::<u32>(),
             dim in 0usize..12,
             seed in any::<u64>(),
             orig in any::<bool>(),
             phase in 0u8..3,
             i in 0u32..1000,
-            j in 0u32..1000,
         ) {
+            let j = i.rotate_left(7) % 1000;
             let tile = tile_of(dim, seed);
             let payload = if orig {
                 Payload::Orig {
+                    job,
                     tile_ref: TileRef::A { phase, slice: phase ^ 1, i, j },
                     tile,
                 }
             } else {
-                Payload::Data { producer, tile }
+                Payload::Data { job, producer, tile }
             };
             let f = Frame::Payload { src, payload };
             let buf = encode(&f);
             let (back, used) = decode(&buf).unwrap();
             prop_assert_eq!(&back, &f);
             prop_assert_eq!(used, buf.len());
-            // framing overhead: header (5) + src (4) + key + dim (4) + CRC (4)
+            // framing overhead: header (5) + src (4) + job (4) + key + dim (4)
+            // + CRC (4)
             let body_words = dim * dim * 8;
             let key = if orig { 11 } else { 4 };
-            prop_assert_eq!(buf.len(), 5 + 4 + key + 4 + body_words + 4);
+            prop_assert_eq!(buf.len(), 5 + 4 + 4 + key + 4 + body_words + 4);
         }
 
         #[test]
@@ -761,7 +1045,7 @@ mod tests {
         fn truncation_never_decodes(dim in 0usize..8, cut_frac in 0.0f64..1.0) {
             let buf = encode(&Frame::Payload {
                 src: 1,
-                payload: Payload::Data { producer: 2, tile: tile_of(dim, 42) },
+                payload: Payload::Data { job: 0, producer: 2, tile: tile_of(dim, 42) },
             });
             let cut = ((buf.len() - 1) as f64 * cut_frac) as usize;
             prop_assert_eq!(decode(&buf[..cut]).unwrap_err(), FrameError::Truncated);

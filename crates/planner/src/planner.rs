@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use sbc_obs::{Counter, Metrics};
 use sbc_simgrid::{Platform, ScheduleMode, SimConfig, SimReport, Simulator};
 use sbc_taskgraph::TaskGraph;
 
@@ -80,6 +81,8 @@ pub struct Planner {
     model: CostModel,
     config: PlannerConfig,
     cache: PlanCache,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
 }
 
 impl Planner {
@@ -94,7 +97,28 @@ impl Planner {
             cache: PlanCache::new(config.cache_capacity),
             model: CostModel::new(platform),
             config,
+            cache_hits: Arc::new(Counter::default()),
+            cache_misses: Arc::new(Counter::default()),
         }
+    }
+
+    /// Publishes this planner's cache traffic as `planner.cache.hit` /
+    /// `planner.cache.miss` counters in `metrics`. A resident service calls
+    /// this once at startup so every job's planning cost is observable.
+    pub fn with_metrics(mut self, metrics: &Metrics) -> Self {
+        self.cache_hits = metrics.counter("planner.cache.hit");
+        self.cache_misses = metrics.counter("planner.cache.miss");
+        self
+    }
+
+    /// Cache hits served since construction (or metrics attachment).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.get()
+    }
+
+    /// Cache misses (full searches) since construction.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.get()
     }
 
     /// The platform being planned for.
@@ -112,10 +136,12 @@ impl Planner {
     pub fn plan(&self, op: Op, nt: usize, b: usize) -> Plan {
         let key = PlanKey::new(op, nt, b, self.platform());
         if let Some(hit) = self.cache.get(&key) {
+            self.cache_hits.inc();
             let mut plan = *hit;
             plan.cached = true;
             return plan;
         }
+        self.cache_misses.inc();
         let plan = self.plan_uncached(op, nt, b);
         self.cache.insert(key, Arc::new(plan));
         plan
@@ -200,6 +226,20 @@ mod tests {
         assert!(second.cached);
         assert_eq!(first.choice, second.choice);
         assert_eq!(planner.cache().len(), 1);
+    }
+
+    #[test]
+    fn cache_traffic_is_counted_in_the_metrics_registry() {
+        let metrics = Metrics::new();
+        let planner = Planner::new(Platform::bora(8)).with_metrics(&metrics);
+        planner.plan(Op::Potrf, 12, 8);
+        planner.plan(Op::Potrf, 12, 8);
+        planner.plan(Op::Potrf, 16, 8);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("planner.cache.hit"), Some(1));
+        assert_eq!(snap.counter("planner.cache.miss"), Some(2));
+        assert_eq!(planner.cache_hits(), 1);
+        assert_eq!(planner.cache_misses(), 2);
     }
 
     #[test]

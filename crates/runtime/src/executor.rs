@@ -793,7 +793,7 @@ impl<'g> Executor<'g> {
 /// Default original-tile contents: seeded SPD matrix, zero buffers, seeded
 /// RHS. General (full-matrix) tiles for the LU substrate come from the
 /// diagonally dominant generator.
-fn default_original(r: TileRef, nt: usize, b: usize, seed: u64, seed_rhs: u64) -> Tile {
+pub(crate) fn default_original(r: TileRef, nt: usize, b: usize, seed: u64, seed_rhs: u64) -> Tile {
     match r {
         TileRef::A { phase: 0, i, j, .. } if j <= i => {
             generate::spd_tile(seed, nt, b, i as usize, j as usize)
@@ -918,7 +918,15 @@ impl WorkerCtx<'_, '_> {
                         .or_insert_with(|| self.exec.original(tile_ref))
                         .clone()
                 };
-                self.send_payload(dest, Payload::Orig { tile_ref, tile }, &mut obs);
+                self.send_payload(
+                    dest,
+                    Payload::Orig {
+                        job: 0,
+                        tile_ref,
+                        tile,
+                    },
+                    &mut obs,
+                );
             }
             let mut st = lock(&self.sched.state);
             st.shipped = true;
@@ -1160,6 +1168,7 @@ impl WorkerCtx<'_, '_> {
                 self.send_payload(
                     dest,
                     Payload::Data {
+                        job: 0,
                         producer: t,
                         tile: out.clone(),
                     },
@@ -1314,7 +1323,11 @@ impl WorkerCtx<'_, '_> {
 }
 
 /// Dispatches one task kind to its kernel.
-fn run_kernel(kind: TaskKind, read_tiles: &[Tile], target: &mut Tile) -> Result<(), KernelError> {
+pub(crate) fn run_kernel(
+    kind: TaskKind,
+    read_tiles: &[Tile],
+    target: &mut Tile,
+) -> Result<(), KernelError> {
     match kind {
         TaskKind::Potrf { .. } => k::potrf(target)?,
         TaskKind::Trsm { .. } => k::trsm_right_lower_trans(1.0, &read_tiles[0], target),

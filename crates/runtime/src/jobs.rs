@@ -1,0 +1,1335 @@
+//! The resident multi-job execution engine.
+//!
+//! [`crate::Executor`] is one-shot: it meshes nodes up, runs a single task
+//! graph and tears everything down. A factorization *service* cannot afford
+//! that — mesh setup, session handshakes and planning dominate small jobs —
+//! so this module keeps every rank's worker pool and transport endpoint
+//! **resident** and streams jobs through them:
+//!
+//! - A [`JobTable`] is the in-process control plane: clients submit
+//!   [`JobSpec`]s (admission-controlled), rank engines pick them up, and
+//!   finished [`JobOutcome`]s are published back with exact per-job
+//!   [`CommStats`]. Only tile payloads ever cross the transport; control
+//!   stays in shared memory because every deployment shape (in-process
+//!   mesh, one thread per UDS session endpoint) keeps the ranks in one
+//!   process.
+//! - [`run_jobs_rank`] is one rank's resident engine: a worker pool
+//!   draining a ready heap keyed by **(job priority, task priority)** —
+//!   the extension of the one-shot scheduler's task-priority key — with
+//!   per-job tile stores namespaced by the job id that
+//!   [`sbc_net::Payload`] now carries, so concurrent jobs share the mesh
+//!   without clobbering each other.
+//!
+//! The liveness watchdog arms **per job**: the no-progress clock only runs
+//! while this rank has jobs in flight and is re-armed at every job
+//! registration, so an idle resident rank waiting for its next job never
+//! trips [`ExecError::Stalled`].
+
+use crate::executor::{default_original, run_kernel, CommStats, ExecError};
+use sbc_kernels::Tile;
+use sbc_net::{Message, NodeId, Payload, RecvTimeout, Transport};
+use sbc_taskgraph::{flops_priorities, EdgeKind, TaskGraph, TaskId, TaskKind, TileRef};
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::time::{Duration, Instant};
+
+/// Identifies one job across the table, the engines and the wire.
+pub type JobId = u32;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// An admitted factorization job, shared between the table and every rank
+/// engine. Built by [`JobTable::submit`].
+pub struct JobSpec {
+    /// Table-assigned id; also the namespace tag on every payload.
+    pub id: JobId,
+    /// The task graph to execute (shared — same-shape jobs reuse one).
+    pub graph: Arc<TaskGraph>,
+    /// Tile dimension.
+    pub b: usize,
+    /// SPD input seed.
+    pub seed: u64,
+    /// Right-hand-side seed.
+    pub seed_rhs: u64,
+    /// Job priority: higher jumps the shared ready heap.
+    pub prio: u8,
+    /// Critical-path task priorities as raw f32 bits; empty = submission
+    /// order.
+    prio_bits: Arc<Vec<u32>>,
+}
+
+impl JobSpec {
+    fn task_prio(&self, t: TaskId) -> u32 {
+        self.prio_bits.get(t as usize).copied().unwrap_or(0)
+    }
+}
+
+/// One finished job: the merged tile stores of every rank plus the job's
+/// own communication statistics — exactly what a one-shot
+/// [`crate::ExecOutcome`] reports, per job.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The job.
+    pub id: JobId,
+    /// Final tile values, merged across ranks.
+    pub tiles: HashMap<TileRef, Tile>,
+    /// This job's communication (payloads carrying its job id only).
+    pub stats: CommStats,
+    /// Wall-clock from admission to the last rank finishing.
+    pub elapsed: Duration,
+}
+
+/// Why a submission was refused at the door.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// The in-flight bound is reached; retry after a completion.
+    QueueFull {
+        /// Jobs currently admitted and not yet finished.
+        inflight: usize,
+        /// The configured bound.
+        max: usize,
+    },
+    /// The table is draining; no further work is accepted.
+    ShuttingDown,
+    /// The mesh died (a rank failed); the service must be restarted.
+    Dead,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::QueueFull { inflight, max } => {
+                write!(f, "queue full: {inflight} jobs in flight (max {max})")
+            }
+            Rejection::ShuttingDown => write!(f, "service is shutting down"),
+            Rejection::Dead => write!(f, "mesh failed; service needs a restart"),
+        }
+    }
+}
+
+/// Per-job accumulator while ranks report in.
+struct JobAccum {
+    tiles: HashMap<TileRef, Tile>,
+    sent_per_node: Vec<u64>,
+    recv_per_node: Vec<u64>,
+    bytes_per_node: Vec<u64>,
+    ranks_done: usize,
+    admitted: Instant,
+}
+
+struct TableState {
+    next_id: JobId,
+    /// Admitted specs each rank engine has not yet picked up.
+    incoming: Vec<VecDeque<Arc<JobSpec>>>,
+    accum: HashMap<JobId, JobAccum>,
+    done: HashMap<JobId, JobOutcome>,
+    inflight: usize,
+    completed: u64,
+    shutdown: bool,
+    /// First engine-level failure; everything in flight fails with it.
+    dead: Option<ExecError>,
+}
+
+/// The in-process control plane of a resident mesh: admission, job
+/// hand-off to the rank engines, result accumulation and completion
+/// signalling. One table serves one mesh for its whole lifetime.
+pub struct JobTable {
+    n_nodes: usize,
+    max_inflight: usize,
+    state: Mutex<TableState>,
+    cv: Condvar,
+}
+
+impl JobTable {
+    /// A table for an `n_nodes` mesh admitting at most `max_inflight`
+    /// concurrent jobs (clamped to at least 1).
+    pub fn new(n_nodes: usize, max_inflight: usize) -> Self {
+        JobTable {
+            n_nodes,
+            max_inflight: max_inflight.max(1),
+            state: Mutex::new(TableState {
+                next_id: 0,
+                incoming: (0..n_nodes).map(|_| VecDeque::new()).collect(),
+                accum: HashMap::new(),
+                done: HashMap::new(),
+                inflight: 0,
+                completed: 0,
+                shutdown: false,
+                dead: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Mesh size this table was built for.
+    pub fn num_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Submits one job. `use_priorities` selects critical-path task
+    /// ordering within the job (the graph-level half of the heap key;
+    /// `prio` is the job-level half). Returns the job id, or the admission
+    /// verdict when the queue is full or the table is draining.
+    pub fn submit(
+        &self,
+        graph: Arc<TaskGraph>,
+        b: usize,
+        seed: u64,
+        seed_rhs: u64,
+        prio: u8,
+        use_priorities: bool,
+    ) -> Result<JobId, Rejection> {
+        let prio_bits = Arc::new(if use_priorities {
+            flops_priorities(&graph, b)
+                .into_iter()
+                .map(f32::to_bits)
+                .collect()
+        } else {
+            Vec::new()
+        });
+        let mut st = lock(&self.state);
+        if st.dead.is_some() {
+            return Err(Rejection::Dead);
+        }
+        if st.shutdown {
+            return Err(Rejection::ShuttingDown);
+        }
+        if st.inflight >= self.max_inflight {
+            return Err(Rejection::QueueFull {
+                inflight: st.inflight,
+                max: self.max_inflight,
+            });
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.inflight += 1;
+        let spec = Arc::new(JobSpec {
+            id,
+            graph,
+            b,
+            seed,
+            seed_rhs,
+            prio,
+            prio_bits,
+        });
+        st.accum.insert(
+            id,
+            JobAccum {
+                tiles: HashMap::new(),
+                sent_per_node: vec![0; self.n_nodes],
+                recv_per_node: vec![0; self.n_nodes],
+                bytes_per_node: vec![0; self.n_nodes],
+                ranks_done: 0,
+                admitted: Instant::now(),
+            },
+        );
+        for q in &mut st.incoming {
+            q.push_back(Arc::clone(&spec));
+        }
+        drop(st);
+        self.cv.notify_all();
+        Ok(id)
+    }
+
+    /// Blocks until `id` finishes, returning its outcome — or the engine
+    /// failure that killed the mesh while it was in flight.
+    pub fn wait(&self, id: JobId) -> Result<JobOutcome, ExecError> {
+        let mut st = lock(&self.state);
+        loop {
+            if let Some(out) = st.done.remove(&id) {
+                return Ok(out);
+            }
+            if let Some(e) = &st.dead {
+                return Err(e.clone());
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Stops admitting jobs; resident engines exit once everything already
+    /// admitted has drained.
+    pub fn shutdown(&self) {
+        lock(&self.state).shutdown = true;
+        self.cv.notify_all();
+    }
+
+    /// Jobs admitted and not yet finished.
+    pub fn inflight(&self) -> usize {
+        lock(&self.state).inflight
+    }
+
+    /// Jobs completed since the table was built.
+    pub fn completed(&self) -> u64 {
+        lock(&self.state).completed
+    }
+
+    /// Engine side: drains `rank`'s pending registrations and reports
+    /// whether the table is draining.
+    fn take_incoming(&self, rank: NodeId) -> (Vec<Arc<JobSpec>>, bool) {
+        let mut st = lock(&self.state);
+        let q = &mut st.incoming[rank as usize];
+        let specs = q.drain(..).collect();
+        (specs, st.shutdown)
+    }
+
+    /// Engine side: one rank's share of `id` is finished. The final rank
+    /// to report completes the job and wakes the waiters.
+    fn rank_done(
+        &self,
+        id: JobId,
+        rank: NodeId,
+        tiles: HashMap<TileRef, Tile>,
+        sent: u64,
+        sent_bytes: u64,
+        applied: u64,
+    ) {
+        let mut st = lock(&self.state);
+        let Some(acc) = st.accum.get_mut(&id) else {
+            return; // job already failed via poison
+        };
+        acc.sent_per_node[rank as usize] = sent;
+        acc.bytes_per_node[rank as usize] = sent_bytes;
+        acc.recv_per_node[rank as usize] = applied;
+        for (r, t) in tiles {
+            let prev = acc.tiles.insert(r, t);
+            debug_assert!(prev.is_none(), "tile {r:?} reported by two ranks");
+        }
+        acc.ranks_done += 1;
+        if acc.ranks_done == self.n_nodes {
+            let acc = st.accum.remove(&id).expect("accumulator present");
+            let stats = CommStats {
+                messages: acc.sent_per_node.iter().sum(),
+                bytes: acc.bytes_per_node.iter().sum(),
+                sent_per_node: acc.sent_per_node,
+                recv_per_node: acc.recv_per_node,
+                bytes_per_node: acc.bytes_per_node,
+            };
+            st.done.insert(
+                id,
+                JobOutcome {
+                    id,
+                    tiles: acc.tiles,
+                    stats,
+                    elapsed: acc.admitted.elapsed(),
+                },
+            );
+            st.inflight -= 1;
+            st.completed += 1;
+            drop(st);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Engine side: the mesh failed. Every in-flight job fails with the
+    /// first reported error; future submissions are rejected.
+    fn poison(&self, e: ExecError) {
+        let mut st = lock(&self.state);
+        if st.dead.is_none() {
+            st.dead = Some(e);
+        }
+        st.inflight = 0;
+        st.accum.clear();
+        for q in &mut st.incoming {
+            q.clear();
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// One rank engine's knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct JobEngineConfig {
+    /// Worker threads in this rank's resident pool (at least 1).
+    pub workers: usize,
+    /// Receive poll tick: how often a parked receiver re-checks for new
+    /// job registrations and (under a session) drives retransmissions.
+    pub heartbeat: Duration,
+    /// Per-job no-progress watchdog; `None` disables it. The clock only
+    /// runs while this rank has jobs in flight.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for JobEngineConfig {
+    fn default() -> Self {
+        JobEngineConfig {
+            workers: 1,
+            heartbeat: Duration::from_millis(2),
+            deadline: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum WaitKey {
+    Task(TaskId),
+    Orig(TileRef),
+}
+
+/// Job-private tile stores: the namespace that lets concurrent jobs share
+/// one mesh. `local` holds tiles this rank owns for the job, `cache` holds
+/// remote arrivals keyed by producer task or fetched original.
+struct JobTiles {
+    local: RwLock<HashMap<TileRef, Tile>>,
+    cache: RwLock<HashMap<WaitKey, Tile>>,
+}
+
+/// One rank's in-flight share of a job.
+struct JobRun {
+    spec: Arc<JobSpec>,
+    tiles: Arc<JobTiles>,
+    deps: HashMap<TaskId, u32>,
+    waits: HashMap<WaitKey, Vec<TaskId>>,
+    fetch_sends: Vec<(TileRef, NodeId)>,
+    /// Tasks with no dependencies, released when shipping completes.
+    initial_ready: Vec<TaskId>,
+    shipped: bool,
+    remaining: u64,
+    sent: u64,
+    sent_bytes: u64,
+    applied: u64,
+}
+
+/// Ready-heap key: job priority (descending), task priority (descending),
+/// then job id and task id (ascending) for determinism.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct ReadyKey {
+    jprio: u8,
+    tprio: u32,
+    job: std::cmp::Reverse<JobId>,
+    task: std::cmp::Reverse<TaskId>,
+}
+
+struct EngineState {
+    ready: BinaryHeap<ReadyKey>,
+    jobs: HashMap<JobId, JobRun>,
+    /// Jobs whose original-tile fetches have not been shipped yet; drained
+    /// before the heap so no task of a job outruns its fetch sends.
+    unshipped: VecDeque<JobId>,
+    /// Payloads that arrived before their job was registered on this rank
+    /// (registration races remote ships).
+    pending: HashMap<JobId, Vec<Payload>>,
+    /// Jobs this rank completed; late duplicates for them are dropped.
+    finished: HashSet<JobId>,
+    receiving: bool,
+    active: u32,
+    poisoned: bool,
+    error: Option<ExecError>,
+}
+
+struct Engine<'e> {
+    net: &'e dyn Transport,
+    table: &'e JobTable,
+    cfg: JobEngineConfig,
+    me: NodeId,
+    state: Mutex<EngineState>,
+    cv: Condvar,
+    started: Instant,
+    progress_ns: AtomicU64,
+}
+
+/// What one worker decides to do after inspecting the engine state.
+enum Step {
+    Ship(JobId),
+    Run(JobId, TaskId),
+    Receive,
+    Wait,
+    Exit,
+}
+
+/// Runs one rank's resident engine over `net` until [`JobTable::shutdown`]
+/// drains it (returning `Ok`) or the mesh fails (returning the error after
+/// poisoning peers and failing every in-flight job in the table).
+///
+/// Every rank of the mesh must run this against the same table. The caller
+/// owns the thread: spawn one per rank over an in-process mesh for a
+/// service, or one per session endpoint for a socket mesh.
+pub fn run_jobs_rank(
+    net: &dyn Transport,
+    table: &JobTable,
+    cfg: JobEngineConfig,
+) -> Result<(), ExecError> {
+    let engine = Engine {
+        net,
+        table,
+        cfg,
+        me: net.rank(),
+        state: Mutex::new(EngineState {
+            ready: BinaryHeap::new(),
+            jobs: HashMap::new(),
+            unshipped: VecDeque::new(),
+            pending: HashMap::new(),
+            finished: HashSet::new(),
+            receiving: false,
+            active: 0,
+            poisoned: false,
+            error: None,
+        }),
+        cv: Condvar::new(),
+        started: Instant::now(),
+        progress_ns: AtomicU64::new(0),
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.workers.max(1) {
+            scope.spawn(|| engine.worker_loop());
+        }
+    });
+    let st = engine
+        .state
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    match st.error {
+        Some(e) => Err(e),
+        None if st.poisoned => Err(ExecError::Remote),
+        None => Ok(()),
+    }
+}
+
+impl Engine<'_> {
+    fn touch_progress(&self) {
+        self.progress_ns
+            .store(self.started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn stalled_for(&self) -> Duration {
+        self.started.elapsed().saturating_sub(Duration::from_nanos(
+            self.progress_ns.load(Ordering::Relaxed),
+        ))
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            // pick up new registrations (table lock only — never nested
+            // inside the engine lock)
+            let (specs, shutdown) = self.table.take_incoming(self.me);
+            let mut completions = Vec::new();
+            for spec in specs {
+                if let Some(done) = self.register(spec) {
+                    completions.push(done);
+                }
+            }
+            self.report(completions);
+
+            let step = {
+                let mut st = lock(&self.state);
+                let drained = shutdown
+                    && st.jobs.is_empty()
+                    && st.unshipped.is_empty()
+                    && st.ready.is_empty();
+                if st.poisoned || drained {
+                    Step::Exit
+                } else if let Some(j) = st.unshipped.pop_front() {
+                    st.active += 1;
+                    Step::Ship(j)
+                } else if let Some(k) = st.ready.pop() {
+                    st.active += 1;
+                    Step::Run(k.job.0, k.task.0)
+                } else if !st.receiving {
+                    st.receiving = true;
+                    Step::Receive
+                } else {
+                    Step::Wait
+                }
+            };
+            match step {
+                Step::Exit => break,
+                Step::Ship(j) => self.ship(j),
+                Step::Run(j, t) => self.run_task(j, t),
+                Step::Receive => self.receive_once(),
+                Step::Wait => {
+                    let st = lock(&self.state);
+                    if !st.poisoned && st.unshipped.is_empty() && st.ready.is_empty() {
+                        // bounded wait: new registrations arrive via the
+                        // table, which cannot poke this condvar directly
+                        drop(
+                            self.cv
+                                .wait_timeout(st, self.cfg.heartbeat)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner),
+                        );
+                    }
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Builds this rank's share of `spec` and installs it. Returns the
+    /// completion report when the job has nothing to do here (no local
+    /// tasks and no fetches to ship).
+    fn register(&self, spec: Arc<JobSpec>) -> Option<Completion> {
+        let g = spec.graph.as_ref();
+        let me = self.me;
+        let mut deps_global = g.in_degrees();
+        for (t, extra) in g.fetch_deps().into_iter().enumerate() {
+            deps_global[t] += extra;
+        }
+        let mut deps: HashMap<TaskId, u32> = HashMap::new();
+        let mut initial_ready: Vec<TaskId> = Vec::new();
+        let mut remaining = 0u64;
+        let mut waits: HashMap<WaitKey, Vec<TaskId>> = HashMap::new();
+        let mut fetch_sends: Vec<(TileRef, NodeId)> = Vec::new();
+        for t in 0..g.len() as TaskId {
+            if g.tasks()[t as usize].node != me {
+                continue;
+            }
+            remaining += 1;
+            deps.insert(t, deps_global[t as usize]);
+            if deps_global[t as usize] == 0 {
+                initial_ready.push(t);
+            }
+            for (p, kind) in g.preds(t) {
+                if g.tasks()[p as usize].node != me {
+                    debug_assert_eq!(kind, EdgeKind::Data);
+                    let w = waits.entry(WaitKey::Task(p)).or_default();
+                    if w.last() != Some(&t) {
+                        w.push(t);
+                    }
+                }
+            }
+        }
+        for f in g.initial_fetches() {
+            if f.home == me {
+                fetch_sends.push((f.tile, f.dest));
+            }
+            if f.dest == me {
+                waits
+                    .entry(WaitKey::Orig(f.tile))
+                    .or_default()
+                    .extend(f.consumers.iter().copied());
+            }
+        }
+
+        // arm the per-job watchdog clock: a rank that was idle until now
+        // must measure no-progress from this registration, not from the
+        // end of the previous job
+        self.touch_progress();
+
+        let id = spec.id;
+        let shipped = fetch_sends.is_empty();
+        let run = JobRun {
+            spec,
+            tiles: Arc::new(JobTiles {
+                local: RwLock::new(HashMap::new()),
+                cache: RwLock::new(HashMap::new()),
+            }),
+            deps,
+            waits,
+            fetch_sends,
+            initial_ready,
+            shipped,
+            remaining,
+            sent: 0,
+            sent_bytes: 0,
+            applied: 0,
+        };
+
+        let mut st = lock(&self.state);
+        if st.poisoned {
+            return None;
+        }
+        st.jobs.insert(id, run);
+        if shipped {
+            Self::release_initial(&mut st, id);
+        } else {
+            st.unshipped.push_back(id);
+        }
+        // payloads that beat the registration
+        if let Some(pend) = st.pending.remove(&id) {
+            for payload in pend {
+                Self::apply_payload(&mut st, payload);
+            }
+        }
+        let done = Self::try_finish(&mut st, id);
+        drop(st);
+        self.cv.notify_all();
+        done
+    }
+
+    /// Pushes a registered job's zero-dependency tasks onto the shared
+    /// heap (call with `shipped` already true).
+    fn release_initial(st: &mut EngineState, id: JobId) {
+        let run = st.jobs.get_mut(&id).expect("job registered");
+        let tasks = std::mem::take(&mut run.initial_ready);
+        let (jprio, spec) = (run.spec.prio, Arc::clone(&run.spec));
+        for t in tasks {
+            st.ready.push(ReadyKey {
+                jprio,
+                tprio: spec.task_prio(t),
+                job: std::cmp::Reverse(id),
+                task: std::cmp::Reverse(t),
+            });
+        }
+    }
+
+    /// If `id` has shipped its fetches and run out of local tasks, remove
+    /// it and return what the table must be told. Caller reports after
+    /// releasing the engine lock.
+    fn try_finish(st: &mut EngineState, id: JobId) -> Option<Completion> {
+        let run = st.jobs.get(&id)?;
+        if !(run.shipped && run.remaining == 0) {
+            return None;
+        }
+        let run = st.jobs.remove(&id).expect("job present");
+        st.finished.insert(id);
+        st.pending.remove(&id);
+        let tiles = std::mem::take(
+            &mut *run
+                .tiles
+                .local
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        Some(Completion {
+            id,
+            tiles,
+            sent: run.sent,
+            sent_bytes: run.sent_bytes,
+            applied: run.applied,
+        })
+    }
+
+    fn report(&self, completions: Vec<Completion>) {
+        for c in completions {
+            self.table
+                .rank_done(c.id, self.me, c.tiles, c.sent, c.sent_bytes, c.applied);
+        }
+    }
+
+    /// Ships a job's original tiles to their remote consumers, then
+    /// releases the job's initial tasks. Runs outside the engine lock; the
+    /// job's tasks cannot start (and thus cannot overwrite an original a
+    /// remote consumer still needs) until the release below.
+    fn ship(&self, id: JobId) {
+        let (spec, tiles, sends) = {
+            let st = lock(&self.state);
+            let run = &st.jobs[&id];
+            (
+                Arc::clone(&run.spec),
+                Arc::clone(&run.tiles),
+                run.fetch_sends.clone(),
+            )
+        };
+        let (nt, b, seed, seed_rhs) = (spec.graph.nt, spec.b, spec.seed, spec.seed_rhs);
+        let mut sent = 0u64;
+        let mut sent_bytes = 0u64;
+        for (tile_ref, dest) in sends {
+            let tile = {
+                let mut local = tiles
+                    .local
+                    .write()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                local
+                    .entry(tile_ref)
+                    .or_insert_with(|| default_original(tile_ref, nt, b, seed, seed_rhs))
+                    .clone()
+            };
+            let payload = Payload::Orig {
+                job: id,
+                tile_ref,
+                tile,
+            };
+            let bytes = payload.payload_bytes();
+            if self.net.send_payload(dest, payload).is_some() {
+                sent += 1;
+                sent_bytes += bytes;
+            }
+        }
+        self.touch_progress();
+        let done = {
+            let mut st = lock(&self.state);
+            st.active -= 1;
+            if let Some(run) = st.jobs.get_mut(&id) {
+                run.sent += sent;
+                run.sent_bytes += sent_bytes;
+                run.shipped = true;
+                Self::release_initial(&mut st, id);
+                Self::try_finish(&mut st, id)
+            } else {
+                None
+            }
+        };
+        self.cv.notify_all();
+        self.report(done.into_iter().collect());
+    }
+
+    /// Executes one popped task of one job, publishes its output to remote
+    /// consumer ranks (tagged with the job id) and resolves successors.
+    fn run_task(&self, id: JobId, t: TaskId) {
+        let (spec, tiles) = {
+            let st = lock(&self.state);
+            let run = &st.jobs[&id];
+            (Arc::clone(&run.spec), Arc::clone(&run.tiles))
+        };
+        let g = spec.graph.as_ref();
+        let c = g.slices;
+
+        if let Err(error) = execute_task(&spec, &tiles, t) {
+            self.fail(
+                ExecError::Kernel {
+                    task: t,
+                    node: self.me,
+                    error,
+                },
+                true,
+            );
+            return;
+        }
+        self.touch_progress();
+
+        let mut consumer_nodes: Vec<NodeId> = Vec::new();
+        for (s, _) in g.succs(t) {
+            let snode = g.tasks()[s as usize].node;
+            if snode != self.me && !consumer_nodes.contains(&snode) {
+                consumer_nodes.push(snode);
+            }
+        }
+        let mut sent = 0u64;
+        let mut sent_bytes = 0u64;
+        if !consumer_nodes.is_empty() {
+            let out = tiles
+                .local
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .get(&g.tasks()[t as usize].output(c))
+                .expect("task output in local store")
+                .clone();
+            for &dest in &consumer_nodes {
+                let payload = Payload::Data {
+                    job: id,
+                    producer: t,
+                    tile: out.clone(),
+                };
+                let bytes = payload.payload_bytes();
+                if self.net.send_payload(dest, payload).is_some() {
+                    sent += 1;
+                    sent_bytes += bytes;
+                }
+            }
+        }
+
+        let done = {
+            let mut st = lock(&self.state);
+            st.active -= 1;
+            match st.jobs.get_mut(&id) {
+                None => None, // engine poisoned concurrently
+                Some(run) => {
+                    run.sent += sent;
+                    run.sent_bytes += sent_bytes;
+                    run.remaining -= 1;
+                    let mut released: Vec<TaskId> = Vec::new();
+                    for (s, _) in g.succs(t) {
+                        if g.tasks()[s as usize].node == self.me {
+                            let d = run.deps.get_mut(&s).expect("successor on this node");
+                            *d -= 1;
+                            if *d == 0 {
+                                released.push(s);
+                            }
+                        }
+                    }
+                    for s in released {
+                        st.ready.push(ReadyKey {
+                            jprio: spec.prio,
+                            tprio: spec.task_prio(s),
+                            job: std::cmp::Reverse(id),
+                            task: std::cmp::Reverse(s),
+                        });
+                    }
+                    Self::try_finish(&mut st, id)
+                }
+            }
+        };
+        self.cv.notify_all();
+        self.report(done.into_iter().collect());
+    }
+
+    /// Blocks on the transport for one heartbeat as the designated
+    /// receiver, applies whatever arrived, and re-checks the per-job
+    /// watchdog on timeouts.
+    fn receive_once(&self) {
+        let mut batch = Vec::new();
+        let mut poisoned = false;
+        match self.net.recv_timeout(self.cfg.heartbeat) {
+            RecvTimeout::Msg(m) => {
+                batch.push(m);
+                while let Some(m) = self.net.try_recv() {
+                    batch.push(m);
+                }
+            }
+            RecvTimeout::Closed => poisoned = true,
+            RecvTimeout::TimedOut => {
+                // the per-job watchdog: only a rank with work in flight can
+                // stall — an idle resident rank waits for its next job
+                // indefinitely without tripping
+                let busy = {
+                    let mut st = lock(&self.state);
+                    st.receiving = false;
+                    !st.jobs.is_empty() || !st.unshipped.is_empty()
+                };
+                self.cv.notify_all();
+                if let Some(deadline) = self.cfg.deadline {
+                    if busy && self.stalled_for() > deadline {
+                        let waiting_on = self.describe_waiting();
+                        self.fail(
+                            ExecError::Stalled {
+                                rank: self.me,
+                                waiting_on,
+                            },
+                            false,
+                        );
+                    }
+                }
+                return;
+            }
+        }
+
+        let mut completions = Vec::new();
+        let mut fresh = 0u64;
+        {
+            let mut st = lock(&self.state);
+            for msg in batch {
+                match msg {
+                    // a bare Seq means no session wraps this endpoint; the
+                    // cache occupancy check deduplicates it regardless
+                    Message::Payload { payload, .. } | Message::Seq { payload, .. } => {
+                        if let Some(id) = Self::apply_payload(&mut st, payload) {
+                            fresh += 1;
+                            if let Some(done) = Self::try_finish(&mut st, id) {
+                                completions.push(done);
+                            }
+                        }
+                    }
+                    Message::Poison => poisoned = true,
+                    Message::Wake | Message::Ack { .. } => {}
+                    // gather control traffic never flows on a jobs mesh
+                    Message::Result { .. } | Message::Done { .. } => {}
+                }
+            }
+            st.receiving = false;
+            if poisoned {
+                st.poisoned = true;
+            }
+        }
+        self.cv.notify_all();
+        if fresh > 0 {
+            self.touch_progress();
+        }
+        self.report(completions);
+        if poisoned {
+            self.fail(ExecError::Remote, false);
+        }
+    }
+
+    /// Applies one payload to its job under the engine lock. Returns the
+    /// job id when the payload was fresh (not a duplicate, not early, not
+    /// late), so the caller can check for completion.
+    fn apply_payload(st: &mut EngineState, payload: Payload) -> Option<JobId> {
+        let id = payload.job();
+        if st.finished.contains(&id) {
+            return None; // late duplicate for a completed job
+        }
+        let Some(run) = st.jobs.get_mut(&id) else {
+            // registration has not happened here yet; stash for it
+            st.pending.entry(id).or_default().push(payload);
+            return None;
+        };
+        let key = match &payload {
+            Payload::Data { producer, .. } => WaitKey::Task(*producer),
+            Payload::Orig { tile_ref, .. } => WaitKey::Orig(*tile_ref),
+        };
+        let tile = match payload {
+            Payload::Data { tile, .. } | Payload::Orig { tile, .. } => tile,
+        };
+        // each producer output / original fetch arrives at most once per
+        // rank by protocol; an occupied slot is a transport-injected
+        // duplicate and must not touch counters or dependency counts
+        let duplicate = {
+            let mut cache = run
+                .tiles
+                .cache
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match cache.entry(key) {
+                Entry::Occupied(_) => true,
+                Entry::Vacant(slot) => {
+                    slot.insert(tile);
+                    false
+                }
+            }
+        };
+        if duplicate {
+            return None;
+        }
+        run.applied += 1;
+        let jprio = run.spec.prio;
+        let spec = Arc::clone(&run.spec);
+        if let Some(waiting) = run.waits.get(&key) {
+            let waiting = waiting.clone();
+            for t in waiting {
+                let run = st.jobs.get_mut(&id).expect("job still present");
+                let d = run.deps.get_mut(&t).expect("waiting task is local");
+                *d -= 1;
+                if *d == 0 && run.shipped {
+                    st.ready.push(ReadyKey {
+                        jprio,
+                        tprio: spec.task_prio(t),
+                        job: std::cmp::Reverse(id),
+                        task: std::cmp::Reverse(t),
+                    });
+                } else if *d == 0 {
+                    run.initial_ready.push(t);
+                }
+            }
+        }
+        Some(id)
+    }
+
+    fn describe_waiting(&self) -> String {
+        let st = lock(&self.state);
+        let mut missing: Vec<String> = Vec::new();
+        for (id, run) in &st.jobs {
+            let cache = run
+                .tiles
+                .cache
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for k in run.waits.keys() {
+                if !cache.contains_key(k) {
+                    missing.push(format!("job {id} {k:?}"));
+                }
+            }
+        }
+        if missing.is_empty() {
+            return "no undelivered remote dependencies".to_string();
+        }
+        missing.sort();
+        format!(
+            "{} undelivered remote arrivals, first {}",
+            missing.len(),
+            missing[0]
+        )
+    }
+
+    /// Records a failure, poisons peers, fails every in-flight job in the
+    /// table and stops this engine. `dec_active` is true when called from
+    /// a task/ship path that incremented the active count.
+    fn fail(&self, e: ExecError, dec_active: bool) {
+        {
+            let mut st = lock(&self.state);
+            if dec_active {
+                st.active -= 1;
+            }
+            if st.error.is_none() {
+                st.error = Some(e.clone());
+            }
+            st.poisoned = true;
+        }
+        self.cv.notify_all();
+        for n in 0..self.net.num_nodes() as NodeId {
+            if n != self.me {
+                self.net.send_poison(n);
+            }
+        }
+        self.net.wake();
+        self.table.poison(e);
+    }
+}
+
+/// One rank's finished share of a job, ready to report to the table.
+struct Completion {
+    id: JobId,
+    tiles: HashMap<TileRef, Tile>,
+    sent: u64,
+    sent_bytes: u64,
+    applied: u64,
+}
+
+/// Resolves a read operand of task `t`: remote producer output or fetched
+/// original from the job's cache, else the job-local store (originals
+/// generated on first use).
+fn resolve_read(spec: &JobSpec, tiles: &JobTiles, t: TaskId, r: TileRef) -> Tile {
+    let g = spec.graph.as_ref();
+    let c = g.slices;
+    let me = g.tasks()[t as usize].node;
+    for (p, kind) in g.preds(t) {
+        if kind == EdgeKind::Data && g.tasks()[p as usize].output(c) == r {
+            return if g.tasks()[p as usize].node == me {
+                tiles
+                    .local
+                    .read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .get(&r)
+                    .expect("local producer wrote the tile")
+                    .clone()
+            } else {
+                tiles
+                    .cache
+                    .read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .get(&WaitKey::Task(p))
+                    .expect("dependency ensured arrival")
+                    .clone()
+            };
+        }
+    }
+    if let Some(tile) = tiles
+        .cache
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(&WaitKey::Orig(r))
+    {
+        return tile.clone();
+    }
+    tiles
+        .local
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .entry(r)
+        .or_insert_with(|| default_original(r, g.nt, spec.b, spec.seed, spec.seed_rhs))
+        .clone()
+}
+
+/// Executes one task's kernel against the job's private stores (the
+/// job-namespace twin of the one-shot executor's `execute_task`).
+fn execute_task(
+    spec: &JobSpec,
+    tiles: &JobTiles,
+    t: TaskId,
+) -> Result<(), sbc_kernels::KernelError> {
+    let g = spec.graph.as_ref();
+    let c = g.slices;
+    let task = g.tasks()[t as usize];
+    let reads = task.reads(c);
+    let read_tiles: Vec<Tile> = reads
+        .as_slice()
+        .iter()
+        .map(|&r| resolve_read(spec, tiles, t, r))
+        .collect();
+    let target_ref = task.output(c);
+    let mut target = {
+        let mut local = tiles
+            .local
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        local.remove(&target_ref).unwrap_or_else(|| {
+            if matches!(task.kind, TaskKind::Move { .. }) {
+                Tile::zeros(spec.b)
+            } else {
+                default_original(target_ref, g.nt, spec.b, spec.seed, spec.seed_rhs)
+            }
+        })
+    };
+    let result = run_kernel(task.kind, &read_tiles, &mut target);
+    tiles
+        .local
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(target_ref, target);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use sbc_dist::{SbcExtended, TwoDBlockCyclic};
+    use sbc_net::inproc_mesh;
+    use sbc_taskgraph::build_potrf;
+
+    const B: usize = 8;
+
+    fn run_mesh(table: &JobTable, n: usize, cfg: JobEngineConfig, body: impl FnOnce() + Send) {
+        let mesh = inproc_mesh(n);
+        std::thread::scope(|scope| {
+            for net in &mesh {
+                scope.spawn(move || run_jobs_rank(net, table, cfg));
+            }
+            scope.spawn(move || {
+                body();
+                table.shutdown();
+            });
+        });
+    }
+
+    fn one_shot_reference(graph: &TaskGraph, seed: u64, seed_rhs: u64) -> crate::ExecOutcome {
+        Executor::builder(graph)
+            .block(B)
+            .seeds(seed, seed_rhs)
+            .workers(1)
+            .build()
+            .run()
+    }
+
+    #[test]
+    fn ready_heap_orders_by_job_then_task_priority() {
+        let mut heap = BinaryHeap::new();
+        for (jprio, tprio, job, task) in [
+            (1u8, 5.0f32, 2u32, 9u32),
+            (1, 5.0, 1, 3),
+            (3, 0.0, 7, 0),
+            (1, 9.0, 2, 4),
+        ] {
+            heap.push(ReadyKey {
+                jprio,
+                tprio: tprio.to_bits(),
+                job: std::cmp::Reverse(job),
+                task: std::cmp::Reverse(task),
+            });
+        }
+        let order: Vec<(JobId, TaskId)> =
+            std::iter::from_fn(|| heap.pop().map(|k| (k.job.0, k.task.0))).collect();
+        // highest job priority first; within a job priority, highest task
+        // priority; ties broken by ascending job then task id
+        assert_eq!(order, vec![(7, 0), (2, 4), (1, 3), (2, 9)]);
+    }
+
+    #[test]
+    fn two_concurrent_jobs_match_their_one_shot_runs() {
+        let d = SbcExtended::new(4); // 6 nodes
+        let graph = Arc::new(build_potrf(&d, 10));
+        let exp_a = one_shot_reference(&graph, 2022, 7);
+        let exp_b = one_shot_reference(&graph, 99, 100);
+
+        let table = JobTable::new(graph.num_nodes(), 8);
+        let (ga, gb) = (Arc::clone(&graph), Arc::clone(&graph));
+        let mut results = Vec::new();
+        {
+            let results = &mut results;
+            let table_ref = &table;
+            run_mesh(
+                &table,
+                graph.num_nodes(),
+                JobEngineConfig::default(),
+                move || {
+                    let a = table_ref.submit(ga, B, 2022, 7, 1, true).unwrap();
+                    let b = table_ref.submit(gb, B, 99, 100, 2, true).unwrap();
+                    results.push(table_ref.wait(a).unwrap());
+                    results.push(table_ref.wait(b).unwrap());
+                },
+            );
+        }
+        for (out, exp) in results.iter().zip([&exp_a, &exp_b]) {
+            assert_eq!(out.stats, exp.stats, "per-job stats must stay exact");
+            assert_eq!(out.tiles.len(), exp.tiles.len());
+            for (r, t) in &exp.tiles {
+                assert_eq!(
+                    out.tiles[r].as_slice(),
+                    t.as_slice(),
+                    "tile {r:?} differs from the one-shot run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn admission_control_bounds_inflight_jobs() {
+        let d = TwoDBlockCyclic::new(2, 2);
+        let graph = Arc::new(build_potrf(&d, 6));
+        let table = JobTable::new(graph.num_nodes(), 1);
+        // no engines are running, so the first job can never finish and
+        // the second must bounce with a reason
+        let first = table
+            .submit(Arc::clone(&graph), B, 1, 2, 0, true)
+            .expect("first admitted");
+        let err = table
+            .submit(Arc::clone(&graph), B, 3, 4, 0, true)
+            .expect_err("second rejected");
+        assert_eq!(
+            err,
+            Rejection::QueueFull {
+                inflight: 1,
+                max: 1
+            }
+        );
+        assert!(err.to_string().contains("queue full"));
+        let _ = first;
+    }
+
+    #[test]
+    fn idle_resident_rank_does_not_trip_the_watchdog() {
+        let d = TwoDBlockCyclic::new(2, 2);
+        let graph = Arc::new(build_potrf(&d, 6));
+        let exp = one_shot_reference(&graph, 5, 6);
+        let table = JobTable::new(graph.num_nodes(), 4);
+        let cfg = JobEngineConfig {
+            deadline: Some(Duration::from_millis(80)),
+            ..Default::default()
+        };
+        let table_ref = &table;
+        let g = Arc::clone(&graph);
+        let mut got = None;
+        {
+            let got = &mut got;
+            run_mesh(&table, graph.num_nodes(), cfg, move || {
+                // idle for several deadlines: a per-process no-progress
+                // clock would declare a stall here
+                std::thread::sleep(Duration::from_millis(400));
+                let id = table_ref.submit(g, B, 5, 6, 0, true).unwrap();
+                *got = Some(table_ref.wait(id));
+            });
+        }
+        let out = got.expect("job ran").expect("idle ranks must not stall");
+        assert_eq!(out.stats, exp.stats);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions() {
+        let d = TwoDBlockCyclic::new(2, 2);
+        let graph = Arc::new(build_potrf(&d, 6));
+        let table = JobTable::new(graph.num_nodes(), 4);
+        table.shutdown();
+        assert_eq!(
+            table.submit(graph, B, 1, 2, 0, true).unwrap_err(),
+            Rejection::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn high_priority_jobs_jump_the_shared_heap() {
+        // behavioural smoke: many jobs at mixed priorities all complete
+        // and each stays bit-identical to its one-shot run
+        let d = SbcExtended::new(3); // 3 nodes
+        let graph = Arc::new(build_potrf(&d, 8));
+        let mut exps = Vec::new();
+        for s in 0..4u64 {
+            exps.push(one_shot_reference(&graph, 100 + s, 200 + s));
+        }
+        let table = JobTable::new(graph.num_nodes(), 8);
+        let table_ref = &table;
+        let g = &graph;
+        let mut outs = Vec::new();
+        {
+            let outs = &mut outs;
+            run_mesh(
+                &table,
+                graph.num_nodes(),
+                JobEngineConfig::default(),
+                move || {
+                    let ids: Vec<JobId> = (0..4u64)
+                        .map(|s| {
+                            table_ref
+                                .submit(Arc::clone(g), B, 100 + s, 200 + s, (s % 3) as u8, true)
+                                .unwrap()
+                        })
+                        .collect();
+                    for id in ids {
+                        outs.push(table_ref.wait(id).unwrap());
+                    }
+                },
+            );
+        }
+        assert_eq!(table.completed(), 4);
+        for (out, exp) in outs.iter().zip(&exps) {
+            assert_eq!(out.stats, exp.stats);
+            for (r, t) in &exp.tiles {
+                assert_eq!(out.tiles[r].as_slice(), t.as_slice());
+            }
+        }
+    }
+}

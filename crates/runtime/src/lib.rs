@@ -36,11 +36,13 @@
 #![warn(missing_docs)]
 
 pub mod executor;
+pub mod jobs;
 pub mod planned;
 pub mod run;
 
 pub use executor::{
     CommStats, ExecError, ExecOutcome, Executor, ExecutorBuilder, FaultPolicy, Policy, TileProvider,
 };
+pub use jobs::{run_jobs_rank, JobEngineConfig, JobId, JobOutcome, JobSpec, JobTable, Rejection};
 pub use planned::{run_plan, PlannedExecutor};
-pub use run::{Run, RunOutput, RunResult, Workload};
+pub use run::{gather_symmetric, Run, RunOutput, RunResult, Workload};

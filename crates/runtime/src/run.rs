@@ -392,7 +392,11 @@ fn require(tiles: &HashMap<TileRef, Tile>, r: TileRef) -> Result<&Tile, ExecErro
     tiles.get(&r).ok_or(ExecError::MissingTile { tile: r })
 }
 
-fn gather_symmetric(
+/// Assembles the lower-triangular factor from an execution's merged tile
+/// stores: tile `(i, j)` is `TileRef::A { phase, slice: slice_of(j), .. }`.
+/// Used by [`Run`] for its own gathers and by the resident service to
+/// materialize per-job factors.
+pub fn gather_symmetric(
     tiles: &HashMap<TileRef, Tile>,
     nt: usize,
     b: usize,

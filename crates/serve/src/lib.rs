@@ -1,0 +1,40 @@
+//! # sbc-serve — a resident multi-job factorization service
+//!
+//! Everything below the service boundary in this workspace is one-shot: a
+//! process meshes its ranks up, factorizes one matrix, gathers, exits. For
+//! a stream of small and mid-size problems that shape is backwards — mesh
+//! setup, session handshakes and distribution planning dominate the actual
+//! factorization. This crate keeps all of it **warm**:
+//!
+//! - [`Service`] owns a resident mesh (one
+//!   [`sbc_runtime::jobs::run_jobs_rank`] engine per rank), a shared
+//!   [`sbc_planner::Planner`] whose concurrent plan cache makes the second
+//!   job of any shape skip the search, and a task-graph cache so
+//!   same-shape jobs share one graph. Jobs stream through the mesh
+//!   concurrently — tile traffic is namespaced by job id — with admission
+//!   control bounding the in-flight set and `(job priority, task
+//!   priority)` ordering the shared ready heap.
+//! - [`serve`] exposes a service over the existing CRC-checked wire
+//!   protocol (UDS or TCP): clients speak
+//!   [`sbc_net::wire::Frame::JobSubmit`] / `JobStatus` / `JobResult` /
+//!   `Shutdown` from separate OS processes.
+//! - [`Client`] is the matching blocking client, plus bit-exact
+//!   validation helpers ([`potrf_reference`], [`factor_matches`]) so
+//!   every caller can check the returned factor against the sequential
+//!   algorithm.
+//!
+//! Observability is first-class: the service's [`sbc_obs::Metrics`]
+//! registry carries `serve.jobs.*` counters, `planner.cache.{hit,miss}`
+//! from the planner, a [`Service::jobs_per_sec`] throughput figure, and a
+//! per-job Chrome trace ([`Service::chrome_trace`]).
+
+#![warn(missing_docs)]
+
+mod client;
+mod server;
+mod service;
+mod sock;
+
+pub use client::{factor_matches, potrf_reference, Client, ClientError, JobReply, JobRequest};
+pub use server::serve;
+pub use service::{ServeConfig, Service, Submitted};

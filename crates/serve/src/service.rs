@@ -1,0 +1,241 @@
+//! The resident service core: a warm mesh of rank engines, a warm plan
+//! cache, a task-graph cache, admission-controlled job submission and
+//! first-class observability.
+
+use sbc_matrix::SymmetricTiledMatrix;
+use sbc_net::inproc_mesh;
+use sbc_obs::{chrome_trace_from_spans, Counter, Gauge, Metrics, TraceEvent};
+use sbc_planner::{Op, Planner, PlannerConfig};
+use sbc_runtime::jobs::{run_jobs_rank, JobEngineConfig, JobId, JobOutcome, JobTable, Rejection};
+use sbc_runtime::{gather_symmetric, ExecError};
+use sbc_simgrid::Platform;
+use sbc_taskgraph::TaskGraph;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Shape of a resident service.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Mesh size: ranks kept resident (the planner plans for exactly this
+    /// platform, so its cache stays valid for the service lifetime).
+    pub nodes: usize,
+    /// Worker threads per rank engine.
+    pub workers: usize,
+    /// Admission bound: jobs admitted and not yet finished.
+    pub max_inflight: usize,
+    /// Rank engines' receive poll tick.
+    pub heartbeat: Duration,
+    /// Per-job no-progress watchdog (never fires on an idle rank).
+    pub deadline: Option<Duration>,
+    /// Planner tunables; the plan cache is the service's per-job tuning
+    /// layer, so its capacity bounds how many shapes stay warm.
+    pub planner: PlannerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            nodes: 6,
+            workers: 1,
+            max_inflight: 16,
+            heartbeat: Duration::from_millis(2),
+            deadline: None,
+            planner: PlannerConfig::default(),
+        }
+    }
+}
+
+/// An admitted job's ticket.
+#[derive(Debug, Clone, Copy)]
+pub struct Submitted {
+    /// Table-assigned job id, for [`Service::wait`].
+    pub id: JobId,
+    /// Whether planning was served from the warm plan cache.
+    pub plan_cached: bool,
+}
+
+/// A resident factorization service: submit jobs from any thread, wait for
+/// their outcomes, read the metrics, shut down once.
+pub struct Service {
+    table: Arc<JobTable>,
+    planner: Planner,
+    metrics: Arc<Metrics>,
+    graphs: Mutex<HashMap<(Op, usize, usize), Arc<TaskGraph>>>,
+    engines: Mutex<Vec<JoinHandle<Result<(), ExecError>>>>,
+    spans: Mutex<Vec<TraceEvent>>,
+    submitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    done: Arc<Counter>,
+    failed: Arc<Counter>,
+    throughput: Arc<Gauge>,
+    started: Instant,
+}
+
+impl Service {
+    /// Starts the resident mesh (spawning one engine thread per rank) and
+    /// binds the observability registry.
+    pub fn start(cfg: ServeConfig) -> Arc<Service> {
+        let metrics = Arc::new(Metrics::new());
+        let planner =
+            Planner::with_config(Platform::bora(cfg.nodes), cfg.planner).with_metrics(&metrics);
+        let table = Arc::new(JobTable::new(cfg.nodes, cfg.max_inflight));
+        let engine_cfg = JobEngineConfig {
+            workers: cfg.workers,
+            heartbeat: cfg.heartbeat,
+            deadline: cfg.deadline,
+        };
+        let engines = inproc_mesh(cfg.nodes)
+            .into_iter()
+            .map(|net| {
+                let table = Arc::clone(&table);
+                std::thread::spawn(move || run_jobs_rank(&net, &table, engine_cfg))
+            })
+            .collect();
+        Arc::new(Service {
+            table,
+            planner,
+            submitted: metrics.counter("serve.jobs.submitted"),
+            rejected: metrics.counter("serve.jobs.rejected"),
+            done: metrics.counter("serve.jobs.done"),
+            failed: metrics.counter("serve.jobs.failed"),
+            throughput: metrics.gauge("serve.jobs_per_sec"),
+            metrics,
+            graphs: Mutex::new(HashMap::new()),
+            engines: Mutex::new(engines),
+            spans: Mutex::new(Vec::new()),
+            started: Instant::now(),
+        })
+    }
+
+    /// Plans (warm cache first), reuses the shape's shared task graph, and
+    /// submits one job. The ticket reports whether the plan was cached.
+    pub fn submit(
+        &self,
+        op: Op,
+        nt: usize,
+        b: usize,
+        seed: u64,
+        seed_rhs: u64,
+        prio: u8,
+    ) -> Result<Submitted, Rejection> {
+        let plan = self.planner.plan(op, nt, b);
+        let graph = Arc::clone(
+            lock(&self.graphs)
+                .entry((op, nt, b))
+                .or_insert_with(|| Arc::new(plan.build_graph())),
+        );
+        match self
+            .table
+            .submit(graph, b, seed, seed_rhs, prio, plan.use_priorities)
+        {
+            Ok(id) => {
+                self.submitted.inc();
+                Ok(Submitted {
+                    id,
+                    plan_cached: plan.cached,
+                })
+            }
+            Err(r) => {
+                self.rejected.inc();
+                Err(r)
+            }
+        }
+    }
+
+    /// Blocks until `id` finishes, updating the `serve.jobs.*` counters,
+    /// the throughput gauge and the per-job trace.
+    pub fn wait(&self, id: JobId) -> Result<JobOutcome, ExecError> {
+        match self.table.wait(id) {
+            Ok(out) => {
+                self.done.inc();
+                self.throughput.set(self.jobs_per_sec());
+                let end = self.started.elapsed().as_secs_f64();
+                lock(&self.spans).push(TraceEvent {
+                    task: id,
+                    node: 0,
+                    start: (end - out.elapsed.as_secs_f64()).max(0.0),
+                    end,
+                });
+                Ok(out)
+            }
+            Err(e) => {
+                self.failed.inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// Assembles a POTRF job's lower-triangular factor from its outcome,
+    /// resolving the shape's 2.5D slice layout from the shared graph.
+    pub fn gather_potrf(
+        &self,
+        nt: usize,
+        b: usize,
+        out: &JobOutcome,
+    ) -> Result<SymmetricTiledMatrix, ExecError> {
+        let slices = lock(&self.graphs)
+            .get(&(Op::Potrf, nt, b))
+            .map_or(1, |g| g.slices.max(1));
+        gather_symmetric(&out.tiles, nt, b, 0, |j| (j % slices) as u8)
+    }
+
+    /// The service's metrics registry (`serve.jobs.*`,
+    /// `planner.cache.{hit,miss}`, `serve.jobs_per_sec`).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The shared planner (its cache statistics are also in the metrics).
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Jobs completed since start.
+    pub fn completed(&self) -> u64 {
+        self.table.completed()
+    }
+
+    /// Completed jobs per wall-clock second since the service started.
+    pub fn jobs_per_sec(&self) -> f64 {
+        let secs = self.started.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            self.table.completed() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// One span per completed job, as a Chrome trace JSON string.
+    pub fn chrome_trace(&self) -> String {
+        let spans = lock(&self.spans).clone();
+        chrome_trace_from_spans(&spans, |e| format!("job {}", e.task))
+    }
+
+    /// Drains admitted jobs, stops the engines and joins them. Returns the
+    /// first engine failure, if any.
+    pub fn shutdown(&self) -> Result<(), ExecError> {
+        self.table.shutdown();
+        let mut first = None;
+        for h in lock(&self.engines).drain(..) {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    first.get_or_insert(e);
+                }
+                Err(_) => {
+                    first.get_or_insert(ExecError::Remote);
+                }
+            }
+        }
+        match first {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! A stream connection that is either TCP or Unix-domain, so the server
+//! and client speak both through one code path. Addresses containing a
+//! `:` are `host:port`; anything else is a socket path.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+pub(crate) enum Conn {
+    Tcp(TcpStream),
+    Uds(UnixStream),
+}
+
+pub(crate) fn is_tcp(addr: &str) -> bool {
+    addr.contains(':')
+}
+
+impl Conn {
+    /// Connects, retrying while the server is still binding (a freshly
+    /// spawned `paper serve` races its clients).
+    pub(crate) fn connect_retry(addr: &str, budget: Duration) -> std::io::Result<Conn> {
+        let deadline = std::time::Instant::now() + budget;
+        loop {
+            let attempt = if is_tcp(addr) {
+                TcpStream::connect(addr).map(Conn::Tcp)
+            } else {
+                UnixStream::connect(addr).map(Conn::Uds)
+            };
+            match attempt {
+                Ok(c) => return Ok(c),
+                Err(e) if std::time::Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Uds(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Uds(s) => s.flush(),
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! End-to-end tests of the resident service: plan-cache reuse across
+//! jobs, wire-protocol round trips with bit-exact factors and exact
+//! analytic accounting, and admission/protocol rejections.
+
+use sbc_dist::comm::messages_to_bytes;
+use sbc_net::wire::{read_frame, write_frame, Frame};
+use sbc_planner::{Op, Planner};
+use sbc_serve::{factor_matches, serve, Client, JobReply, JobRequest, ServeConfig, Service};
+use sbc_simgrid::Platform;
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+
+const B: usize = 8;
+
+fn sock_path(tag: &str) -> String {
+    let path =
+        std::env::temp_dir().join(format!("sbc-serve-test-{tag}-{}.sock", std::process::id()));
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn second_job_of_a_shape_hits_the_plan_cache() {
+    let service = Service::start(ServeConfig {
+        nodes: 6,
+        ..ServeConfig::default()
+    });
+    let first = service.submit(Op::Potrf, 10, B, 41, 1, 0).unwrap();
+    let second = service.submit(Op::Potrf, 10, B, 42, 2, 0).unwrap();
+    assert!(!first.plan_cached, "cold cache must plan");
+    assert!(second.plan_cached, "same shape must reuse the cached plan");
+    service.wait(first.id).unwrap();
+    service.wait(second.id).unwrap();
+
+    let snap = service.metrics().snapshot();
+    assert_eq!(snap.counter("planner.cache.hit"), Some(1));
+    assert_eq!(snap.counter("planner.cache.miss"), Some(1));
+    assert_eq!(snap.counter("serve.jobs.submitted"), Some(2));
+    assert_eq!(snap.counter("serve.jobs.done"), Some(2));
+    assert_eq!(snap.counter("serve.jobs.failed"), Some(0));
+    assert!(service.jobs_per_sec() > 0.0, "throughput metric must move");
+    assert!(
+        service.chrome_trace().contains("job 0"),
+        "per-job trace must name the first job"
+    );
+    service.shutdown().unwrap();
+}
+
+#[test]
+fn served_factors_are_bit_exact_and_analytically_accounted() {
+    let nodes = 6;
+    let addr = sock_path("roundtrip");
+    let service = Service::start(ServeConfig {
+        nodes,
+        ..ServeConfig::default()
+    });
+    let server = {
+        let service = Arc::clone(&service);
+        let addr = addr.clone();
+        std::thread::spawn(move || serve(service, &addr))
+    };
+
+    // an independent planner over the same platform predicts the traffic
+    // the service must measure, per job shape
+    let oracle = Planner::new(Platform::bora(nodes));
+
+    let shapes = [(10usize, 7u64), (12, 8), (10, 9)];
+    let worker = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr)?;
+            let mut checked = 0;
+            for (nt, seed) in shapes {
+                for reply in client.submit(&JobRequest::potrf(nt, B, seed))? {
+                    match reply {
+                        JobReply::Done { tiles, .. } => {
+                            assert!(factor_matches(&tiles, nt, B, seed));
+                            checked += 1;
+                        }
+                        other => panic!("job refused: {other:?}"),
+                    }
+                }
+            }
+            Ok::<usize, sbc_serve::ClientError>(checked)
+        })
+    };
+
+    let mut client = Client::connect(&addr).unwrap();
+    let batch = JobRequest {
+        batch: 3,
+        ..JobRequest::potrf(10, B, 100)
+    };
+    let replies = client.submit(&batch).unwrap();
+    assert_eq!(replies.len(), 3, "one answer per batched job");
+    let expect_messages = oracle.plan(Op::Potrf, 10, B).cost.messages;
+    for (k, reply) in replies.iter().enumerate() {
+        let JobReply::Done {
+            messages,
+            bytes,
+            tiles,
+            ..
+        } = reply
+        else {
+            panic!("batched job {k} refused: {reply:?}");
+        };
+        assert!(factor_matches(tiles, 10, B, 100 + k as u64));
+        assert_eq!(*messages, expect_messages, "per-job messages must be exact");
+        assert_eq!(
+            *bytes,
+            messages_to_bytes(expect_messages, B),
+            "per-job bytes must be exact"
+        );
+    }
+    assert_eq!(worker.join().unwrap().unwrap(), shapes.len());
+
+    assert!(service.completed() >= 6);
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+    let snap = service.metrics().snapshot();
+    assert_eq!(snap.counter("serve.jobs.done"), Some(6));
+    assert!(
+        snap.counter("planner.cache.hit").unwrap_or(0) > 0,
+        "repeated shapes must hit the plan cache"
+    );
+}
+
+#[test]
+fn wire_rejects_unknown_ops_and_degenerate_shapes() {
+    let addr = sock_path("reject");
+    let service = Service::start(ServeConfig {
+        nodes: 4,
+        ..ServeConfig::default()
+    });
+    let server = {
+        let service = Arc::clone(&service);
+        let addr = addr.clone();
+        std::thread::spawn(move || serve(service, &addr))
+    };
+
+    // raw frames, bypassing the Client's always-valid submissions
+    let mut conn = loop {
+        match UnixStream::connect(&addr) {
+            Ok(s) => break s,
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    };
+    let submit = |op: u8, nt: u32| Frame::JobSubmit {
+        req: 9,
+        op,
+        prio: 0,
+        batch: 1,
+        nt,
+        b: B as u32,
+        seed: 1,
+        seed_rhs: 2,
+    };
+    for (op, nt) in [(5u8, 8u32), (0, 0)] {
+        write_frame(&mut conn, &submit(op, nt)).unwrap();
+        conn.flush().unwrap();
+        let (frame, _) = read_frame(&mut conn).unwrap().expect("an answer");
+        match frame {
+            Frame::JobStatus { state: 3, info, .. } => {
+                assert!(!info.is_empty(), "rejections must carry a reason")
+            }
+            other => panic!("expected a rejection, got {other:?}"),
+        }
+    }
+    write_frame(&mut conn, &Frame::Shutdown).unwrap();
+    conn.flush().unwrap();
+    drop(conn);
+    server.join().unwrap().unwrap();
+    assert_eq!(
+        service.metrics().snapshot().counter("serve.jobs.rejected"),
+        Some(0),
+        "wire-level rejections never reach admission"
+    );
+}

@@ -45,6 +45,7 @@
 //! | [`runtime`] | distributed runtime over [`net`]: priority-scheduled worker pools per node, byte-exact communication accounting, the [`runtime::Run`] builder, per-rank execution via [`runtime::Executor::run_rank`] |
 //! | [`outofcore`] | sequential two-level-memory model (Section III-E): LRU transfer simulation and I/O bounds |
 //! | [`planner`] | autotuning distribution planner: candidate search, analytic cost model, simulation refinement, concurrent plan cache, drift reports |
+//! | [`serve`] | resident factorization service: multi-job engine over a warm mesh, job wire protocol, admission control, `paper serve`/`paper submit` |
 //! | [`obs`] | observability: execution recorder, metrics registry, text Gantt and Chrome-trace/Perfetto export for measured and simulated runs |
 //!
 //! ## Choosing a distribution automatically
@@ -70,5 +71,6 @@ pub use sbc_obs as obs;
 pub use sbc_outofcore as outofcore;
 pub use sbc_planner as planner;
 pub use sbc_runtime as runtime;
+pub use sbc_serve as serve;
 pub use sbc_simgrid as simgrid;
 pub use sbc_taskgraph as taskgraph;

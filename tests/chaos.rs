@@ -288,6 +288,113 @@ fn compound_fault_schedule_over_uds_recovers() {
     assert_chaos_outcome(&dist, nt, FaultKind::Drop, &run, &label);
 }
 
+/// Two concurrent jobs share ONE faulty UDS mesh through the resident
+/// multi-job engine: a seeded drop+dup schedule per rank, a reliability
+/// session per endpoint, job-id-namespaced tile traffic. Both factors must
+/// come out bit-identical to their sequential references, and each job's
+/// payload accounting must stay exactly analytic — faults and the *other*
+/// job never leak into a job's counts.
+#[test]
+fn two_jobs_share_one_faulty_uds_mesh_bit_identically() {
+    use sbc::runtime::{gather_symmetric, run_jobs_rank, JobEngineConfig, JobTable};
+    use sbc::taskgraph::build_potrf;
+    use std::sync::Arc;
+
+    let nt = 8;
+    let dist = SbcExtended::new(4); // 6 nodes
+    let n = dist.num_nodes();
+    let label = format!("seed={SEED} two jobs over drop+dup SBC r=4 via uds");
+    let graph = Arc::new(build_potrf(&dist, nt));
+    let table = JobTable::new(n, 4);
+    let cfg = JobEngineConfig {
+        workers: 2,
+        deadline: Some(Duration::from_secs(10)),
+        ..Default::default()
+    };
+    let mesh: Vec<_> = local_mesh(Backend::Uds, n)
+        .expect("uds mesh")
+        .into_iter()
+        .enumerate()
+        .map(|(r, t)| {
+            let h = splitmix(SEED ^ 0xB0B ^ r as u64);
+            let plan = FaultConfig {
+                drop_every: 3 + h % 3,
+                dup_every: 4 + (h >> 8) % 3,
+                phase: h >> 32,
+                ..Default::default()
+            };
+            Session::new(Faulty::new(t, plan))
+        })
+        .collect();
+
+    let seed_b = SEED ^ 77;
+    let (outcomes, faults) = std::thread::scope(|scope| {
+        let table = &table;
+        let engines: Vec<_> = mesh
+            .into_iter()
+            .map(|net| {
+                scope.spawn(move || {
+                    let res = run_jobs_rank(&net, table, cfg);
+                    (res, net.inner().dropped(), net.inner().duplicated())
+                })
+            })
+            .collect();
+        let driver = scope.spawn(move || {
+            let a = table
+                .submit(Arc::clone(&graph), B, SEED, SEED ^ 1, 0, true)
+                .expect("job A admitted");
+            let b = table
+                .submit(graph, B, seed_b, seed_b ^ 1, 1, true)
+                .expect("job B admitted");
+            let outs = (table.wait(a), table.wait(b));
+            table.shutdown();
+            outs
+        });
+        let outcomes = driver.join().expect("driver panicked");
+        let mut dropped = 0;
+        let mut duplicated = 0;
+        for (rank, h) in engines.into_iter().enumerate() {
+            let (res, d, dup) = h.join().expect("engine thread panicked");
+            res.unwrap_or_else(|e| panic!("{label}: rank {rank} failed: {e}"));
+            dropped += d;
+            duplicated += dup;
+        }
+        (outcomes, (dropped, duplicated))
+    });
+    assert!(
+        faults.0 > 0 && faults.1 > 0,
+        "{label}: the fault plan injected nothing (dropped={}, duplicated={})",
+        faults.0,
+        faults.1
+    );
+
+    let messages = comm::potrf_messages(&dist, nt);
+    let bytes = comm::messages_to_bytes(messages, B);
+    for (out, seed, name) in [
+        (outcomes.0.expect("job A finished"), SEED, "job A"),
+        (outcomes.1.expect("job B finished"), seed_b, "job B"),
+    ] {
+        let mut seq = random_spd(seed, nt, B);
+        potrf_tiled(&mut seq).expect("sequential factorization failed");
+        let factor = gather_symmetric(&out.tiles, nt, B, 0, |_| 0)
+            .unwrap_or_else(|e| panic!("{label}: {name} gather failed: {e}"));
+        for (i, j) in seq.tile_coords() {
+            assert_eq!(
+                factor.tile(i, j).max_abs_diff(seq.tile(i, j)),
+                0.0,
+                "{label}: {name} tile ({i},{j}) differs from sequential"
+            );
+        }
+        assert_eq!(out.stats.messages, messages, "{label}: {name} messages");
+        assert_eq!(out.stats.bytes, bytes, "{label}: {name} bytes");
+        let applied: u64 = out.stats.recv_per_node.iter().sum();
+        assert_eq!(
+            applied, messages,
+            "{label}: {name} applied payloads (duplicates must be filtered)"
+        );
+    }
+}
+
 /// Watchdog regression: a transport that drops every payload and has no
 /// reliability session cannot make progress — under both scheduling
 /// policies the run must end with [`ExecError::Stalled`] naming the stuck

@@ -213,10 +213,14 @@ mod session_frame_props {
 
     fn arb_payload() -> impl Strategy<Value = Payload> {
         prop_oneof![
-            (any::<u32>(), arb_tile())
-                .prop_map(|(producer, tile)| Payload::Data { producer, tile }),
+            (any::<u32>(), arb_tile()).prop_map(|(producer, tile)| Payload::Data {
+                job: 0,
+                producer,
+                tile
+            }),
             (0u32..4, 0u32..4, any::<u32>(), any::<u32>(), arb_tile()).prop_map(
                 |(phase, slice, i, j, tile)| Payload::Orig {
+                    job: 0,
                     tile_ref: TileRef::A {
                         phase: phase as u8,
                         slice: slice as u8,

@@ -6,6 +6,16 @@
 //! real wall-clock measurement: warm-up, then `sample_size` samples of a
 //! batched routine, reporting min/median/mean per iteration. No plots, no
 //! statistical regression analysis, no `target/criterion` persistence.
+//!
+//! Two environment variables hook the harness into CI:
+//!
+//! - `SBC_BENCH_JSON=<path>` — append one JSON record per benchmark
+//!   (`name`, `min_ns`, `median_ns`, `mean_ns`, plus `rate`/`rate_unit`
+//!   when a [`Throughput`] is set) to a JSON array at `<path>`. The file
+//!   stays a valid array after every append, so partial runs still parse.
+//! - `SBC_BENCH_FAST=1` — clamp warm-up and measurement budgets to a few
+//!   milliseconds so smoke runs finish quickly; numbers are then only
+//!   sanity signals, not stable measurements.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -252,6 +262,59 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
+/// The `SBC_BENCH_FAST` clamp: smoke-run budgets for CI.
+fn clamp_fast(config: MeasureConfig) -> MeasureConfig {
+    MeasureConfig {
+        sample_size: config.sample_size.min(5),
+        warm_up: config.warm_up.min(Duration::from_millis(5)),
+        measurement: config.measurement.min(Duration::from_millis(25)),
+    }
+}
+
+/// Applies the `SBC_BENCH_FAST` clamp, if set, to a resolved config.
+fn effective_config(config: MeasureConfig) -> MeasureConfig {
+    if std::env::var("SBC_BENCH_FAST").map(|v| v == "1") == Ok(true) {
+        clamp_fast(config)
+    } else {
+        config
+    }
+}
+
+/// Minimal JSON string escaping for benchmark names.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends `record` (a complete JSON object) to the JSON array at `path`,
+/// creating the file if needed. The file is a valid array before and after
+/// every call, so interrupted benchmark runs still leave parseable output.
+fn append_json_record(path: &str, record: &str) -> std::io::Result<()> {
+    let body = match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let trimmed = text.trim_end().trim_end_matches(']').trim_end();
+            let trimmed = trimmed.trim_end_matches(',').trim_end();
+            let inner = trimmed.trim_start().trim_start_matches('[').trim();
+            if inner.is_empty() {
+                format!("[\n{record}\n]\n")
+            } else {
+                format!("{trimmed},\n{record}\n]\n")
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => format!("[\n{record}\n]\n"),
+        Err(e) => return Err(e),
+    };
+    std::fs::write(path, body)
+}
+
 fn run_one(
     name: &str,
     config: MeasureConfig,
@@ -259,7 +322,7 @@ fn run_one(
     mut f: impl FnMut(&mut Bencher),
 ) {
     let mut bencher = Bencher {
-        config,
+        config: effective_config(config),
         result: None,
     };
     f(&mut bencher);
@@ -271,15 +334,32 @@ fn run_one(
                 fmt_ns(median),
                 fmt_ns(mean)
             );
-            if let Some(t) = throughput {
+            let rate = throughput.map(|t| {
                 let (count, unit) = match t {
                     Throughput::Elements(n) => (n, "elem"),
                     Throughput::Bytes(n) => (n, "B"),
                 };
-                let rate = count as f64 / (median / 1e9);
+                (count as f64 / (median / 1e9), unit)
+            });
+            if let Some((rate, unit)) = rate {
                 line.push_str(&format!("  thrpt: {rate:.3e} {unit}/s"));
             }
             println!("{line}");
+            if let Ok(path) = std::env::var("SBC_BENCH_JSON") {
+                if !path.is_empty() {
+                    let mut record = format!(
+                        "{{\"name\":\"{}\",\"min_ns\":{min:.1},\"median_ns\":{median:.1},\"mean_ns\":{mean:.1}",
+                        json_escape(name)
+                    );
+                    if let Some((rate, unit)) = rate {
+                        record.push_str(&format!(",\"rate\":{rate:.3},\"rate_unit\":\"{unit}/s\""));
+                    }
+                    record.push('}');
+                    if let Err(e) = append_json_record(&path, &record) {
+                        eprintln!("warning: SBC_BENCH_JSON append to {path} failed: {e}");
+                    }
+                }
+            }
         }
         None => println!("{name:<50} (no measurement: Bencher::iter never called)"),
     }
@@ -353,5 +433,49 @@ mod tests {
     fn id_rendering() {
         assert_eq!(BenchmarkId::new("a", 5).into_id(), "a/5");
         assert_eq!(BenchmarkId::from_parameter(7).into_id(), "7");
+    }
+
+    #[test]
+    fn json_escaping_covers_quotes_and_controls() {
+        assert_eq!(json_escape("plain/bench"), "plain/bench");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn json_records_accumulate_into_a_valid_array() {
+        let path = std::env::temp_dir().join(format!("sbc-bench-shim-{}.json", std::process::id()));
+        let path = path.to_string_lossy().into_owned();
+        let _ = std::fs::remove_file(&path);
+
+        append_json_record(&path, "{\"name\":\"one\",\"median_ns\":1.0}").unwrap();
+        append_json_record(&path, "{\"name\":\"two\",\"median_ns\":2.0}").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert!(text.contains("\"name\":\"one\""));
+        assert!(text.contains("\"name\":\"two\""));
+        // exactly one separator between the two records keeps the array valid
+        assert_eq!(text.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn fast_mode_clamps_budgets_but_never_raises_them() {
+        let clamped = clamp_fast(MeasureConfig::default());
+        assert_eq!(clamped.sample_size, 5);
+        assert_eq!(clamped.warm_up, Duration::from_millis(5));
+        assert_eq!(clamped.measurement, Duration::from_millis(25));
+
+        let tiny = MeasureConfig {
+            sample_size: 2,
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(3),
+        };
+        let kept = clamp_fast(tiny);
+        assert_eq!(kept.sample_size, 2);
+        assert_eq!(kept.warm_up, Duration::from_millis(1));
+        assert_eq!(kept.measurement, Duration::from_millis(3));
     }
 }
