@@ -25,6 +25,13 @@
 //! and exact analytic payload counts, with retransmissions reported
 //! separately. `--deadline <secs>` arms the liveness watchdog so a stalled
 //! run fails with a diagnosis instead of hanging.
+//!
+//! The resident service family: `serve` keeps a warm mesh answering jobs
+//! on `--addr`, `submit` is its batch client (`--stats` appends a live
+//! metrics summary scraped after the batch), and `top` is a refreshing
+//! text dashboard polling a running service over the same socket
+//! (`--interval <secs>`, `--iters <n>`, `--events <n>`, `--once` for a
+//! single frame, `--raw` to dump the exposition text verbatim).
 
 use sbc_bench::figures::{self, Scale};
 use sbc_bench::{render_csv, render_figure};
@@ -46,7 +53,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|w| w.parse().expect("--workers takes a positive integer"));
     // Skip flags and the values consumed by value-taking options.
-    const VALUE_FLAGS: [&str; 13] = [
+    const VALUE_FLAGS: [&str; 16] = [
         "--out",
         "--workers",
         "--nodes",
@@ -60,6 +67,9 @@ fn main() {
         "--max-inflight",
         "--batch",
         "--prio",
+        "--interval",
+        "--iters",
+        "--events",
     ];
     let mut skip_next = false;
     let targets: Vec<&str> = args
@@ -131,7 +141,7 @@ fn main() {
         ran = true;
     }
     // not part of `all`: `serve` blocks until a client sends Shutdown,
-    // `submit` needs a running server
+    // `submit` and `top` need a running server
     if target == "serve" {
         serve_run(&args, &out_path, workers);
         ran = true;
@@ -140,10 +150,14 @@ fn main() {
         submit_run(&args);
         ran = true;
     }
+    if target == "top" {
+        top_run(&args);
+        ran = true;
+    }
 
     if !ran {
         eprintln!(
-            "unknown target '{target}'. Use one of: all, table1, patterns, fig7..fig14, ablations, planner, trace, obs, net, serve, submit [--full] [--out <path>] [--workers <n>] [--nodes <n>] [--backend tcp|uds] [--nt <tiles>] [--block <b>] [--faults drop:N,dup:N,delay:MS] [--seed <s>] [--deadline <secs>] [--addr <path|host:port>] [--max-inflight <n>] [--batch <n>] [--prio <n>] [--shutdown]"
+            "unknown target '{target}'. Use one of: all, table1, patterns, fig7..fig14, ablations, planner, trace, obs, net, serve, submit, top [--full] [--out <path>] [--workers <n>] [--nodes <n>] [--backend tcp|uds] [--nt <tiles>] [--block <b>] [--faults drop:N,dup:N,delay:MS] [--seed <s>] [--deadline <secs>] [--addr <path|host:port>] [--max-inflight <n>] [--batch <n>] [--prio <n>] [--shutdown] [--stats] [--interval <secs>] [--iters <n>] [--events <n>] [--once] [--raw]"
         );
         std::process::exit(2);
     }
@@ -417,6 +431,7 @@ fn submit_run(args: &[String]) {
         .map(|v| v.parse().expect("--prio takes 0..=255"))
         .unwrap_or(0);
     let shutdown = args.iter().any(|a| a == "--shutdown");
+    let stats = args.iter().any(|a| a == "--stats");
 
     let mut client =
         Client::connect(&addr).expect("connect to the service (is `paper serve` running?)");
@@ -461,6 +476,29 @@ fn submit_run(args: &[String]) {
             }
         }
     }
+    if stats {
+        let snap = client.stats().expect("stats scrape failed");
+        let c = |name: &str| snap.counter(name).unwrap_or(0);
+        println!(
+            "service: {} done / {} submitted ({} rejected, {} failed), drift ok={} msg={} bytes={}",
+            c("serve.jobs.done"),
+            c("serve.jobs.submitted"),
+            c("serve.jobs.rejected"),
+            c("serve.jobs.failed"),
+            c("obs.drift.ok"),
+            c("obs.drift.messages"),
+            c("obs.drift.bytes"),
+        );
+        if let Some(h) = snap.histogram("serve.job.latency") {
+            println!(
+                "latency: {} jobs, mean {:.4}s, min {:.4}s, max {:.4}s",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            );
+        }
+    }
     if shutdown {
         client.shutdown().expect("shutdown request failed");
         println!("shutdown requested");
@@ -469,6 +507,197 @@ fn submit_run(args: &[String]) {
         eprintln!("{bad} of {} jobs did not validate", replies.len());
         std::process::exit(1);
     }
+}
+
+/// `paper top`: a live text dashboard over a running `paper serve`.
+/// Scrapes the service's metrics and event tail over the wire every
+/// `--interval` seconds and redraws; the scrape path is answered from
+/// atomic snapshots, so watching a service does not slow it down.
+/// `--iters <n>` stops after n frames (0 = until interrupted), `--once`
+/// prints a single frame without clearing the screen, `--raw` dumps the
+/// Prometheus-style exposition text verbatim and exits (the form CI
+/// archives and external scrapers ingest).
+fn top_run(args: &[String]) {
+    use sbc_obs::MetricsSnapshot;
+    use sbc_serve::Client;
+    use std::io::Write as _;
+    use std::time::{Duration, Instant};
+
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let addr = value_of("--addr")
+        .cloned()
+        .unwrap_or_else(|| "/tmp/sbc-serve.sock".to_string());
+    let interval: f64 = value_of("--interval")
+        .map(|v| v.parse().expect("--interval takes seconds (a float)"))
+        .unwrap_or(1.0);
+    let iters: u64 = value_of("--iters")
+        .map(|v| v.parse().expect("--iters takes an integer"))
+        .unwrap_or(0);
+    let events_shown: u32 = value_of("--events")
+        .map(|v| v.parse().expect("--events takes an integer"))
+        .unwrap_or(8);
+    let once = args.iter().any(|a| a == "--once");
+    let raw = args.iter().any(|a| a == "--raw");
+
+    let mut client =
+        Client::connect(&addr).expect("connect to the service (is `paper serve` running?)");
+    // a monitor whose reader went away (`paper top | head`) exits
+    // quietly instead of panicking on the broken pipe
+    let mut emit = {
+        let mut stdout = std::io::stdout();
+        move |s: &str| write!(stdout, "{s}").and_then(|()| stdout.flush()).is_ok()
+    };
+    if raw {
+        emit(&client.stats_text().expect("stats scrape failed mid-run"));
+        return;
+    }
+
+    let mut prev: Option<(MetricsSnapshot, Instant)> = None;
+    let mut frame = 0u64;
+    loop {
+        let snap = client.stats().expect("stats scrape failed mid-run");
+        let events = client
+            .events(events_shown)
+            .expect("event scrape failed mid-run");
+        let now = Instant::now();
+        frame += 1;
+        if !once && frame > 1 {
+            // redraw in place between frames; the first frame scrolls
+            if !emit("\x1b[2J\x1b[H") {
+                return;
+            }
+        }
+        if !emit(&render_top(&addr, frame, &snap, prev.as_ref(), &events)) {
+            return;
+        }
+        prev = Some((snap, now));
+        if once || (iters > 0 && frame >= iters) {
+            return;
+        }
+        std::thread::sleep(Duration::from_secs_f64(interval.max(0.01)));
+    }
+}
+
+/// One `paper top` frame: throughput, admission counters, plan-cache hit
+/// rate, drift status, latency, per-rank engine gauges and the event tail.
+fn render_top(
+    addr: &str,
+    frame: u64,
+    snap: &sbc_obs::MetricsSnapshot,
+    prev: Option<&(sbc_obs::MetricsSnapshot, std::time::Instant)>,
+    events: &[sbc_serve::EventRecord],
+) -> String {
+    use sbc_obs::{EventKind, Severity};
+    use std::fmt::Write as _;
+
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    let g = |name: &str| {
+        snap.gauges
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, v, _)| *v)
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "== sbc-serve @ {addr} — frame {frame} ==");
+
+    // the window rate comes straight off the refreshed gauge; the
+    // scrape-to-scrape rate is a counter delta over the poll interval
+    let window_rate = g("serve.jobs_per_sec").unwrap_or(0.0);
+    let scrape_rate = prev.map(|(p, t)| {
+        let secs = t.elapsed().as_secs_f64().max(1e-9);
+        snap.delta(p).counter("serve.jobs.done").unwrap_or(0) as f64 / secs
+    });
+    match scrape_rate {
+        Some(r) => {
+            let _ = writeln!(
+                out,
+                "throughput: {window_rate:.2} jobs/s (window), {r:.2} jobs/s since last frame"
+            );
+        }
+        None => {
+            let _ = writeln!(out, "throughput: {window_rate:.2} jobs/s (window)");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "jobs: {} done, {} in flight, {} submitted, {} rejected, {} failed",
+        c("serve.jobs.done"),
+        g("serve.jobs.inflight").unwrap_or(0.0) as u64,
+        c("serve.jobs.submitted"),
+        c("serve.jobs.rejected"),
+        c("serve.jobs.failed"),
+    );
+    let (hit, miss) = (c("planner.cache.hit"), c("planner.cache.miss"));
+    if hit + miss > 0 {
+        let _ = writeln!(
+            out,
+            "plan cache: {:.0}% hit ({hit} hit / {miss} miss)",
+            100.0 * hit as f64 / (hit + miss) as f64
+        );
+    }
+    let (dm, db) = (c("obs.drift.messages"), c("obs.drift.bytes"));
+    let _ = writeln!(
+        out,
+        "comm drift: {} ok, {dm} message drifts, {db} byte drifts  [{}]",
+        c("obs.drift.ok"),
+        if dm + db == 0 { "CLEAN" } else { "DRIFTING" },
+    );
+    if let Some(h) = snap.histogram("serve.job.latency") {
+        if h.count > 0 {
+            let _ = writeln!(
+                out,
+                "latency: {} jobs, mean {:.4}s, min {:.4}s, max {:.4}s",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            );
+        }
+    }
+
+    // per-rank engine gauges, as long as consecutive ranks are registered
+    let mut ranks = String::new();
+    for r in 0.. {
+        let Some(ready) = g(&format!("jobs.rank{r}.ready")) else {
+            break;
+        };
+        let _ = writeln!(
+            ranks,
+            "  rank {r}: ready {:>4}  pending {:>4}  inflight {:>3}  busy {:>5.1}%",
+            ready as u64,
+            g(&format!("jobs.rank{r}.pending")).unwrap_or(0.0) as u64,
+            g(&format!("jobs.rank{r}.inflight")).unwrap_or(0.0) as u64,
+            100.0 * g(&format!("jobs.rank{r}.busy")).unwrap_or(0.0),
+        );
+    }
+    if !ranks.is_empty() {
+        let _ = writeln!(out, "engines:");
+        out.push_str(&ranks);
+    }
+
+    if !events.is_empty() {
+        let _ = writeln!(out, "events (newest last):");
+        for e in events {
+            let sev = Severity::from_code(e.severity).map_or("?????", Severity::name);
+            let kind = EventKind::from_code(e.kind).map_or("?", EventKind::name);
+            let job = if e.job == u32::MAX {
+                "-".to_string()
+            } else {
+                format!("#{}", e.job)
+            };
+            let _ = writeln!(
+                out,
+                "  {:>9.3}s [{sev:<5}] {kind:<8} job {job:<6} {}",
+                e.t, e.detail
+            );
+        }
+    }
+    out
 }
 
 /// Appends one record to a JSON-array file, keeping it valid JSON after

@@ -366,15 +366,19 @@ fn reader_loop(mut stream: BoxStream, inbox: &Inbox, stats: &StatsCell) {
                             Frame::Done { src, stats } => Message::Done { src, stats },
                             Frame::Ack { src, upto } => Message::Ack { src, upto },
                             // setup frames never appear mid-run, and the
-                            // job protocol is spoken on dedicated client
-                            // connections, never inside a mesh; ignore
+                            // job/telemetry protocol is spoken on dedicated
+                            // client connections, never inside a mesh; ignore
                             Frame::Hello { .. }
                             | Frame::Addr { .. }
                             | Frame::Table { .. }
                             | Frame::JobSubmit { .. }
                             | Frame::JobStatus { .. }
                             | Frame::JobResult { .. }
-                            | Frame::Shutdown => {
+                            | Frame::Shutdown
+                            | Frame::StatsRequest
+                            | Frame::StatsReply { .. }
+                            | Frame::EventsRequest { .. }
+                            | Frame::EventsReply { .. } => {
                                 continue;
                             }
                             Frame::Payload { .. } | Frame::Seq { .. } => {

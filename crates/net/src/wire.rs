@@ -29,13 +29,21 @@
 //! | 13 | `JobStatus` | `req u32, state u8, info string` |
 //! | 14 | `JobResult` | `req u32, messages u64, bytes u64, elapsed_ns u64, plan_cached u8, count u32, (tile_ref, tile)*` |
 //! | 15 | `Shutdown` | empty (client asks the service to drain and exit) |
+//! | 16 | `StatsRequest` | empty (client asks for a metrics scrape) |
+//! | 17 | `StatsReply` | `text string` (rendered metrics exposition) |
+//! | 18 | `EventsRequest` | `max u32` (newest `max` lifecycle events) |
+//! | 19 | `EventsReply` | `count u32, (seq u64, t u64 f64-bits, severity u8, kind u8, job u32, detail string)*` |
 //!
 //! A `tile_ref` is `kind u8, phase u8, slice u8, i u32, j u32` (kind 0 =
 //! matrix tile `A`, 1 = 2.5D buffer, 2 = RHS row). Strings are
-//! `len u32 + UTF-8 bytes`. Tags 12–15 form the client↔service job
-//! protocol spoken on `paper serve` connections; they share the framing
-//! and CRC trailer with the mesh tags, so a corrupt submission is caught
-//! exactly like a corrupt tile.
+//! `len u32 + UTF-8 bytes`. Tags 12–19 form the client↔service protocol
+//! spoken on `paper serve` connections; they share the framing and CRC
+//! trailer with the mesh tags, so a corrupt submission is caught exactly
+//! like a corrupt tile. Tags 16–19 are the telemetry plane: the service
+//! answers them from atomically-taken snapshots, never touching the locks
+//! its engines use. In an [`EventRecord`] a `job` of `u32::MAX` means "no
+//! job" and severity/kind codes are the stable `sbc-obs` codes (this crate
+//! deliberately does not depend on `sbc-obs`; the codes are the contract).
 
 use crate::msg::{NodeId, Payload, PeerStats};
 use sbc_kernels::Tile;
@@ -61,6 +69,31 @@ const TAG_JOB_SUBMIT: u8 = 12;
 const TAG_JOB_STATUS: u8 = 13;
 const TAG_JOB_RESULT: u8 = 14;
 const TAG_SHUTDOWN: u8 = 15;
+const TAG_STATS_REQUEST: u8 = 16;
+const TAG_STATS_REPLY: u8 = 17;
+const TAG_EVENTS_REQUEST: u8 = 18;
+const TAG_EVENTS_REPLY: u8 = 19;
+
+/// One structured lifecycle event as it travels in an
+/// [`Frame::EventsReply`]. The wire-level twin of `sbc-obs`'s `ObsEvent`
+/// (net does not depend on obs; the `severity`/`kind` codes are the stable
+/// contract between them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Monotone per-log sequence number.
+    pub seq: u64,
+    /// Seconds since the service's event log was created.
+    pub t: f64,
+    /// Severity code (`0` info, `1` warn, `2` error).
+    pub severity: u8,
+    /// Event-kind code (`0` admitted, `1` rejected, `2` started, `3` done,
+    /// `4` failed, `5` stalled).
+    pub kind: u8,
+    /// The job concerned, or `u32::MAX` for "no job".
+    pub job: u32,
+    /// Free-form detail.
+    pub detail: String,
+}
 
 /// Everything that can travel over a stream connection.
 #[derive(Debug, Clone, PartialEq)]
@@ -170,6 +203,24 @@ pub enum Frame {
     },
     /// Client → service: drain in-flight jobs and exit the accept loop.
     Shutdown,
+    /// Client → service: scrape the current metrics.
+    StatsRequest,
+    /// Service → client: the metrics registry rendered as exposition text
+    /// (parse it with `sbc-obs`'s `expo::parse`).
+    StatsReply {
+        /// The rendered scrape text.
+        text: String,
+    },
+    /// Client → service: the newest `max` lifecycle events.
+    EventsRequest {
+        /// Upper bound on returned events.
+        max: u32,
+    },
+    /// Service → client: the requested event tail, oldest first.
+    EventsReply {
+        /// The events, oldest first.
+        events: Vec<EventRecord>,
+    },
 }
 
 /// Why a frame could not be decoded.
@@ -499,6 +550,27 @@ pub fn encode(f: &Frame) -> Vec<u8> {
             TAG_JOB_RESULT
         }
         Frame::Shutdown => TAG_SHUTDOWN,
+        Frame::StatsRequest => TAG_STATS_REQUEST,
+        Frame::StatsReply { text } => {
+            put_str(&mut body, text);
+            TAG_STATS_REPLY
+        }
+        Frame::EventsRequest { max } => {
+            put_u32(&mut body, *max);
+            TAG_EVENTS_REQUEST
+        }
+        Frame::EventsReply { events } => {
+            put_u32(&mut body, events.len() as u32);
+            for e in events {
+                put_u64(&mut body, e.seq);
+                put_u64(&mut body, e.t.to_bits());
+                body.push(e.severity);
+                body.push(e.kind);
+                put_u32(&mut body, e.job);
+                put_str(&mut body, &e.detail);
+            }
+            TAG_EVENTS_REPLY
+        }
     };
     let mut out = Vec::with_capacity(body.len() + 9);
     out.push(tag);
@@ -663,6 +735,29 @@ fn parse_body(tag: u8, body: &[u8]) -> Result<Frame, FrameError> {
             }
         }
         TAG_SHUTDOWN => Frame::Shutdown,
+        TAG_STATS_REQUEST => Frame::StatsRequest,
+        TAG_STATS_REPLY => Frame::StatsReply { text: b.string()? },
+        TAG_EVENTS_REQUEST => Frame::EventsRequest { max: b.u32()? },
+        TAG_EVENTS_REPLY => {
+            let count = b.u32()? as usize;
+            // a record is at least 26 bytes; a bigger count cannot fit the
+            // body and must be rejected before the Vec is reserved
+            if count > MAX_BODY as usize / 26 {
+                return Err(FrameError::BadBody("event count overflows its body"));
+            }
+            let mut events = Vec::with_capacity(count);
+            for _ in 0..count {
+                events.push(EventRecord {
+                    seq: b.u64()?,
+                    t: f64::from_bits(b.u64()?),
+                    severity: b.u8()?,
+                    kind: b.u8()?,
+                    job: b.u32()?,
+                    detail: b.string()?,
+                });
+            }
+            Frame::EventsReply { events }
+        }
         other => return Err(FrameError::BadTag(other)),
     };
     b.done()?;
@@ -861,6 +956,59 @@ mod tests {
             tiles: vec![],
         });
         roundtrip(&Frame::Shutdown);
+    }
+
+    #[test]
+    fn telemetry_frames_roundtrip() {
+        roundtrip(&Frame::StatsRequest);
+        roundtrip(&Frame::StatsReply {
+            text: String::new(),
+        });
+        roundtrip(&Frame::StatsReply {
+            text: "# TYPE serve.jobs.done counter\nserve.jobs.done 42\n".into(),
+        });
+        roundtrip(&Frame::EventsRequest { max: 0 });
+        roundtrip(&Frame::EventsRequest { max: u32::MAX });
+        roundtrip(&Frame::EventsReply { events: vec![] });
+        roundtrip(&Frame::EventsReply {
+            events: vec![
+                EventRecord {
+                    seq: 0,
+                    t: 0.0,
+                    severity: 0,
+                    kind: 0,
+                    job: 0,
+                    detail: String::new(),
+                },
+                EventRecord {
+                    seq: u64::MAX,
+                    t: 1234.5678,
+                    severity: 2,
+                    kind: 5,
+                    job: u32::MAX,
+                    detail: "rank 3 watchdog: no progress for 10s".into(),
+                },
+                EventRecord {
+                    seq: 7,
+                    t: f64::INFINITY,
+                    severity: 1,
+                    kind: 3,
+                    job: 9,
+                    detail: "comm drift: measured 97 msgs, planned 96".into(),
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn events_reply_count_is_bounded() {
+        let buf = encode(&Frame::EventsReply { events: vec![] });
+        let mut bad = buf.clone();
+        bad[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        let n = bad.len();
+        let crc = crc32(&bad[..n - 4]);
+        bad[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(decode(&bad), Err(FrameError::BadBody(_))));
     }
 
     #[test]

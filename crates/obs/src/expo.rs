@@ -1,0 +1,441 @@
+//! Prometheus-style text exposition of a [`MetricsSnapshot`], and the
+//! matching parser.
+//!
+//! The format is the classic scrape text: `# HELP` / `# TYPE` comment
+//! lines introduce each metric family, then one sample per line. Because
+//! both ends are in-tree (the service renders, `paper top` and CI parse)
+//! the format keeps the registry's dotted names verbatim and extends the
+//! histogram family with `_min` / `_max` samples and gauges with a
+//! `{stat="max"}` sample, so [`parse`] reconstructs the exact
+//! [`MetricsSnapshot`] that was rendered — [`parse`]`(`[`render`]`(s)) == s`
+//! for every snapshot (floats are printed with Rust's shortest round-trip
+//! formatting).
+//!
+//! ```text
+//! # HELP serve.jobs.done counter
+//! # TYPE serve.jobs.done counter
+//! serve.jobs.done 42
+//! # TYPE serve.jobs_per_sec gauge
+//! serve.jobs_per_sec 1.25
+//! serve.jobs_per_sec{stat="max"} 3.5
+//! # TYPE serve.job.latency histogram
+//! serve.job.latency_bucket{le="0.001"} 3
+//! serve.job.latency_bucket{le="+Inf"} 5
+//! serve.job.latency_sum 0.42
+//! serve.job.latency_count 5
+//! serve.job.latency_min 0.0002
+//! serve.job.latency_max 0.39
+//! ```
+//!
+//! Histogram `_bucket` samples are cumulative (Prometheus semantics); the
+//! parser de-cumulates them back into the snapshot's per-bucket counts.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Where and why a scrape text failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub what: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exposition line {}: {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Renders a snapshot as scrape text. Families appear counters first, then
+/// gauges, then histograms, each name-sorted (the registry order).
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let _ = writeln!(out, "# HELP {name} counter");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, last, max) in &snap.gauges {
+        let _ = writeln!(out, "# HELP {name} gauge (last and max)");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {last}");
+        let _ = writeln!(out, "{name}{{stat=\"max\"}} {max}");
+    }
+    for (name, h) in &snap.histograms {
+        let _ = writeln!(out, "# HELP {name} histogram (cumulative buckets)");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cum = 0u64;
+        for (i, &c) in h.buckets.iter().enumerate() {
+            cum += c;
+            if i < h.bounds.len() {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", h.bounds[i]);
+            } else {
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+            }
+        }
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+        let _ = writeln!(out, "{name}_min {}", h.min);
+        let _ = writeln!(out, "{name}_max {}", h.max);
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+/// One family being assembled by the parser.
+struct Family {
+    name: String,
+    kind: Kind,
+    counter: Option<u64>,
+    gauge_last: Option<f64>,
+    gauge_max: Option<f64>,
+    bounds: Vec<f64>,
+    cum: Vec<u64>,
+    saw_inf: bool,
+    sum: Option<f64>,
+    count: Option<u64>,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl Family {
+    fn new(name: String, kind: Kind) -> Family {
+        Family {
+            name,
+            kind,
+            counter: None,
+            gauge_last: None,
+            gauge_max: None,
+            bounds: Vec::new(),
+            cum: Vec::new(),
+            saw_inf: false,
+            sum: None,
+            count: None,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn finish(self, snap: &mut MetricsSnapshot, line: usize) -> Result<(), ParseError> {
+        let fname = self.name.clone();
+        let err = move |what: &str| ParseError {
+            line,
+            what: format!("family '{fname}': {what}"),
+        };
+        match self.kind {
+            Kind::Counter => {
+                let v = self.counter.ok_or_else(|| err("no sample"))?;
+                snap.counters.push((self.name, v));
+            }
+            Kind::Gauge => {
+                let last = self.gauge_last.ok_or_else(|| err("no sample"))?;
+                let max = self.gauge_max.unwrap_or(last);
+                snap.gauges.push((self.name, last, max));
+            }
+            Kind::Histogram => {
+                if !self.saw_inf {
+                    return Err(err("missing the +Inf bucket"));
+                }
+                let mut buckets = Vec::with_capacity(self.cum.len());
+                let mut prev = 0u64;
+                for &c in &self.cum {
+                    if c < prev {
+                        return Err(err("bucket counts are not cumulative"));
+                    }
+                    buckets.push(c - prev);
+                    prev = c;
+                }
+                if !self.bounds.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(err("bucket bounds are not strictly increasing"));
+                }
+                let count = self.count.ok_or_else(|| err("missing _count"))?;
+                if prev != count {
+                    return Err(err("_count disagrees with the +Inf bucket"));
+                }
+                snap.histograms.push((
+                    self.name,
+                    HistogramSnapshot {
+                        bounds: self.bounds,
+                        buckets,
+                        count,
+                        sum: self.sum.ok_or_else(|| err("missing _sum"))?,
+                        min: self.min.ok_or_else(|| err("missing _min"))?,
+                        max: self.max.ok_or_else(|| err("missing _max"))?,
+                    },
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_f64(s: &str, line: usize) -> Result<f64, ParseError> {
+    s.parse().map_err(|_| ParseError {
+        line,
+        what: format!("'{s}' is not a float"),
+    })
+}
+
+fn parse_u64(s: &str, line: usize) -> Result<u64, ParseError> {
+    s.parse().map_err(|_| ParseError {
+        line,
+        what: format!("'{s}' is not an unsigned integer"),
+    })
+}
+
+/// Parses scrape text produced by [`render`] back into the snapshot.
+pub fn parse(text: &str) -> Result<MetricsSnapshot, ParseError> {
+    let mut snap = MetricsSnapshot::default();
+    let mut family: Option<Family> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with("# HELP") {
+            continue;
+        }
+        if let Some(rest) = l.strip_prefix("# TYPE ") {
+            if let Some(f) = family.take() {
+                f.finish(&mut snap, line)?;
+            }
+            let (name, kind) = rest.rsplit_once(' ').ok_or(ParseError {
+                line,
+                what: "TYPE line needs '<name> <kind>'".into(),
+            })?;
+            let kind = match kind {
+                "counter" => Kind::Counter,
+                "gauge" => Kind::Gauge,
+                "histogram" => Kind::Histogram,
+                other => {
+                    return Err(ParseError {
+                        line,
+                        what: format!("unknown family kind '{other}'"),
+                    })
+                }
+            };
+            family = Some(Family::new(name.to_string(), kind));
+            continue;
+        }
+        if l.starts_with('#') {
+            continue; // other comments are legal scrape text
+        }
+        let fam = family.as_mut().ok_or(ParseError {
+            line,
+            what: "sample before any # TYPE line".into(),
+        })?;
+        let (series, value) = l.rsplit_once(' ').ok_or(ParseError {
+            line,
+            what: "sample needs '<series> <value>'".into(),
+        })?;
+        let (series_name, label) = match series.split_once('{') {
+            Some((n, rest)) => {
+                let label = rest.strip_suffix('}').ok_or(ParseError {
+                    line,
+                    what: "unterminated label set".into(),
+                })?;
+                (n, Some(label))
+            }
+            None => (series, None),
+        };
+        match fam.kind {
+            Kind::Counter => {
+                if series_name != fam.name || label.is_some() {
+                    return Err(ParseError {
+                        line,
+                        what: format!("unexpected counter series '{series}'"),
+                    });
+                }
+                fam.counter = Some(parse_u64(value, line)?);
+            }
+            Kind::Gauge => {
+                if series_name != fam.name {
+                    return Err(ParseError {
+                        line,
+                        what: format!("unexpected gauge series '{series}'"),
+                    });
+                }
+                match label {
+                    None => fam.gauge_last = Some(parse_f64(value, line)?),
+                    Some("stat=\"max\"") => fam.gauge_max = Some(parse_f64(value, line)?),
+                    Some(other) => {
+                        return Err(ParseError {
+                            line,
+                            what: format!("unknown gauge label '{{{other}}}'"),
+                        })
+                    }
+                }
+            }
+            Kind::Histogram => {
+                let suffix =
+                    series_name
+                        .strip_prefix(fam.name.as_str())
+                        .ok_or_else(|| ParseError {
+                            line,
+                            what: format!("series '{series}' outside family '{}'", fam.name),
+                        })?;
+                match (suffix, label) {
+                    ("_bucket", Some(label)) => {
+                        let le = label
+                            .strip_prefix("le=\"")
+                            .and_then(|s| s.strip_suffix('"'))
+                            .ok_or(ParseError {
+                                line,
+                                what: "bucket needs an le=\"...\" label".into(),
+                            })?;
+                        if fam.saw_inf {
+                            return Err(ParseError {
+                                line,
+                                what: "bucket after the +Inf bucket".into(),
+                            });
+                        }
+                        if le == "+Inf" {
+                            fam.saw_inf = true;
+                        } else {
+                            fam.bounds.push(parse_f64(le, line)?);
+                        }
+                        fam.cum.push(parse_u64(value, line)?);
+                    }
+                    ("_sum", None) => fam.sum = Some(parse_f64(value, line)?),
+                    ("_count", None) => fam.count = Some(parse_u64(value, line)?),
+                    ("_min", None) => fam.min = Some(parse_f64(value, line)?),
+                    ("_max", None) => fam.max = Some(parse_f64(value, line)?),
+                    _ => {
+                        return Err(ParseError {
+                            line,
+                            what: format!("unexpected histogram series '{series}'"),
+                        })
+                    }
+                }
+            }
+        }
+    }
+    if let Some(f) = family.take() {
+        let last = text.lines().count();
+        f.finish(&mut snap, last)?;
+    }
+    snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let m = Metrics::new();
+        m.counter("serve.jobs.done").add(42);
+        m.counter("obs.drift.ok").add(42);
+        let g = m.gauge("serve.jobs_per_sec");
+        g.set(3.5);
+        g.set(1.25);
+        let h = m.histogram("serve.job.latency", &[0.001, 0.1, 1.0]);
+        for v in [0.0002, 0.0004, 0.05, 0.39, 2.0] {
+            h.observe(v);
+        }
+        m.snapshot()
+    }
+
+    #[test]
+    fn golden_exposition_text() {
+        let text = render(&sample_snapshot());
+        let expected = "\
+# HELP obs.drift.ok counter
+# TYPE obs.drift.ok counter
+obs.drift.ok 42
+# HELP serve.jobs.done counter
+# TYPE serve.jobs.done counter
+serve.jobs.done 42
+# HELP serve.jobs_per_sec gauge (last and max)
+# TYPE serve.jobs_per_sec gauge
+serve.jobs_per_sec 1.25
+serve.jobs_per_sec{stat=\"max\"} 3.5
+# HELP serve.job.latency histogram (cumulative buckets)
+# TYPE serve.job.latency histogram
+serve.job.latency_bucket{le=\"0.001\"} 2
+serve.job.latency_bucket{le=\"0.1\"} 3
+serve.job.latency_bucket{le=\"1\"} 4
+serve.job.latency_bucket{le=\"+Inf\"} 5
+serve.job.latency_sum 2.4406
+serve.job.latency_count 5
+serve.job.latency_min 0.0002
+serve.job.latency_max 2
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn parse_roundtrips_the_render() {
+        let snap = sample_snapshot();
+        let back = parse(&render(&snap)).expect("own output parses");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_and_degenerate_snapshots_roundtrip() {
+        let empty = MetricsSnapshot::default();
+        assert_eq!(parse(&render(&empty)).unwrap(), empty);
+
+        // an empty histogram (count 0, min/max forced to 0) and extreme
+        // float gauges survive the text
+        let m = Metrics::new();
+        m.histogram("h.empty", &[0.5, 2.5]);
+        let g = m.gauge("g.weird");
+        g.set(f64::INFINITY);
+        g.set(-0.0);
+        let snap = m.snapshot();
+        assert_eq!(parse(&render(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_text() {
+        // sample before any family
+        assert!(parse("x 1\n").is_err());
+        // non-cumulative buckets
+        let bad = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"+Inf\"} 3
+h_sum 0
+h_count 3
+h_min 0
+h_max 0
+";
+        let e = parse(bad).unwrap_err();
+        assert!(e.what.contains("cumulative"), "{e}");
+        // missing +Inf
+        let bad =
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 0\nh_count 1\nh_min 0\nh_max 0\n";
+        assert!(parse(bad).unwrap_err().what.contains("+Inf"));
+        // a counter value that is not an integer
+        assert!(parse("# TYPE c counter\nc 1.5\n").is_err());
+        // count disagreeing with the +Inf bucket
+        let bad = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 3
+h_sum 0
+h_count 7
+h_min 0
+h_max 0
+";
+        assert!(parse(bad).unwrap_err().what.contains("_count"));
+    }
+
+    #[test]
+    fn foreign_comments_and_blank_lines_are_tolerated() {
+        let text = "\n# scraped at t=0\n# TYPE c counter\n\nc 9\n";
+        let snap = parse(text).unwrap();
+        assert_eq!(snap.counter("c"), Some(9));
+    }
+}

@@ -23,7 +23,16 @@
 //!   validator;
 //! * [`ExecProfile`] — the measured aggregate (wall time, per-node busy
 //!   time, messages, bytes, per-kind latency) that `sbc-planner`'s drift
-//!   report compares against its predicted cost.
+//!   report compares against its predicted cost;
+//! * [`expo`] — a Prometheus-style text exposition of a
+//!   [`MetricsSnapshot`] plus the matching parser, the scrape wire format
+//!   of the resident service's telemetry plane;
+//! * [`EventLog`] — a bounded ring of structured job-lifecycle events
+//!   ([`Severity`] / [`EventKind`] / [`ObsEvent`]);
+//! * [`RateWindow`] — a lock-free sliding-window event rate (jobs/sec that
+//!   decays when traffic stops);
+//! * [`SpanRing`] — rotating retention for trace spans, so a resident
+//!   service holds bounded trace memory.
 //!
 //! Zero external dependencies (the offline build rule): everything here is
 //! `std` plus the in-tree `parking_lot` stand-in.
@@ -49,14 +58,19 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod events;
+pub mod expo;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod rate;
 pub mod recorder;
 pub mod trace;
 
 pub use chrome::{chrome_trace, chrome_trace_from_spans, merge_chrome_traces};
+pub use events::{EventKind, EventLog, ObsEvent, Severity};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use profile::{metrics_from_recording, ExecProfile, KindStats, BYTES_BOUNDS, LATENCY_BOUNDS};
+pub use rate::RateWindow;
 pub use recorder::{Event, FaultKind, GaugeKind, NodeRecorder, Recorder, Recording};
-pub use trace::{render_gantt, task_spans, TraceEvent};
+pub use trace::{render_gantt, task_spans, SpanRing, TraceEvent};

@@ -282,6 +282,40 @@ impl MetricsSnapshot {
             .map(|(_, h)| h)
     }
 
+    /// The change from `earlier` to `self`, for rate computation between
+    /// two scrapes.
+    ///
+    /// Counters and histogram buckets/counts/sums are differenced
+    /// (saturating at zero, so a restarted registry reads as a fresh
+    /// start rather than a negative rate); a counter absent from `earlier`
+    /// contributes its full value. Gauges are instantaneous, not
+    /// cumulative, so the newer last/max pass through unchanged. Histogram
+    /// `min`/`max` likewise pass through (the registry does not remember
+    /// per-interval extrema). A histogram whose bucket layout changed
+    /// between the snapshots also passes through unchanged.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = self.clone();
+        for (name, v) in &mut out.counters {
+            if let Some(prev) = earlier.counter(name) {
+                *v = v.saturating_sub(prev);
+            }
+        }
+        for (name, h) in &mut out.histograms {
+            let Some(prev) = earlier.histogram(name) else {
+                continue;
+            };
+            if prev.bounds != h.bounds || prev.buckets.len() != h.buckets.len() {
+                continue;
+            }
+            for (b, pb) in h.buckets.iter_mut().zip(&prev.buckets) {
+                *b = b.saturating_sub(*pb);
+            }
+            h.count = h.count.saturating_sub(prev.count);
+            h.sum = (h.sum - prev.sum).max(0.0);
+        }
+        out
+    }
+
     /// Renders the snapshot as an aligned text report.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -390,6 +424,36 @@ mod tests {
         assert_eq!(hs.count, 4000);
         assert_eq!(hs.buckets, vec![2000, 2000]);
         assert_eq!(hs.sum, 2000.0);
+    }
+
+    #[test]
+    fn delta_differences_counters_and_histograms() {
+        let m = Metrics::new();
+        let c = m.counter("jobs");
+        let h = m.histogram("lat", &[1.0, 10.0]);
+        c.add(3);
+        h.observe(0.5);
+        h.observe(5.0);
+        m.gauge("depth").set(7.0);
+        let before = m.snapshot();
+        c.add(4);
+        h.observe(0.5);
+        h.observe(50.0);
+        m.gauge("depth").set(2.0);
+        m.counter("fresh").inc();
+        let after = m.snapshot();
+
+        let d = after.delta(&before);
+        assert_eq!(d.counter("jobs"), Some(4));
+        assert_eq!(d.counter("fresh"), Some(1), "new counters pass through");
+        let dh = d.histogram("lat").unwrap();
+        assert_eq!(dh.buckets, vec![1, 0, 1]);
+        assert_eq!(dh.count, 2);
+        assert!((dh.sum - 50.5).abs() < 1e-9);
+        // gauges are instantaneous: the newer values pass through
+        assert_eq!(d.gauges, vec![("depth".to_string(), 2.0, 7.0)]);
+        // a "shrinking" counter (registry restart) saturates at zero
+        assert_eq!(before.delta(&after).counter("jobs"), Some(0));
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! exporter do not care whether time was simulated or real.
 
 use crate::recorder::{Event, Recording};
+use std::collections::VecDeque;
+use std::sync::Mutex;
 
 /// One executed task in a recorded trace (simulated or measured).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,6 +94,96 @@ pub fn render_gantt(events: &[TraceEvent], nodes: usize, cores: usize, width: us
     out
 }
 
+/// Bounded, rotating retention for trace spans.
+///
+/// A resident service accumulates one span per task per job forever; this
+/// ring keeps only the newest `capacity` spans (dropping the oldest) so a
+/// week-long service holds a fixed amount of trace memory. [`SpanRing::total`]
+/// reports how many spans were ever pushed, so an exporter can say how much
+/// history rotated away.
+pub struct SpanRing {
+    capacity: usize,
+    state: Mutex<SpanState>,
+}
+
+struct SpanState {
+    total: u64,
+    ring: VecDeque<TraceEvent>,
+}
+
+impl SpanRing {
+    /// A ring retaining the newest `capacity` spans. Capacity `0` retains
+    /// nothing (but still counts).
+    pub fn with_capacity(capacity: usize) -> SpanRing {
+        SpanRing {
+            capacity,
+            state: Mutex::new(SpanState {
+                total: 0,
+                ring: VecDeque::with_capacity(capacity.min(4096)),
+            }),
+        }
+    }
+
+    /// Appends spans, evicting the oldest past capacity.
+    pub fn extend(&self, spans: impl IntoIterator<Item = TraceEvent>) {
+        let mut st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for span in spans {
+            st.total += 1;
+            if self.capacity == 0 {
+                continue;
+            }
+            if st.ring.len() == self.capacity {
+                st.ring.pop_front();
+            }
+            st.ring.push_back(span);
+        }
+    }
+
+    /// Appends one span.
+    pub fn push(&self, span: TraceEvent) {
+        self.extend([span]);
+    }
+
+    /// The retained spans, oldest first (at most `capacity` of them).
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.ring.iter().copied().collect()
+    }
+
+    /// Spans ever pushed (including rotated-away ones).
+    pub fn total(&self) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .total
+    }
+
+    /// Retained spans right now.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .ring
+            .len()
+    }
+
+    /// `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +233,28 @@ mod tests {
         let g = render_gantt(&[ev(0, 0, 0.0, 1.0), ev(1, 7, 0.0, 1.0)], 2, 1, 4);
         assert!(g.contains("node   0 |####|"), "{g}");
         assert!(g.contains("node   1 |####|"), "{g}");
+    }
+
+    #[test]
+    fn span_ring_rotates_keeping_the_newest() {
+        let ring = SpanRing::with_capacity(3);
+        ring.extend((0..5).map(|i| ev(i, 0, i as f64, i as f64 + 1.0)));
+        assert_eq!(ring.total(), 5);
+        assert_eq!(ring.len(), 3);
+        let tasks: Vec<u32> = ring.snapshot().iter().map(|e| e.task).collect();
+        assert_eq!(tasks, vec![2, 3, 4], "newest three, oldest first");
+        ring.push(ev(9, 0, 9.0, 10.0));
+        assert_eq!(ring.snapshot().last().unwrap().task, 9);
+        assert_eq!(ring.capacity(), 3);
+    }
+
+    #[test]
+    fn span_ring_capacity_zero_counts_but_keeps_nothing() {
+        let ring = SpanRing::with_capacity(0);
+        ring.push(ev(0, 0, 0.0, 1.0));
+        assert_eq!(ring.total(), 1);
+        assert!(ring.is_empty());
+        assert!(ring.snapshot().is_empty());
     }
 
     #[test]

@@ -26,13 +26,15 @@
 //! trips [`ExecError::Stalled`].
 
 use crate::executor::{default_original, run_kernel, CommStats, ExecError};
+use sbc_dist::comm::messages_to_bytes;
 use sbc_kernels::Tile;
 use sbc_net::{Message, NodeId, Payload, RecvTimeout, Transport};
+use sbc_obs::{Counter, EventKind, EventLog, Gauge, Histogram, Metrics, RateWindow, Severity};
 use sbc_taskgraph::{flops_priorities, EdgeKind, TaskGraph, TaskId, TaskKind, TileRef};
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 /// Identifies one job across the table, the engines and the wire.
@@ -111,6 +113,77 @@ impl std::fmt::Display for Rejection {
     }
 }
 
+/// Admission→completion latency buckets (seconds) for `serve.job.latency`.
+pub const JOB_LATENCY_BOUNDS: [f64; 10] =
+    [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0];
+
+/// Per-rank live engine gauges, published from the engine loop as plain
+/// atomic stores (the scrape side reads them without any engine lock).
+struct RankObs {
+    ready: Arc<Gauge>,
+    pending: Arc<Gauge>,
+    inflight: Arc<Gauge>,
+    busy: Arc<Gauge>,
+}
+
+/// The table's telemetry bundle, bound once via [`JobTable::bind_obs`].
+/// Every instrument is registered eagerly so a scrape before any traffic
+/// still shows the full vocabulary at zero.
+struct TableObs {
+    submitted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    done: Arc<Counter>,
+    failed: Arc<Counter>,
+    latency: Arc<Histogram>,
+    drift_ok: Arc<Counter>,
+    drift_messages: Arc<Counter>,
+    drift_bytes: Arc<Counter>,
+    inflight: Arc<Gauge>,
+    rate: RateWindow,
+    ranks: Vec<Arc<RankObs>>,
+    events: Arc<EventLog>,
+}
+
+impl TableObs {
+    /// Records one completed job: throughput, latency, lifecycle event and
+    /// the continuous comm-drift check against the analytic prediction. A
+    /// non-zero drift counter is a standing correctness alarm.
+    fn job_done(&self, id: JobId, elapsed: Duration, measured: (u64, u64), expected: (u64, u64)) {
+        self.done.inc();
+        self.rate.record();
+        self.latency.observe(elapsed.as_secs_f64());
+        let (msgs, bytes) = measured;
+        let (exp_msgs, exp_bytes) = expected;
+        if msgs != exp_msgs {
+            self.drift_messages.inc();
+        }
+        if bytes != exp_bytes {
+            self.drift_bytes.inc();
+        }
+        if msgs == exp_msgs && bytes == exp_bytes {
+            self.drift_ok.inc();
+            self.events.push(
+                Severity::Info,
+                EventKind::Done,
+                Some(id),
+                format!(
+                    "{msgs} msgs / {bytes} B as planned, {:.4}s",
+                    elapsed.as_secs_f64()
+                ),
+            );
+        } else {
+            self.events.push(
+                Severity::Warn,
+                EventKind::Done,
+                Some(id),
+                format!(
+                    "comm drift: measured {msgs} msgs / {bytes} B, planned {exp_msgs} / {exp_bytes}"
+                ),
+            );
+        }
+    }
+}
+
 /// Per-job accumulator while ranks report in.
 struct JobAccum {
     tiles: HashMap<TileRef, Tile>,
@@ -119,6 +192,10 @@ struct JobAccum {
     bytes_per_node: Vec<u64>,
     ranks_done: usize,
     admitted: Instant,
+    /// Analytic `(messages, bytes)` the finished job must have measured.
+    expected: (u64, u64),
+    /// Whether the `Started` lifecycle event has fired (first rank pickup).
+    started_emitted: bool,
 }
 
 struct TableState {
@@ -142,6 +219,11 @@ pub struct JobTable {
     max_inflight: usize,
     state: Mutex<TableState>,
     cv: Condvar,
+    /// Lock-free mirrors of `TableState::{inflight, completed}` so a
+    /// telemetry scrape never touches the state mutex the engines use.
+    inflight_now: AtomicU64,
+    completed_ever: AtomicU64,
+    obs: OnceLock<TableObs>,
 }
 
 impl JobTable {
@@ -162,12 +244,65 @@ impl JobTable {
                 dead: None,
             }),
             cv: Condvar::new(),
+            inflight_now: AtomicU64::new(0),
+            completed_ever: AtomicU64::new(0),
+            obs: OnceLock::new(),
         }
     }
 
     /// Mesh size this table was built for.
     pub fn num_nodes(&self) -> usize {
         self.n_nodes
+    }
+
+    /// Binds the table (and every rank engine started against it) to a
+    /// metrics registry and an event log. Call once, before engines start;
+    /// later calls are ignored. Registers the full instrument vocabulary
+    /// eagerly — `serve.jobs.{submitted,rejected,done,failed}`,
+    /// `serve.jobs.inflight`, the `serve.job.latency` histogram, the
+    /// `obs.drift.{ok,messages,bytes}` alarm counters and per-rank
+    /// `jobs.rank<r>.{ready,pending,inflight,busy}` gauges — so a scrape
+    /// before any traffic shows them all at zero. `rate_slots` bounds the
+    /// sliding-window throughput ring (events remembered for
+    /// [`JobTable::completion_rate`]).
+    pub fn bind_obs(&self, metrics: &Metrics, events: Arc<EventLog>, rate_slots: usize) {
+        let ranks = (0..self.n_nodes)
+            .map(|r| {
+                Arc::new(RankObs {
+                    ready: metrics.gauge(&format!("jobs.rank{r}.ready")),
+                    pending: metrics.gauge(&format!("jobs.rank{r}.pending")),
+                    inflight: metrics.gauge(&format!("jobs.rank{r}.inflight")),
+                    busy: metrics.gauge(&format!("jobs.rank{r}.busy")),
+                })
+            })
+            .collect();
+        let _ = self.obs.set(TableObs {
+            submitted: metrics.counter("serve.jobs.submitted"),
+            rejected: metrics.counter("serve.jobs.rejected"),
+            done: metrics.counter("serve.jobs.done"),
+            failed: metrics.counter("serve.jobs.failed"),
+            latency: metrics.histogram("serve.job.latency", &JOB_LATENCY_BOUNDS),
+            drift_ok: metrics.counter("obs.drift.ok"),
+            drift_messages: metrics.counter("obs.drift.messages"),
+            drift_bytes: metrics.counter("obs.drift.bytes"),
+            inflight: metrics.gauge("serve.jobs.inflight"),
+            rate: RateWindow::new(rate_slots.max(1)),
+            ranks,
+            events,
+        });
+    }
+
+    /// Jobs per second over the trailing `window`, measured at completion
+    /// times. Zero when [`JobTable::bind_obs`] was never called. Lock-free.
+    pub fn completion_rate(&self, window: Duration) -> f64 {
+        self.obs.get().map_or(0.0, |o| o.rate.rate(window))
+    }
+
+    fn rank_obs(&self, rank: NodeId) -> Option<Arc<RankObs>> {
+        self.obs
+            .get()
+            .and_then(|o| o.ranks.get(rank as usize))
+            .map(Arc::clone)
     }
 
     /// Submits one job. `use_priorities` selects critical-path task
@@ -183,6 +318,30 @@ impl JobTable {
         prio: u8,
         use_priorities: bool,
     ) -> Result<JobId, Rejection> {
+        // the analytic prediction the finished job is checked against: the
+        // graph's exact message count (== the planner's cost model) and the
+        // tile-payload bytes those messages carry
+        let msgs = graph.count_messages();
+        let expected = (msgs, messages_to_bytes(msgs, b));
+        self.submit_expecting(graph, b, seed, seed_rhs, prio, use_priorities, expected)
+    }
+
+    /// [`JobTable::submit`] with an explicit `(messages, bytes)` comm
+    /// prediction instead of the graph's own analytic count. The drift
+    /// monitor compares the job's measured [`CommStats`] against this at
+    /// completion, so planting a wrong prediction here is how tests prove
+    /// the `obs.drift.*` alarms fire.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_expecting(
+        &self,
+        graph: Arc<TaskGraph>,
+        b: usize,
+        seed: u64,
+        seed_rhs: u64,
+        prio: u8,
+        use_priorities: bool,
+        expected: (u64, u64),
+    ) -> Result<JobId, Rejection> {
         let prio_bits = Arc::new(if use_priorities {
             flops_priorities(&graph, b)
                 .into_iter()
@@ -192,21 +351,31 @@ impl JobTable {
             Vec::new()
         });
         let mut st = lock(&self.state);
-        if st.dead.is_some() {
-            return Err(Rejection::Dead);
-        }
-        if st.shutdown {
-            return Err(Rejection::ShuttingDown);
-        }
-        if st.inflight >= self.max_inflight {
-            return Err(Rejection::QueueFull {
+        let verdict = if st.dead.is_some() {
+            Some(Rejection::Dead)
+        } else if st.shutdown {
+            Some(Rejection::ShuttingDown)
+        } else if st.inflight >= self.max_inflight {
+            Some(Rejection::QueueFull {
                 inflight: st.inflight,
                 max: self.max_inflight,
-            });
+            })
+        } else {
+            None
+        };
+        if let Some(rej) = verdict {
+            drop(st);
+            if let Some(obs) = self.obs.get() {
+                obs.rejected.inc();
+                obs.events
+                    .push(Severity::Warn, EventKind::Rejected, None, rej.to_string());
+            }
+            return Err(rej);
         }
         let id = st.next_id;
         st.next_id += 1;
         st.inflight += 1;
+        let inflight = st.inflight;
         let spec = Arc::new(JobSpec {
             id,
             graph,
@@ -216,6 +385,7 @@ impl JobTable {
             prio,
             prio_bits,
         });
+        let (nt, b) = (spec.graph.nt, spec.b);
         st.accum.insert(
             id,
             JobAccum {
@@ -225,12 +395,25 @@ impl JobTable {
                 bytes_per_node: vec![0; self.n_nodes],
                 ranks_done: 0,
                 admitted: Instant::now(),
+                expected,
+                started_emitted: false,
             },
         );
         for q in &mut st.incoming {
             q.push_back(Arc::clone(&spec));
         }
         drop(st);
+        self.inflight_now.store(inflight as u64, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.submitted.inc();
+            obs.inflight.set(inflight as f64);
+            obs.events.push(
+                Severity::Info,
+                EventKind::Admitted,
+                Some(id),
+                format!("nt={nt} b={b} prio={prio}"),
+            );
+        }
         self.cv.notify_all();
         Ok(id)
     }
@@ -260,14 +443,15 @@ impl JobTable {
         self.cv.notify_all();
     }
 
-    /// Jobs admitted and not yet finished.
+    /// Jobs admitted and not yet finished. Lock-free (reads an atomic
+    /// mirror), so telemetry scrapes never contend with the engines.
     pub fn inflight(&self) -> usize {
-        lock(&self.state).inflight
+        self.inflight_now.load(Ordering::Relaxed) as usize
     }
 
-    /// Jobs completed since the table was built.
+    /// Jobs completed since the table was built. Lock-free.
     pub fn completed(&self) -> u64 {
-        lock(&self.state).completed
+        self.completed_ever.load(Ordering::Relaxed)
     }
 
     /// Engine side: drains `rank`'s pending registrations and reports
@@ -275,8 +459,30 @@ impl JobTable {
     fn take_incoming(&self, rank: NodeId) -> (Vec<Arc<JobSpec>>, bool) {
         let mut st = lock(&self.state);
         let q = &mut st.incoming[rank as usize];
-        let specs = q.drain(..).collect();
-        (specs, st.shutdown)
+        let specs: Vec<Arc<JobSpec>> = q.drain(..).collect();
+        // the first rank to pick a job up marks it started
+        let mut started: Vec<JobId> = Vec::new();
+        for spec in &specs {
+            if let Some(acc) = st.accum.get_mut(&spec.id) {
+                if !acc.started_emitted {
+                    acc.started_emitted = true;
+                    started.push(spec.id);
+                }
+            }
+        }
+        let shutdown = st.shutdown;
+        drop(st);
+        if let Some(obs) = self.obs.get() {
+            for id in started {
+                obs.events.push(
+                    Severity::Info,
+                    EventKind::Started,
+                    Some(id),
+                    format!("picked up by rank {rank}"),
+                );
+            }
+        }
+        (specs, shutdown)
     }
 
     /// Engine side: one rank's share of `id` is finished. The final rank
@@ -311,18 +517,28 @@ impl JobTable {
                 recv_per_node: acc.recv_per_node,
                 bytes_per_node: acc.bytes_per_node,
             };
+            let measured = (stats.messages, stats.bytes);
+            let expected = acc.expected;
+            let elapsed = acc.admitted.elapsed();
             st.done.insert(
                 id,
                 JobOutcome {
                     id,
                     tiles: acc.tiles,
                     stats,
-                    elapsed: acc.admitted.elapsed(),
+                    elapsed,
                 },
             );
             st.inflight -= 1;
             st.completed += 1;
+            let inflight = st.inflight;
             drop(st);
+            self.inflight_now.store(inflight as u64, Ordering::Relaxed);
+            self.completed_ever.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = self.obs.get() {
+                obs.inflight.set(inflight as f64);
+                obs.job_done(id, elapsed, measured, expected);
+            }
             self.cv.notify_all();
         }
     }
@@ -331,15 +547,37 @@ impl JobTable {
     /// first reported error; future submissions are rejected.
     fn poison(&self, e: ExecError) {
         let mut st = lock(&self.state);
-        if st.dead.is_none() {
-            st.dead = Some(e);
+        let first = st.dead.is_none();
+        if first {
+            st.dead = Some(e.clone());
         }
+        let mut failed: Vec<JobId> = st.accum.keys().copied().collect();
+        failed.sort_unstable();
         st.inflight = 0;
         st.accum.clear();
         for q in &mut st.incoming {
             q.clear();
         }
         drop(st);
+        self.inflight_now.store(0, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.inflight.set(0.0);
+            if first {
+                if let ExecError::Stalled { rank, .. } = &e {
+                    obs.events.push(
+                        Severity::Error,
+                        EventKind::Stalled,
+                        None,
+                        format!("rank {rank} watchdog: {e}"),
+                    );
+                }
+                obs.failed.add(failed.len() as u64);
+                for id in failed {
+                    obs.events
+                        .push(Severity::Error, EventKind::Failed, Some(id), e.to_string());
+                }
+            }
+        }
         self.cv.notify_all();
     }
 }
@@ -433,6 +671,12 @@ struct Engine<'e> {
     cv: Condvar,
     started: Instant,
     progress_ns: AtomicU64,
+    /// Nanoseconds this rank's workers spent shipping or running tasks,
+    /// summed across the pool; `busy / (workers * elapsed)` is the
+    /// engine's busy fraction.
+    busy_ns: AtomicU64,
+    /// Live per-rank gauges, present when the table is obs-bound.
+    obs: Option<Arc<RankObs>>,
 }
 
 /// What one worker decides to do after inspecting the engine state.
@@ -475,6 +719,8 @@ pub fn run_jobs_rank(
         cv: Condvar::new(),
         started: Instant::now(),
         progress_ns: AtomicU64::new(0),
+        busy_ns: AtomicU64::new(0),
+        obs: table.rank_obs(net.rank()),
     };
     std::thread::scope(|scope| {
         for _ in 0..cfg.workers.max(1) {
@@ -493,6 +739,21 @@ pub fn run_jobs_rank(
 }
 
 impl Engine<'_> {
+    /// Publishes this rank's live gauges: ready-heap depth, early-payload
+    /// stash size, jobs in flight here, and the pool's busy fraction.
+    fn publish_gauges(&self, (ready, pending, jobs): (usize, usize, usize)) {
+        let Some(obs) = &self.obs else { return };
+        obs.ready.set(ready as f64);
+        obs.pending.set(pending as f64);
+        obs.inflight.set(jobs as f64);
+        let elapsed = self.started.elapsed().as_nanos() as u64;
+        if elapsed > 0 {
+            let pool = elapsed.saturating_mul(self.cfg.workers.max(1) as u64);
+            let busy = self.busy_ns.load(Ordering::Relaxed) as f64 / pool as f64;
+            obs.busy.set(busy.min(1.0));
+        }
+    }
+
     fn touch_progress(&self) {
         self.progress_ns
             .store(self.started.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -517,13 +778,13 @@ impl Engine<'_> {
             }
             self.report(completions);
 
-            let step = {
+            let (step, depths) = {
                 let mut st = lock(&self.state);
                 let drained = shutdown
                     && st.jobs.is_empty()
                     && st.unshipped.is_empty()
                     && st.ready.is_empty();
-                if st.poisoned || drained {
+                let step = if st.poisoned || drained {
                     Step::Exit
                 } else if let Some(j) = st.unshipped.pop_front() {
                     st.active += 1;
@@ -536,12 +797,28 @@ impl Engine<'_> {
                     Step::Receive
                 } else {
                     Step::Wait
-                }
+                };
+                // depths are captured under the lock the engine already
+                // holds and published as plain atomic stores after release,
+                // so scrapers never take this lock
+                let depths = (st.ready.len(), st.pending.len(), st.jobs.len());
+                (step, depths)
             };
+            self.publish_gauges(depths);
             match step {
                 Step::Exit => break,
-                Step::Ship(j) => self.ship(j),
-                Step::Run(j, t) => self.run_task(j, t),
+                Step::Ship(j) => {
+                    let t0 = Instant::now();
+                    self.ship(j);
+                    self.busy_ns
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+                Step::Run(j, t) => {
+                    let t0 = Instant::now();
+                    self.run_task(j, t);
+                    self.busy_ns
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
                 Step::Receive => self.receive_once(),
                 Step::Wait => {
                     let st = lock(&self.state);
@@ -1276,6 +1553,126 @@ mod tests {
         }
         let out = got.expect("job ran").expect("idle ranks must not stall");
         assert_eq!(out.stats, exp.stats);
+    }
+
+    #[test]
+    fn clean_runs_feed_the_drift_ok_counter_and_the_event_log() {
+        let d = SbcExtended::new(3); // 3 nodes
+        let graph = Arc::new(build_potrf(&d, 8));
+        let table = JobTable::new(graph.num_nodes(), 8);
+        let metrics = Metrics::new();
+        let events = Arc::new(EventLog::with_capacity(64));
+        table.bind_obs(&metrics, Arc::clone(&events), 64);
+        let table_ref = &table;
+        let g = &graph;
+        run_mesh(
+            &table,
+            graph.num_nodes(),
+            JobEngineConfig::default(),
+            move || {
+                for s in 0..3u64 {
+                    let id = table_ref
+                        .submit(Arc::clone(g), B, 10 + s, 20 + s, 0, true)
+                        .unwrap();
+                    table_ref.wait(id).unwrap();
+                }
+            },
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("serve.jobs.submitted"), Some(3));
+        assert_eq!(snap.counter("serve.jobs.done"), Some(3));
+        assert_eq!(snap.counter("serve.jobs.failed"), Some(0));
+        // the acceptance invariant: on a clean run every job's measured
+        // comm matches the analytic prediction
+        assert_eq!(snap.counter("obs.drift.ok"), Some(3));
+        assert_eq!(snap.counter("obs.drift.messages"), Some(0));
+        assert_eq!(snap.counter("obs.drift.bytes"), Some(0));
+        let h = snap.histogram("serve.job.latency").unwrap();
+        assert_eq!(h.count, 3, "latency recorded at completion");
+        assert!(table.completion_rate(Duration::from_secs(3600)) > 0.0);
+
+        let log = events.snapshot();
+        for kind in [EventKind::Admitted, EventKind::Started, EventKind::Done] {
+            assert_eq!(
+                log.iter().filter(|e| e.kind == kind).count(),
+                3,
+                "{} events",
+                kind.name()
+            );
+        }
+        assert!(log.iter().all(|e| e.severity == Severity::Info), "{log:?}");
+    }
+
+    #[test]
+    fn planted_comm_miscount_fires_the_drift_alarm() {
+        let d = SbcExtended::new(3);
+        let graph = Arc::new(build_potrf(&d, 8));
+        let table = JobTable::new(graph.num_nodes(), 8);
+        let metrics = Metrics::new();
+        let events = Arc::new(EventLog::with_capacity(64));
+        table.bind_obs(&metrics, Arc::clone(&events), 64);
+        let real_msgs = graph.count_messages();
+        let table_ref = &table;
+        let g = &graph;
+        run_mesh(
+            &table,
+            graph.num_nodes(),
+            JobEngineConfig::default(),
+            move || {
+                // a prediction that is off by one message (and its bytes)
+                let planted = (real_msgs + 1, messages_to_bytes(real_msgs, B));
+                let id = table_ref
+                    .submit_expecting(Arc::clone(g), B, 7, 8, 0, true, planted)
+                    .unwrap();
+                table_ref.wait(id).unwrap();
+            },
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("obs.drift.ok"), Some(0));
+        assert_eq!(snap.counter("obs.drift.messages"), Some(1));
+        assert_eq!(snap.counter("obs.drift.bytes"), Some(0));
+        let done: Vec<_> = events
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::Done)
+            .collect();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].severity, Severity::Warn);
+        assert!(done[0].detail.contains("drift"), "{}", done[0].detail);
+    }
+
+    #[test]
+    fn rejections_and_rank_gauges_reach_the_registry() {
+        let d = TwoDBlockCyclic::new(2, 2);
+        let graph = Arc::new(build_potrf(&d, 6));
+        let table = JobTable::new(graph.num_nodes(), 1);
+        let metrics = Metrics::new();
+        let events = Arc::new(EventLog::with_capacity(8));
+        table.bind_obs(&metrics, Arc::clone(&events), 8);
+        // eager registration: the full vocabulary exists before traffic
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("serve.jobs.rejected"), Some(0));
+        assert_eq!(snap.counter("obs.drift.ok"), Some(0));
+        assert!(snap.gauges.iter().any(|(n, _, _)| n == "jobs.rank3.busy"));
+        assert_eq!(snap.histogram("serve.job.latency").unwrap().count, 0);
+
+        let first = table.submit(Arc::clone(&graph), B, 1, 2, 0, true).unwrap();
+        table
+            .submit(Arc::clone(&graph), B, 3, 4, 0, true)
+            .expect_err("queue full");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("serve.jobs.rejected"), Some(1));
+        assert_eq!(snap.counter("serve.jobs.submitted"), Some(1));
+        assert_eq!(table.inflight(), 1);
+        let rej: Vec<_> = events
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::Rejected)
+            .collect();
+        assert_eq!(rej.len(), 1);
+        assert_eq!(rej[0].severity, Severity::Warn);
+        assert!(rej[0].detail.contains("queue full"), "{}", rej[0].detail);
+        let _ = first;
     }
 
     #[test]

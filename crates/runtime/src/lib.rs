@@ -43,6 +43,9 @@ pub mod run;
 pub use executor::{
     CommStats, ExecError, ExecOutcome, Executor, ExecutorBuilder, FaultPolicy, Policy, TileProvider,
 };
-pub use jobs::{run_jobs_rank, JobEngineConfig, JobId, JobOutcome, JobSpec, JobTable, Rejection};
+pub use jobs::{
+    run_jobs_rank, JobEngineConfig, JobId, JobOutcome, JobSpec, JobTable, Rejection,
+    JOB_LATENCY_BOUNDS,
+};
 pub use planned::{run_plan, PlannedExecutor};
 pub use run::{gather_symmetric, Run, RunOutput, RunResult, Workload};

@@ -5,7 +5,8 @@
 use crate::sock::Conn;
 use sbc_kernels::Tile;
 use sbc_matrix::{generate::random_spd, potrf_tiled, SymmetricTiledMatrix};
-use sbc_net::wire::{read_frame, write_frame, Frame, FrameError};
+use sbc_net::wire::{read_frame, write_frame, EventRecord, Frame, FrameError};
+use sbc_obs::{expo, MetricsSnapshot};
 use sbc_taskgraph::TileRef;
 use std::collections::HashMap;
 use std::io::Write;
@@ -198,6 +199,51 @@ impl Client {
             }
         }
         Ok(replies)
+    }
+
+    /// Scrapes the service's metrics as raw exposition text. The server
+    /// answers from an atomically-taken snapshot; a monitor polling this
+    /// does not contend with the job path.
+    pub fn stats_text(&mut self) -> Result<String, ClientError> {
+        write_frame(&mut self.conn, &Frame::StatsRequest)?;
+        self.conn.flush()?;
+        match self.read_reply()? {
+            Frame::StatsReply { text } => Ok(text),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected frame {other:?} while waiting for stats"
+            ))),
+        }
+    }
+
+    /// [`Client::stats_text`] parsed back into a structured snapshot.
+    pub fn stats(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        let text = self.stats_text()?;
+        expo::parse(&text)
+            .map_err(|e| ClientError::Protocol(format!("stats exposition did not parse: {e}")))
+    }
+
+    /// The newest `max` lifecycle events, oldest first. `job` is
+    /// `u32::MAX` when the event is not about a specific job; `severity`
+    /// and `kind` decode via [`sbc_obs::Severity::from_code`] and
+    /// [`sbc_obs::EventKind::from_code`].
+    pub fn events(&mut self, max: u32) -> Result<Vec<EventRecord>, ClientError> {
+        write_frame(&mut self.conn, &Frame::EventsRequest { max })?;
+        self.conn.flush()?;
+        match self.read_reply()? {
+            Frame::EventsReply { events } => Ok(events),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected frame {other:?} while waiting for events"
+            ))),
+        }
+    }
+
+    fn read_reply(&mut self) -> Result<Frame, ClientError> {
+        match read_frame(&mut self.conn)? {
+            Some((f, _)) => Ok(f),
+            None => Err(ClientError::Protocol(
+                "server closed before answering".into(),
+            )),
+        }
     }
 
     /// Asks the service to drain and exit, then closes the connection.

@@ -23,10 +23,19 @@
 //!   every caller can check the returned factor against the sequential
 //!   algorithm.
 //!
-//! Observability is first-class: the service's [`sbc_obs::Metrics`]
-//! registry carries `serve.jobs.*` counters, `planner.cache.{hit,miss}`
-//! from the planner, a [`Service::jobs_per_sec`] throughput figure, and a
-//! per-job Chrome trace ([`Service::chrome_trace`]).
+//! Observability is first-class and **wire-scrapeable**: the service's
+//! [`sbc_obs::Metrics`] registry carries `serve.jobs.*` counters, the
+//! `serve.job.latency` histogram, `obs.drift.*` comm-drift alarms,
+//! `planner.cache.{hit,miss}` from the planner, per-rank engine gauges
+//! (`jobs.rank<r>.{ready,pending,inflight,busy}`) and a sliding-window
+//! [`Service::jobs_per_sec`] throughput figure. Any client can scrape it
+//! live over the same socket — [`Client::stats`] /
+//! [`Client::stats_text`] return a Prometheus-style exposition
+//! ([`sbc_obs::expo`]) answered from an atomically-taken snapshot, and
+//! [`Client::events`] tails the structured job-lifecycle
+//! [`sbc_obs::EventLog`]; neither path touches a lock the engine hot loop
+//! holds. Per-job trace spans rotate in a bounded ring and export as a
+//! Chrome trace ([`Service::chrome_trace`]).
 
 #![warn(missing_docs)]
 
@@ -36,5 +45,6 @@ mod service;
 mod sock;
 
 pub use client::{factor_matches, potrf_reference, Client, ClientError, JobReply, JobRequest};
+pub use sbc_net::wire::EventRecord;
 pub use server::serve;
 pub use service::{ServeConfig, Service, Submitted};

@@ -4,7 +4,7 @@
 
 use crate::service::Service;
 use crate::sock::{is_tcp, Conn};
-use sbc_net::wire::{read_frame, write_frame, Frame};
+use sbc_net::wire::{read_frame, write_frame, EventRecord, Frame};
 use sbc_planner::Op;
 use sbc_taskgraph::TileRef;
 use std::io::Write;
@@ -105,6 +105,36 @@ fn handle(mut conn: Conn, service: &Service, stop: &AtomicBool) {
                 .is_err()
                 {
                     return; // client went away mid-answer
+                }
+            }
+            // scrapes answer from atomically-taken snapshots; they never
+            // touch the job table's state lock or the ready heaps, so a
+            // monitor polling here costs the job path nothing
+            Frame::StatsRequest => {
+                let text = service.stats_text();
+                if write_frame(&mut conn, &Frame::StatsReply { text }).is_err()
+                    || conn.flush().is_err()
+                {
+                    return;
+                }
+            }
+            Frame::EventsRequest { max } => {
+                let events = service
+                    .events_tail(max as usize)
+                    .into_iter()
+                    .map(|e| EventRecord {
+                        seq: e.seq,
+                        t: e.t,
+                        severity: e.severity.code(),
+                        kind: e.kind.code(),
+                        job: e.job.unwrap_or(u32::MAX),
+                        detail: e.detail,
+                    })
+                    .collect();
+                if write_frame(&mut conn, &Frame::EventsReply { events }).is_err()
+                    || conn.flush().is_err()
+                {
+                    return;
                 }
             }
             Frame::Shutdown => {

@@ -1,10 +1,20 @@
 //! The resident service core: a warm mesh of rank engines, a warm plan
 //! cache, a task-graph cache, admission-controlled job submission and
 //! first-class observability.
+//!
+//! Telemetry is split in two planes. The *job path* (engines, job table)
+//! updates `Arc`'d atomics and a cold-path event ring; the *scrape path*
+//! ([`Service::stats_text`], [`Service::events_tail`]) reads those atomics
+//! and renders text — it never takes the job-table state mutex, the ready
+//! heap, or any engine lock, so a `paper top` polling the service costs
+//! the job path nothing measurable.
 
 use sbc_matrix::SymmetricTiledMatrix;
 use sbc_net::inproc_mesh;
-use sbc_obs::{chrome_trace_from_spans, Counter, Gauge, Metrics, TraceEvent};
+use sbc_obs::{
+    chrome_trace_from_spans, expo, EventLog, Gauge, Metrics, MetricsSnapshot, ObsEvent, SpanRing,
+    TraceEvent,
+};
 use sbc_planner::{Op, Planner, PlannerConfig};
 use sbc_runtime::jobs::{run_jobs_rank, JobEngineConfig, JobId, JobOutcome, JobTable, Rejection};
 use sbc_runtime::{gather_symmetric, ExecError};
@@ -36,6 +46,14 @@ pub struct ServeConfig {
     /// Planner tunables; the plan cache is the service's per-job tuning
     /// layer, so its capacity bounds how many shapes stay warm.
     pub planner: PlannerConfig,
+    /// Per-job trace spans retained (newest-first rotation); bounds the
+    /// memory a week-long service spends on [`Service::chrome_trace`].
+    pub trace_spans: usize,
+    /// Lifecycle events retained in the structured event ring.
+    pub events_capacity: usize,
+    /// Sliding window for [`Service::jobs_per_sec`]: the rate decays to
+    /// zero this long after traffic stops.
+    pub rate_window: Duration,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +65,9 @@ impl Default for ServeConfig {
             heartbeat: Duration::from_millis(2),
             deadline: None,
             planner: PlannerConfig::default(),
+            trace_spans: 4096,
+            events_capacity: 1024,
+            rate_window: Duration::from_secs(30),
         }
     }
 }
@@ -66,25 +87,29 @@ pub struct Service {
     table: Arc<JobTable>,
     planner: Planner,
     metrics: Arc<Metrics>,
+    events: Arc<EventLog>,
     graphs: Mutex<HashMap<(Op, usize, usize), Arc<TaskGraph>>>,
     engines: Mutex<Vec<JoinHandle<Result<(), ExecError>>>>,
-    spans: Mutex<Vec<TraceEvent>>,
-    submitted: Arc<Counter>,
-    rejected: Arc<Counter>,
-    done: Arc<Counter>,
-    failed: Arc<Counter>,
+    spans: SpanRing,
     throughput: Arc<Gauge>,
+    rate_window: Duration,
     started: Instant,
 }
 
 impl Service {
     /// Starts the resident mesh (spawning one engine thread per rank) and
-    /// binds the observability registry.
+    /// binds the observability registry: `serve.jobs.*` counters, the
+    /// `serve.job.latency` histogram, the `obs.drift.*` alarm counters and
+    /// per-rank engine gauges all register eagerly here.
     pub fn start(cfg: ServeConfig) -> Arc<Service> {
         let metrics = Arc::new(Metrics::new());
+        let events = Arc::new(EventLog::with_capacity(cfg.events_capacity));
         let planner =
             Planner::with_config(Platform::bora(cfg.nodes), cfg.planner).with_metrics(&metrics);
         let table = Arc::new(JobTable::new(cfg.nodes, cfg.max_inflight));
+        // the throughput ring must remember at least a window's worth of
+        // completions at any rate worth telling apart
+        table.bind_obs(&metrics, Arc::clone(&events), 4096);
         let engine_cfg = JobEngineConfig {
             workers: cfg.workers,
             heartbeat: cfg.heartbeat,
@@ -100,21 +125,21 @@ impl Service {
         Arc::new(Service {
             table,
             planner,
-            submitted: metrics.counter("serve.jobs.submitted"),
-            rejected: metrics.counter("serve.jobs.rejected"),
-            done: metrics.counter("serve.jobs.done"),
-            failed: metrics.counter("serve.jobs.failed"),
             throughput: metrics.gauge("serve.jobs_per_sec"),
             metrics,
+            events,
             graphs: Mutex::new(HashMap::new()),
             engines: Mutex::new(engines),
-            spans: Mutex::new(Vec::new()),
+            spans: SpanRing::with_capacity(cfg.trace_spans),
+            rate_window: cfg.rate_window,
             started: Instant::now(),
         })
     }
 
     /// Plans (warm cache first), reuses the shape's shared task graph, and
     /// submits one job. The ticket reports whether the plan was cached.
+    /// Admission counters and lifecycle events are recorded by the job
+    /// table itself.
     pub fn submit(
         &self,
         op: Op,
@@ -130,45 +155,30 @@ impl Service {
                 .entry((op, nt, b))
                 .or_insert_with(|| Arc::new(plan.build_graph())),
         );
-        match self
+        let id = self
             .table
-            .submit(graph, b, seed, seed_rhs, prio, plan.use_priorities)
-        {
-            Ok(id) => {
-                self.submitted.inc();
-                Ok(Submitted {
-                    id,
-                    plan_cached: plan.cached,
-                })
-            }
-            Err(r) => {
-                self.rejected.inc();
-                Err(r)
-            }
-        }
+            .submit(graph, b, seed, seed_rhs, prio, plan.use_priorities)?;
+        Ok(Submitted {
+            id,
+            plan_cached: plan.cached,
+        })
     }
 
-    /// Blocks until `id` finishes, updating the `serve.jobs.*` counters,
-    /// the throughput gauge and the per-job trace.
+    /// Blocks until `id` finishes. Completion counters, latency and drift
+    /// are recorded by the job table the moment the last rank reports; this
+    /// method only adds the per-job trace span and refreshes the
+    /// throughput gauge.
     pub fn wait(&self, id: JobId) -> Result<JobOutcome, ExecError> {
-        match self.table.wait(id) {
-            Ok(out) => {
-                self.done.inc();
-                self.throughput.set(self.jobs_per_sec());
-                let end = self.started.elapsed().as_secs_f64();
-                lock(&self.spans).push(TraceEvent {
-                    task: id,
-                    node: 0,
-                    start: (end - out.elapsed.as_secs_f64()).max(0.0),
-                    end,
-                });
-                Ok(out)
-            }
-            Err(e) => {
-                self.failed.inc();
-                Err(e)
-            }
-        }
+        let out = self.table.wait(id)?;
+        self.throughput.set(self.jobs_per_sec());
+        let end = self.started.elapsed().as_secs_f64();
+        self.spans.push(TraceEvent {
+            task: id,
+            node: 0,
+            start: (end - out.elapsed.as_secs_f64()).max(0.0),
+            end,
+        });
+        Ok(out)
     }
 
     /// Assembles a POTRF job's lower-triangular factor from its outcome,
@@ -185,10 +195,16 @@ impl Service {
         gather_symmetric(&out.tiles, nt, b, 0, |j| (j % slices) as u8)
     }
 
-    /// The service's metrics registry (`serve.jobs.*`,
-    /// `planner.cache.{hit,miss}`, `serve.jobs_per_sec`).
+    /// The service's metrics registry (`serve.jobs.*`, `serve.job.latency`,
+    /// `obs.drift.*`, `planner.cache.{hit,miss}`, `jobs.rank<r>.*`,
+    /// `serve.jobs_per_sec`).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The structured lifecycle event ring.
+    pub fn events(&self) -> &Arc<EventLog> {
+        &self.events
     }
 
     /// The shared planner (its cache statistics are also in the metrics).
@@ -196,24 +212,46 @@ impl Service {
         &self.planner
     }
 
-    /// Jobs completed since start.
+    /// Jobs completed since start (lock-free).
     pub fn completed(&self) -> u64 {
         self.table.completed()
     }
 
-    /// Completed jobs per wall-clock second since the service started.
-    pub fn jobs_per_sec(&self) -> f64 {
-        let secs = self.started.elapsed().as_secs_f64();
-        if secs > 0.0 {
-            self.table.completed() as f64 / secs
-        } else {
-            0.0
-        }
+    /// Jobs admitted and not yet finished (lock-free).
+    pub fn inflight(&self) -> usize {
+        self.table.inflight()
     }
 
-    /// One span per completed job, as a Chrome trace JSON string.
+    /// Completed jobs per second over the configured sliding window — an
+    /// idle-overnight service reads `0`, not a forever-decaying average.
+    pub fn jobs_per_sec(&self) -> f64 {
+        self.table.completion_rate(self.rate_window)
+    }
+
+    /// An atomically-taken snapshot of every instrument, with the
+    /// throughput gauge refreshed first (so a scrape sees the current
+    /// sliding-window rate, not the last `wait`'s). Touches no lock shared
+    /// with the engine hot loop.
+    pub fn stats(&self) -> MetricsSnapshot {
+        self.throughput.set(self.jobs_per_sec());
+        self.metrics.snapshot()
+    }
+
+    /// [`Service::stats`] rendered as Prometheus-style exposition text —
+    /// what a [`sbc_net::wire::Frame::StatsReply`] carries.
+    pub fn stats_text(&self) -> String {
+        expo::render(&self.stats())
+    }
+
+    /// The newest `max` lifecycle events, oldest first.
+    pub fn events_tail(&self, max: usize) -> Vec<ObsEvent> {
+        self.events.tail(max)
+    }
+
+    /// One span per completed job (newest `trace_spans` of them), as a
+    /// Chrome trace JSON string.
     pub fn chrome_trace(&self) -> String {
-        let spans = lock(&self.spans).clone();
+        let spans = self.spans.snapshot();
         chrome_trace_from_spans(&spans, |e| format!("job {}", e.task))
     }
 

@@ -4,6 +4,7 @@
 
 use sbc_dist::comm::messages_to_bytes;
 use sbc_net::wire::{read_frame, write_frame, Frame};
+use sbc_obs::{EventKind, Severity};
 use sbc_planner::{Op, Planner};
 use sbc_serve::{factor_matches, serve, Client, JobReply, JobRequest, ServeConfig, Service};
 use sbc_simgrid::Platform;
@@ -122,6 +123,91 @@ fn served_factors_are_bit_exact_and_analytically_accounted() {
         snap.counter("planner.cache.hit").unwrap_or(0) > 0,
         "repeated shapes must hit the plan cache"
     );
+}
+
+#[test]
+fn wire_scrapes_parse_mid_run_and_show_zero_drift() {
+    let addr = sock_path("scrape");
+    let service = Service::start(ServeConfig {
+        nodes: 4,
+        trace_spans: 2,
+        ..ServeConfig::default()
+    });
+    let server = {
+        let service = Arc::clone(&service);
+        let addr = addr.clone();
+        std::thread::spawn(move || serve(service, &addr))
+    };
+
+    let worker = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr)?;
+            let replies = client.submit(&JobRequest {
+                batch: 4,
+                ..JobRequest::potrf(10, B, 500)
+            })?;
+            Ok::<usize, sbc_serve::ClientError>(
+                replies
+                    .iter()
+                    .filter(|r| matches!(r, JobReply::Done { .. }))
+                    .count(),
+            )
+        })
+    };
+
+    // a second connection scrapes while the batch runs: whatever instant a
+    // scrape lands on, the exposition must parse back to a snapshot
+    let mut monitor = Client::connect(&addr).unwrap();
+    let mut scrapes = 0;
+    let done = loop {
+        let snap = monitor.stats().expect("every mid-run scrape parses");
+        scrapes += 1;
+        if snap.counter("serve.jobs.done") == Some(4) {
+            break snap;
+        }
+        assert!(scrapes < 4000, "batch never completed under the monitor");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    assert_eq!(worker.join().unwrap().unwrap(), 4);
+
+    // a clean run drift-checks clean: every completion matched the plan
+    assert_eq!(done.counter("obs.drift.ok"), Some(4));
+    assert_eq!(done.counter("obs.drift.messages"), Some(0));
+    assert_eq!(done.counter("obs.drift.bytes"), Some(0));
+    assert_eq!(
+        done.histogram("serve.job.latency").map(|h| h.count),
+        Some(4),
+        "latency is recorded at completion, not at wait"
+    );
+    let (_, rate, _) = done
+        .gauges
+        .iter()
+        .find(|(n, _, _)| n == "serve.jobs_per_sec")
+        .expect("throughput gauge registers eagerly");
+    assert!(*rate > 0.0, "a scrape refreshes the sliding-window rate");
+
+    // the event tail decodes: admissions and completions, all about jobs
+    let events = monitor.events(64).unwrap();
+    assert!(!events.is_empty());
+    let mut kinds = std::collections::HashMap::new();
+    for e in &events {
+        Severity::from_code(e.severity).expect("severity codes are stable");
+        let kind = EventKind::from_code(e.kind).expect("kind codes are stable");
+        assert_ne!(e.job, u32::MAX, "lifecycle events name their job");
+        *kinds.entry(kind).or_insert(0u32) += 1;
+    }
+    assert_eq!(kinds.get(&EventKind::Admitted), Some(&4));
+    assert_eq!(kinds.get(&EventKind::Done), Some(&4));
+    assert_eq!(kinds.get(&EventKind::Failed), None);
+
+    // the span ring keeps only the newest trace_spans jobs
+    let trace = service.chrome_trace();
+    assert!(trace.contains("job 3"), "newest span survives rotation");
+    assert!(!trace.contains("job 0"), "oldest span rotated out");
+
+    monitor.shutdown().unwrap();
+    server.join().unwrap().unwrap();
 }
 
 #[test]
