@@ -1,12 +1,25 @@
 //! Criterion micro-benchmarks of the tile kernels (the building blocks of
 //! every experiment; Fig 7's efficiency model is calibrated against such
-//! kernels).
+//! kernels), dispatched through the [`Kernels`] trait.
+//!
+//! The `kernel_backends` group races every [`KernelBackend`] on the same
+//! GEMM shape the paper's runs spend their time in (`b = 256`, `C -= A·Bᵀ`)
+//! — under `SBC_BENCH_JSON` its records land in `BENCH_criterion.json`, so
+//! the blocked/naive speedup is a tracked datapoint, not folklore.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sbc_kernels::reference::{random_lower_tile, random_spd_tile, random_tile};
-use sbc_kernels::{
-    gemm, lauum, potrf, syrk, trmm_left_lower_trans, trsm_right_lower_trans, trtri, Tile, Trans,
-};
+use sbc_kernels::{KernelBackend, Kernels, Tile, Trans};
+
+/// The backend the shape-sweep groups measure; the historical series was
+/// recorded against the naive kernels, so the series stays comparable.
+const K: KernelBackend = KernelBackend::Naive;
+
+const BACKENDS: [KernelBackend; 3] = [
+    KernelBackend::Naive,
+    KernelBackend::Blocked,
+    KernelBackend::Arch,
+];
 
 fn bench_gemm(c: &mut Criterion) {
     let mut g = c.benchmark_group("gemm_nt");
@@ -16,7 +29,22 @@ fn bench_gemm(c: &mut Criterion) {
         g.throughput(Throughput::Elements((2 * b * b * b) as u64));
         g.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, _| {
             let mut ct = Tile::zeros(b);
-            bench.iter(|| gemm(Trans::No, Trans::Yes, -1.0, &a, &bt, 1.0, &mut ct));
+            bench.iter(|| K.gemm(Trans::No, Trans::Yes, -1.0, &a, &bt, 1.0, &mut ct));
+        });
+    }
+    g.finish();
+}
+
+fn bench_kernel_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_backends");
+    let b = 256usize;
+    let a = random_tile(b, 9);
+    let bt = random_tile(b, 10);
+    g.throughput(Throughput::Elements((2 * b * b * b) as u64));
+    for k in BACKENDS {
+        g.bench_with_input(BenchmarkId::new("gemm_nt_256", k), &k, |bench, &k| {
+            let mut ct = Tile::zeros(b);
+            bench.iter(|| k.gemm(Trans::No, Trans::Yes, -1.0, &a, &bt, 1.0, &mut ct));
         });
     }
     g.finish();
@@ -29,7 +57,7 @@ fn bench_syrk(c: &mut Criterion) {
         g.throughput(Throughput::Elements((b * b * b) as u64));
         g.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, _| {
             let mut ct = Tile::zeros(b);
-            bench.iter(|| syrk(Trans::No, -1.0, &a, 1.0, &mut ct));
+            bench.iter(|| K.syrk(Trans::No, -1.0, &a, 1.0, &mut ct));
         });
     }
     g.finish();
@@ -44,7 +72,7 @@ fn bench_trsm(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, _| {
             bench.iter(|| {
                 let mut x = rhs.clone();
-                trsm_right_lower_trans(1.0, &l, &mut x);
+                K.trsm_right_lower_trans(1.0, &l, &mut x);
                 x
             });
         });
@@ -59,7 +87,7 @@ fn bench_factor_kernels(c: &mut Criterion) {
     g.bench_function("potrf", |bench| {
         bench.iter(|| {
             let mut t = spd.clone();
-            potrf(&mut t).unwrap();
+            K.potrf(&mut t).unwrap();
             t
         });
     });
@@ -68,14 +96,14 @@ fn bench_factor_kernels(c: &mut Criterion) {
     g.bench_function("trtri", |bench| {
         bench.iter(|| {
             let mut t = l.clone();
-            trtri(&mut t).unwrap();
+            K.trtri(&mut t).unwrap();
             t
         });
     });
     g.bench_function("lauum", |bench| {
         bench.iter(|| {
             let mut t = l.clone();
-            lauum(&mut t);
+            K.lauum(&mut t);
             t
         });
     });
@@ -83,7 +111,7 @@ fn bench_factor_kernels(c: &mut Criterion) {
     g.bench_function("trmm", |bench| {
         bench.iter(|| {
             let mut x = x0.clone();
-            trmm_left_lower_trans(&l, &mut x);
+            K.trmm_left_lower_trans(&l, &mut x);
             x
         });
     });
@@ -93,6 +121,6 @@ fn bench_factor_kernels(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_gemm, bench_syrk, bench_trsm, bench_factor_kernels
+    targets = bench_gemm, bench_kernel_backends, bench_syrk, bench_trsm, bench_factor_kernels
 );
 criterion_main!(benches);

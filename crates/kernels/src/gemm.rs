@@ -25,7 +25,25 @@ pub enum Trans {
 ///
 /// # Panics
 /// Panics if the tiles do not all share the same dimension.
+#[deprecated(note = "use `Kernels::gemm` on a `KernelBackend` instead")]
 pub fn gemm(transa: Trans, transb: Trans, alpha: f64, a: &Tile, b: &Tile, beta: f64, c: &mut Tile) {
+    naive_gemm(transa, transb, alpha, a, b, beta, c);
+}
+
+/// The reference implementation behind [`KernelBackend::Naive`]
+/// (see [`crate::KernelBackend`]); every other backend is bit-identical
+/// to this operation order.
+///
+/// [`KernelBackend::Naive`]: crate::KernelBackend::Naive
+pub(crate) fn naive_gemm(
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: &Tile,
+    b: &Tile,
+    beta: f64,
+    c: &mut Tile,
+) {
     let n = c.dim();
     assert_eq!(a.dim(), n, "gemm: A dimension mismatch");
     assert_eq!(b.dim(), n, "gemm: B dimension mismatch");
@@ -117,8 +135,9 @@ fn dot(x: &[f64], y: &[f64]) -> f64 {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::{naive_gemm as gemm, Trans};
     use crate::reference::ref_gemm;
+    use crate::Tile;
 
     fn tile_a(b: usize) -> Tile {
         Tile::from_fn(b, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0)

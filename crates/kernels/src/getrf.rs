@@ -20,7 +20,13 @@ use crate::{KernelError, Tile};
 /// # Errors
 /// Returns [`KernelError::SingularTriangle`] on a zero (or non-finite)
 /// pivot.
+#[deprecated(note = "use `Kernels::getrf` on a `KernelBackend` instead")]
 pub fn getrf(a: &mut Tile) -> Result<(), KernelError> {
+    naive_getrf(a)
+}
+
+/// The reference implementation behind [`crate::KernelBackend::Naive`].
+pub(crate) fn naive_getrf(a: &mut Tile) -> Result<(), KernelError> {
     let n = a.dim();
     for kk in 0..n {
         let pivot = a.get(kk, kk);
@@ -53,9 +59,10 @@ pub fn getrf(a: &mut Tile) -> Result<(), KernelError> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::gemm::{gemm, Trans};
+    use super::naive_getrf as getrf;
+    use crate::gemm::{naive_gemm as gemm, Trans};
     use crate::reference::SplitMix64;
+    use crate::{KernelError, Tile};
 
     fn dominant_tile(n: usize, seed: u64) -> Tile {
         let mut rng = SplitMix64::new(seed);
@@ -118,7 +125,7 @@ mod tests {
         let mut lu = a0.clone();
         getrf(&mut lu).unwrap();
         let mut ch = a0.clone();
-        crate::potrf(&mut ch).unwrap();
+        crate::potrf::naive_potrf(&mut ch).unwrap();
         for i in 1..8 {
             let expect = ch.get(i, 0) / ch.get(0, 0);
             assert!((lu.get(i, 0) - expect).abs() < 1e-12);

@@ -10,7 +10,13 @@ use crate::Tile;
 /// (rows `>= i`), which has not been overwritten yet.
 ///
 /// The strictly upper triangle of `a` is neither read nor written.
+#[deprecated(note = "use `Kernels::lauum` on a `KernelBackend` instead")]
 pub fn lauum(a: &mut Tile) {
+    naive_lauum(a);
+}
+
+/// The reference implementation behind [`crate::KernelBackend::Naive`].
+pub(crate) fn naive_lauum(a: &mut Tile) {
     let n = a.dim();
     for i in 0..n {
         let aii = a.get(i, i);
@@ -39,9 +45,10 @@ pub fn lauum(a: &mut Tile) {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::gemm::{gemm, Trans};
+    use super::naive_lauum as lauum;
+    use crate::gemm::{naive_gemm as gemm, Trans};
     use crate::reference::random_lower_tile;
+    use crate::Tile;
 
     #[test]
     fn lauum_matches_explicit_product() {

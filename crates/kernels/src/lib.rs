@@ -16,9 +16,19 @@
 //!
 //! All kernels operate on [`Tile`]s: square, column-major, `f64` blocks of a
 //! fixed dimension `b`. They are the Rust stand-in for the MKL/BLAS kernels
-//! used by the paper's Chameleon experiments; they are written for clarity
-//! and cache-friendly access (unit-stride inner loops over columns), and are
-//! validated against naive reference implementations in [`reference`].
+//! used by the paper's Chameleon experiments, validated against naive
+//! reference implementations in [`reference`].
+//!
+//! ## Backends
+//!
+//! Kernels are dispatched through the [`Kernels`] trait, implemented by
+//! [`KernelBackend`]: `Naive` (the reference loop nests), `Blocked`
+//! (cache-blocked, register-tiled portable kernels) and `Arch`
+//! (`std::arch` SIMD behind the `simd` cargo feature, with runtime
+//! fallback to `Blocked`). All backends produce **bit-identical** results;
+//! selection precedence is the `SBC_KERNELS` env var, then the builder,
+//! then the `Naive` default. The old free functions (`gemm`, `syrk`, …)
+//! remain as deprecated shims delegating to the naive implementations.
 //!
 //! The kernels never allocate (except [`Tile`] constructors) and are
 //! `Send + Sync`-friendly: they borrow tiles mutably/immutably so the
@@ -26,6 +36,9 @@
 
 #![warn(missing_docs)]
 
+mod arch;
+pub mod backend;
+mod blocked;
 pub mod flops;
 pub mod gemm;
 pub mod getrf;
@@ -38,21 +51,34 @@ pub mod trmm;
 pub mod trsm;
 pub mod trtri;
 
+pub use backend::{KernelBackend, Kernels, KERNELS_ENV};
 pub use flops::{
     flops_cholesky_total, flops_gemm, flops_getrf, flops_lauum, flops_lu_total, flops_posv_total,
     flops_potrf, flops_potri_total, flops_syrk, flops_trmm, flops_trsm, flops_trtri,
 };
-pub use gemm::{gemm, Trans};
-pub use getrf::getrf;
-pub use lauum::lauum;
-pub use potrf::potrf;
-pub use syrk::syrk;
+pub use gemm::Trans;
 pub use tile::Tile;
+
+// deprecated free-function entry points, kept so external callers keep
+// compiling (with a warning) until they migrate to `Kernels`
+#[allow(deprecated)]
+pub use gemm::gemm;
+#[allow(deprecated)]
+pub use getrf::getrf;
+#[allow(deprecated)]
+pub use lauum::lauum;
+#[allow(deprecated)]
+pub use potrf::potrf;
+#[allow(deprecated)]
+pub use syrk::syrk;
+#[allow(deprecated)]
 pub use trmm::{trmm_left_lower, trmm_left_lower_trans};
+#[allow(deprecated)]
 pub use trsm::{
     trsm_left_lower, trsm_left_lower_trans, trsm_left_unit_lower, trsm_right_lower,
     trsm_right_lower_trans, trsm_right_upper,
 };
+#[allow(deprecated)]
 pub use trtri::trtri;
 
 /// Errors produced by kernels that can fail numerically.

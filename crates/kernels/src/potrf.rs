@@ -14,7 +14,13 @@ use crate::{KernelError, Tile};
 /// # Errors
 /// Returns [`KernelError::NotPositiveDefinite`] if a pivot is not strictly
 /// positive; `a` is left partially factorized in that case.
+#[deprecated(note = "use `Kernels::potrf` on a `KernelBackend` instead")]
 pub fn potrf(a: &mut Tile) -> Result<(), KernelError> {
+    naive_potrf(a)
+}
+
+/// The reference implementation behind [`crate::KernelBackend::Naive`].
+pub(crate) fn naive_potrf(a: &mut Tile) -> Result<(), KernelError> {
     let n = a.dim();
     for k in 0..n {
         let akk = a.get(k, k);
@@ -50,9 +56,10 @@ pub fn potrf(a: &mut Tile) -> Result<(), KernelError> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::gemm::{gemm, Trans};
+    use super::naive_potrf as potrf;
+    use crate::gemm::{naive_gemm as gemm, Trans};
     use crate::reference::random_spd_tile;
+    use crate::{KernelError, Tile};
 
     #[test]
     fn potrf_reconstructs_spd_tile() {

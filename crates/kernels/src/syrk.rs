@@ -16,7 +16,13 @@ use crate::{Tile, Trans};
 ///
 /// # Panics
 /// Panics if `a` and `c` have different dimensions.
+#[deprecated(note = "use `Kernels::syrk` on a `KernelBackend` instead")]
 pub fn syrk(trans: Trans, alpha: f64, a: &Tile, beta: f64, c: &mut Tile) {
+    naive_syrk(trans, alpha, a, beta, c);
+}
+
+/// The reference implementation behind [`crate::KernelBackend::Naive`].
+pub(crate) fn naive_syrk(trans: Trans, alpha: f64, a: &Tile, beta: f64, c: &mut Tile) {
     let n = c.dim();
     assert_eq!(a.dim(), n, "syrk: A dimension mismatch");
 
@@ -69,8 +75,9 @@ pub fn syrk(trans: Trans, alpha: f64, a: &Tile, beta: f64, c: &mut Tile) {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use super::naive_syrk as syrk;
     use crate::reference::ref_gemm;
+    use crate::{Tile, Trans};
 
     fn tile_a(b: usize) -> Tile {
         Tile::from_fn(b, |i, j| ((i * 3 + j * 5) % 13) as f64 - 6.0)

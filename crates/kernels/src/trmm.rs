@@ -10,7 +10,13 @@ use crate::Tile;
 ///
 /// Processed top-down per column: row `i` of the result only reads rows
 /// `>= i` of the original column, which are still unmodified.
+#[deprecated(note = "use `Kernels::trmm_left_lower_trans` on a `KernelBackend` instead")]
 pub fn trmm_left_lower_trans(l: &Tile, b: &mut Tile) {
+    naive_trmm_left_lower_trans(l, b);
+}
+
+/// The reference implementation behind [`crate::KernelBackend::Naive`].
+pub(crate) fn naive_trmm_left_lower_trans(l: &Tile, b: &mut Tile) {
     let n = b.dim();
     assert_eq!(l.dim(), n, "trmm: L dimension mismatch");
     for j in 0..n {
@@ -29,7 +35,13 @@ pub fn trmm_left_lower_trans(l: &Tile, b: &mut Tile) {
 /// `B := L * B` where `L` is the lower triangle (with diagonal) of `l`.
 ///
 /// Processed bottom-up per column so unread inputs are preserved.
+#[deprecated(note = "use `Kernels::trmm_left_lower` on a `KernelBackend` instead")]
 pub fn trmm_left_lower(l: &Tile, b: &mut Tile) {
+    naive_trmm_left_lower(l, b);
+}
+
+/// The reference implementation behind [`crate::KernelBackend::Naive`].
+pub(crate) fn naive_trmm_left_lower(l: &Tile, b: &mut Tile) {
     let n = b.dim();
     assert_eq!(l.dim(), n, "trmm: L dimension mismatch");
     for j in 0..n {
@@ -49,9 +61,13 @@ pub fn trmm_left_lower(l: &Tile, b: &mut Tile) {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::gemm::{gemm, Trans};
+    use super::{
+        naive_trmm_left_lower as trmm_left_lower,
+        naive_trmm_left_lower_trans as trmm_left_lower_trans,
+    };
+    use crate::gemm::{naive_gemm as gemm, Trans};
     use crate::reference::random_lower_tile;
+    use crate::Tile;
 
     fn rhs(n: usize) -> Tile {
         Tile::from_fn(n, |i, j| ((3 * i + 5 * j) % 13) as f64 - 6.0)
@@ -93,7 +109,7 @@ mod tests {
         let b0 = rhs(n);
         let mut b = b0.clone();
         trmm_left_lower_trans(&l, &mut b);
-        crate::trsm::trsm_left_lower_trans(1.0, &l, &mut b);
+        crate::trsm::naive_trsm_left_lower_trans(1.0, &l, &mut b);
         assert!(b.max_abs_diff(&b0) < 1e-9);
     }
 }

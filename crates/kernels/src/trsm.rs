@@ -19,7 +19,13 @@ use crate::Tile;
 ///
 /// Solves `X * L^T = alpha * B` in place. Forward sweep over columns:
 /// `X[:,j] = (alpha*B[:,j] - sum_{k<j} X[:,k] * L[j,k]) / L[j,j]`.
+#[deprecated(note = "use `Kernels::trsm_right_lower_trans` on a `KernelBackend` instead")]
 pub fn trsm_right_lower_trans(alpha: f64, l: &Tile, b: &mut Tile) {
+    naive_trsm_right_lower_trans(alpha, l, b);
+}
+
+/// The reference implementation behind [`crate::KernelBackend::Naive`].
+pub(crate) fn naive_trsm_right_lower_trans(alpha: f64, l: &Tile, b: &mut Tile) {
     let n = b.dim();
     assert_eq!(l.dim(), n, "trsm: L dimension mismatch");
     scale(alpha, b);
@@ -44,7 +50,13 @@ pub fn trsm_right_lower_trans(alpha: f64, l: &Tile, b: &mut Tile) {
 ///
 /// Solves `X * L = alpha * B` in place. Backward sweep over columns:
 /// `X[:,j] = (alpha*B[:,j] - sum_{k>j} X[:,k] * L[k,j]) / L[j,j]`.
+#[deprecated(note = "use `Kernels::trsm_right_lower` on a `KernelBackend` instead")]
 pub fn trsm_right_lower(alpha: f64, l: &Tile, b: &mut Tile) {
+    naive_trsm_right_lower(alpha, l, b);
+}
+
+/// The reference implementation behind [`crate::KernelBackend::Naive`].
+pub(crate) fn naive_trsm_right_lower(alpha: f64, l: &Tile, b: &mut Tile) {
     let n = b.dim();
     assert_eq!(l.dim(), n, "trsm: L dimension mismatch");
     scale(alpha, b);
@@ -69,7 +81,13 @@ pub fn trsm_right_lower(alpha: f64, l: &Tile, b: &mut Tile) {
 ///
 /// Forward substitution applied to every column of `B`, using unit-stride
 /// axpys with the columns of `L`.
+#[deprecated(note = "use `Kernels::trsm_left_lower` on a `KernelBackend` instead")]
 pub fn trsm_left_lower(alpha: f64, l: &Tile, b: &mut Tile) {
+    naive_trsm_left_lower(alpha, l, b);
+}
+
+/// The reference implementation behind [`crate::KernelBackend::Naive`].
+pub(crate) fn naive_trsm_left_lower(alpha: f64, l: &Tile, b: &mut Tile) {
     let n = b.dim();
     assert_eq!(l.dim(), n, "trsm: L dimension mismatch");
     scale(alpha, b);
@@ -92,7 +110,13 @@ pub fn trsm_left_lower(alpha: f64, l: &Tile, b: &mut Tile) {
 ///
 /// Backward substitution applied to every column of `B`, using unit-stride
 /// dot products with the columns of `L`.
+#[deprecated(note = "use `Kernels::trsm_left_lower_trans` on a `KernelBackend` instead")]
 pub fn trsm_left_lower_trans(alpha: f64, l: &Tile, b: &mut Tile) {
+    naive_trsm_left_lower_trans(alpha, l, b);
+}
+
+/// The reference implementation behind [`crate::KernelBackend::Naive`].
+pub(crate) fn naive_trsm_left_lower_trans(alpha: f64, l: &Tile, b: &mut Tile) {
     let n = b.dim();
     assert_eq!(l.dim(), n, "trsm: L dimension mismatch");
     scale(alpha, b);
@@ -114,7 +138,13 @@ pub fn trsm_left_lower_trans(alpha: f64, l: &Tile, b: &mut Tile) {
 /// in-place LU factorization).
 ///
 /// The row-panel solve of the tiled LU factorization.
+#[deprecated(note = "use `Kernels::trsm_left_unit_lower` on a `KernelBackend` instead")]
 pub fn trsm_left_unit_lower(l: &Tile, b: &mut Tile) {
+    naive_trsm_left_unit_lower(l, b);
+}
+
+/// The reference implementation behind [`crate::KernelBackend::Naive`].
+pub(crate) fn naive_trsm_left_unit_lower(l: &Tile, b: &mut Tile) {
     let n = b.dim();
     assert_eq!(l.dim(), n, "trsm: L dimension mismatch");
     for j in 0..n {
@@ -135,7 +165,13 @@ pub fn trsm_left_unit_lower(l: &Tile, b: &mut Tile) {
 ///
 /// The column-panel solve of the tiled LU factorization. Forward sweep over
 /// columns: `X[:,j] = (B[:,j] - sum_{k<j} X[:,k] U[k,j]) / U[j,j]`.
+#[deprecated(note = "use `Kernels::trsm_right_upper` on a `KernelBackend` instead")]
 pub fn trsm_right_upper(u: &Tile, b: &mut Tile) {
+    naive_trsm_right_upper(u, b);
+}
+
+/// The reference implementation behind [`crate::KernelBackend::Naive`].
+pub(crate) fn naive_trsm_right_upper(u: &Tile, b: &mut Tile) {
     let n = b.dim();
     assert_eq!(u.dim(), n, "trsm: U dimension mismatch");
     for j in 0..n {
@@ -181,9 +217,17 @@ fn two_cols(t: &mut Tile, src: usize, dst: usize) -> (&[f64], &mut [f64]) {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::gemm::{gemm, Trans};
+    use super::{
+        naive_trsm_left_lower as trsm_left_lower,
+        naive_trsm_left_lower_trans as trsm_left_lower_trans,
+        naive_trsm_left_unit_lower as trsm_left_unit_lower,
+        naive_trsm_right_lower as trsm_right_lower,
+        naive_trsm_right_lower_trans as trsm_right_lower_trans,
+        naive_trsm_right_upper as trsm_right_upper,
+    };
+    use crate::gemm::{naive_gemm as gemm, Trans};
     use crate::reference::random_lower_tile;
+    use crate::Tile;
 
     fn rhs(bdim: usize) -> Tile {
         Tile::from_fn(bdim, |i, j| ((i * 11 + j * 7) % 17) as f64 - 8.0)

@@ -14,7 +14,13 @@ use crate::{KernelError, Tile};
 ///
 /// # Errors
 /// Returns [`KernelError::SingularTriangle`] when a diagonal entry is zero.
+#[deprecated(note = "use `Kernels::trtri` on a `KernelBackend` instead")]
 pub fn trtri(a: &mut Tile) -> Result<(), KernelError> {
+    naive_trtri(a)
+}
+
+/// The reference implementation behind [`crate::KernelBackend::Naive`].
+pub(crate) fn naive_trtri(a: &mut Tile) -> Result<(), KernelError> {
     let n = a.dim();
     for j in (0..n).rev() {
         let d = a.get(j, j);
@@ -50,9 +56,10 @@ pub fn trtri(a: &mut Tile) -> Result<(), KernelError> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::gemm::{gemm, Trans};
+    use super::naive_trtri as trtri;
+    use crate::gemm::{naive_gemm as gemm, Trans};
     use crate::reference::random_lower_tile;
+    use crate::{KernelError, Tile};
 
     #[test]
     fn trtri_inverts_lower_tiles() {

@@ -2,10 +2,11 @@
 
 use proptest::prelude::*;
 use sbc_kernels::reference::{random_lower_tile, random_spd_tile, ref_gemm};
-use sbc_kernels::{
-    gemm, lauum, potrf, syrk, trmm_left_lower_trans, trsm_left_lower, trsm_left_lower_trans,
-    trsm_right_lower, trsm_right_lower_trans, trtri, Tile, Trans,
-};
+use sbc_kernels::{KernelBackend, Kernels, Tile, Trans};
+
+/// Backend exercised by the invariant tests; cross-backend bitwise
+/// equivalence is covered separately in `tests/backends.rs`.
+const K: KernelBackend = KernelBackend::Naive;
 
 fn arb_tile(max_b: usize) -> impl Strategy<Value = Tile> {
     (1..=max_b, any::<u64>()).prop_map(|(b, seed)| {
@@ -35,7 +36,7 @@ proptest! {
         let tb = if tb { Trans::Yes } else { Trans::No };
         let mut c = c0.clone();
         let mut cref = c0.clone();
-        gemm(ta, tb, alpha, &a, &bt, beta, &mut c);
+        K.gemm(ta, tb, alpha, &a, &bt, beta, &mut c);
         ref_gemm(ta, tb, alpha, &a, &bt, beta, &mut cref);
         prop_assert!(c.max_abs_diff(&cref) < 1e-9 * (b as f64));
     }
@@ -45,10 +46,10 @@ proptest! {
     fn potrf_roundtrip(seed in any::<u64>(), b in 1usize..20) {
         let a0 = random_spd_tile(b, seed);
         let mut l = a0.clone();
-        potrf(&mut l).unwrap();
+        K.potrf(&mut l).unwrap();
         l.zero_strict_upper();
         let mut rec = Tile::zeros(b);
-        gemm(Trans::No, Trans::Yes, 1.0, &l, &l, 0.0, &mut rec);
+        K.gemm(Trans::No, Trans::Yes, 1.0, &l, &l, 0.0, &mut rec);
         let scale = a0.norm_max().max(1.0);
         for i in 0..b {
             for j in 0..=i {
@@ -67,51 +68,51 @@ proptest! {
         let rhs = Tile::from_fn(b, |_, _| rng.next_signed());
 
         let mut x = rhs.clone();
-        trsm_right_lower_trans(1.0, &l, &mut x);
+        K.trsm_right_lower_trans(1.0, &l, &mut x);
         let mut prod = Tile::zeros(b);
-        gemm(Trans::No, Trans::Yes, 1.0, &x, &lz, 0.0, &mut prod);
+        K.gemm(Trans::No, Trans::Yes, 1.0, &x, &lz, 0.0, &mut prod);
         prop_assert!(prod.max_abs_diff(&rhs) < 1e-8);
 
         let mut x = rhs.clone();
-        trsm_right_lower(1.0, &l, &mut x);
+        K.trsm_right_lower(1.0, &l, &mut x);
         let mut prod = Tile::zeros(b);
-        gemm(Trans::No, Trans::No, 1.0, &x, &lz, 0.0, &mut prod);
+        K.gemm(Trans::No, Trans::No, 1.0, &x, &lz, 0.0, &mut prod);
         prop_assert!(prod.max_abs_diff(&rhs) < 1e-8);
 
         let mut x = rhs.clone();
-        trsm_left_lower(1.0, &l, &mut x);
+        K.trsm_left_lower(1.0, &l, &mut x);
         let mut prod = Tile::zeros(b);
-        gemm(Trans::No, Trans::No, 1.0, &lz, &x, 0.0, &mut prod);
+        K.gemm(Trans::No, Trans::No, 1.0, &lz, &x, 0.0, &mut prod);
         prop_assert!(prod.max_abs_diff(&rhs) < 1e-8);
 
         let mut x = rhs.clone();
-        trsm_left_lower_trans(1.0, &l, &mut x);
+        K.trsm_left_lower_trans(1.0, &l, &mut x);
         let mut prod = Tile::zeros(b);
-        gemm(Trans::Yes, Trans::No, 1.0, &lz, &x, 0.0, &mut prod);
+        K.gemm(Trans::Yes, Trans::No, 1.0, &lz, &x, 0.0, &mut prod);
         prop_assert!(prod.max_abs_diff(&rhs) < 1e-8);
     }
 
-    /// trtri(L) * L == I.
+    /// K.trtri(L) * L == I.
     #[test]
     fn trtri_inverts(seed in any::<u64>(), b in 1usize..20) {
         let mut l = random_lower_tile(b, seed);
         l.zero_strict_upper();
         let mut w = l.clone();
-        trtri(&mut w).unwrap();
+        K.trtri(&mut w).unwrap();
         let mut prod = Tile::zeros(b);
-        gemm(Trans::No, Trans::No, 1.0, &w, &l, 0.0, &mut prod);
+        K.gemm(Trans::No, Trans::No, 1.0, &w, &l, 0.0, &mut prod);
         prop_assert!(prod.max_abs_diff(&Tile::identity(b)) < 1e-8);
     }
 
-    /// lauum(L) lower part equals L^T L.
+    /// K.lauum(L) lower part equals L^T L.
     #[test]
     fn lauum_is_ltl(seed in any::<u64>(), b in 1usize..20) {
         let mut l = random_lower_tile(b, seed);
         l.zero_strict_upper();
         let mut out = l.clone();
-        lauum(&mut out);
+        K.lauum(&mut out);
         let mut full = Tile::zeros(b);
-        gemm(Trans::Yes, Trans::No, 1.0, &l, &l, 0.0, &mut full);
+        K.gemm(Trans::Yes, Trans::No, 1.0, &l, &l, 0.0, &mut full);
         for i in 0..b {
             for j in 0..=i {
                 prop_assert!((out.get(i, j) - full.get(i, j)).abs() < 1e-8);
@@ -124,7 +125,7 @@ proptest! {
     fn syrk_is_gemm_lower(t in arb_tile(20), alpha in -2.0f64..2.0) {
         let b = t.dim();
         let mut c = Tile::zeros(b);
-        syrk(Trans::No, alpha, &t, 0.0, &mut c);
+        K.syrk(Trans::No, alpha, &t, 0.0, &mut c);
         let mut full = Tile::zeros(b);
         ref_gemm(Trans::No, Trans::Yes, alpha, &t, &t, 0.0, &mut full);
         for i in 0..b {
@@ -134,18 +135,18 @@ proptest! {
         }
     }
 
-    /// The POTRI identity at tile level: lauum(trtri(potrf(A))) == A^{-1},
+    /// The POTRI identity at tile level: K.lauum(K.trtri(K.potrf(A))) == A^{-1},
     /// verified by A * result == I.
     #[test]
     fn potri_pipeline_inverts(seed in any::<u64>(), b in 1usize..16) {
         let a0 = random_spd_tile(b, seed);
         let mut w = a0.clone();
-        potrf(&mut w).unwrap();
-        trtri(&mut w).unwrap();
-        lauum(&mut w);
+        K.potrf(&mut w).unwrap();
+        K.trtri(&mut w).unwrap();
+        K.lauum(&mut w);
         w.symmetrize_from_lower();
         let mut prod = Tile::zeros(b);
-        gemm(Trans::No, Trans::No, 1.0, &a0, &w, 0.0, &mut prod);
+        K.gemm(Trans::No, Trans::No, 1.0, &a0, &w, 0.0, &mut prod);
         prop_assert!(prod.max_abs_diff(&Tile::identity(b)) < 1e-6 * (b as f64).max(1.0));
     }
 
@@ -157,8 +158,8 @@ proptest! {
         let mut rng = sbc_kernels::reference::SplitMix64::new(seed ^ 2);
         let x0 = Tile::from_fn(b, |_, _| rng.next_signed());
         let mut x = x0.clone();
-        trmm_left_lower_trans(&l, &mut x);
-        trsm_left_lower_trans(1.0, &l, &mut x);
+        K.trmm_left_lower_trans(&l, &mut x);
+        K.trsm_left_lower_trans(1.0, &l, &mut x);
         prop_assert!(x.max_abs_diff(&x0) < 1e-8);
     }
 }

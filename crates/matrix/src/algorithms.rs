@@ -12,8 +12,14 @@
 //! must be mirrored there (the integration tests compare the two).
 
 use crate::storage::{FullTiledMatrix, SymmetricTiledMatrix, TiledPanel};
-use sbc_kernels as k;
-use sbc_kernels::{KernelError, Trans};
+use sbc_kernels::{KernelBackend, KernelError, Kernels, Trans};
+
+/// Kernel backend for the sequential sweeps: [`KernelBackend::Naive`]
+/// unless the `SBC_KERNELS` environment variable overrides it. All
+/// backends are bit-identical, so the override changes speed only.
+fn kernels() -> KernelBackend {
+    KernelBackend::resolve(KernelBackend::default())
+}
 
 /// Tiled Cholesky factorization (Algorithm 1): on success the lower tiles of
 /// `a` hold `L` with `L L^T = A`.
@@ -31,18 +37,19 @@ use sbc_kernels::{KernelError, Trans};
 /// Propagates [`KernelError::NotPositiveDefinite`] from the tile POTRF.
 pub fn potrf_tiled(a: &mut SymmetricTiledMatrix) -> Result<(), KernelError> {
     let nt = a.tile_count();
+    let krn = kernels();
     for i in 0..nt {
-        k::potrf(a.tile_mut(i, i))?;
+        krn.potrf(a.tile_mut(i, i))?;
         for j in i + 1..nt {
             let (diag, panel) = a.two_tiles_mut((i, i), (j, i));
-            k::trsm_right_lower_trans(1.0, diag, panel);
+            krn.trsm_right_lower_trans(1.0, diag, panel);
         }
         for kk in i + 1..nt {
             let (panel, diag) = a.two_tiles_mut((kk, i), (kk, kk));
-            k::syrk(Trans::No, -1.0, panel, 1.0, diag);
+            krn.syrk(Trans::No, -1.0, panel, 1.0, diag);
             for j in kk + 1..nt {
                 let (aji, aki, ajk) = a.tiles_rrw((j, i), (kk, i), (j, kk));
-                k::gemm(Trans::No, Trans::Yes, -1.0, aji, aki, 1.0, ajk);
+                krn.gemm(Trans::No, Trans::Yes, -1.0, aji, aki, 1.0, ajk);
             }
         }
     }
@@ -53,12 +60,13 @@ pub fn potrf_tiled(a: &mut SymmetricTiledMatrix) -> Result<(), KernelError> {
 /// lower-tile content of `a`.
 pub fn solve_lower(a: &SymmetricTiledMatrix, b: &mut TiledPanel) {
     let nt = a.tile_count();
+    let krn = kernels();
     assert_eq!(b.tile_count(), nt);
     for i in 0..nt {
-        k::trsm_left_lower(1.0, a.tile(i, i), b.tile_mut(i));
+        krn.trsm_left_lower(1.0, a.tile(i, i), b.tile_mut(i));
         for j in i + 1..nt {
             let (bj, bi) = b.two_tiles_mut(j, i);
-            k::gemm(Trans::No, Trans::No, -1.0, a.tile(j, i), bi, 1.0, bj);
+            krn.gemm(Trans::No, Trans::No, -1.0, a.tile(j, i), bi, 1.0, bj);
         }
     }
 }
@@ -66,13 +74,14 @@ pub fn solve_lower(a: &SymmetricTiledMatrix, b: &mut TiledPanel) {
 /// Backward sweep: `B := L^{-T} B`.
 pub fn solve_lower_trans(a: &SymmetricTiledMatrix, b: &mut TiledPanel) {
     let nt = a.tile_count();
+    let krn = kernels();
     assert_eq!(b.tile_count(), nt);
     for i in (0..nt).rev() {
-        k::trsm_left_lower_trans(1.0, a.tile(i, i), b.tile_mut(i));
+        krn.trsm_left_lower_trans(1.0, a.tile(i, i), b.tile_mut(i));
         for j in 0..i {
             // B[j] -= A[i][j]^T B[i]
             let (bj, bi) = b.two_tiles_mut(j, i);
-            k::gemm(Trans::Yes, Trans::No, -1.0, a.tile(i, j), bi, 1.0, bj);
+            krn.gemm(Trans::Yes, Trans::No, -1.0, a.tile(i, j), bi, 1.0, bj);
         }
     }
 }
@@ -106,20 +115,21 @@ pub fn posv_tiled(a: &mut SymmetricTiledMatrix, b: &mut TiledPanel) -> Result<()
 /// pivoting — inputs should be diagonally dominant).
 pub fn lu_tiled(a: &mut FullTiledMatrix) -> Result<(), KernelError> {
     let nt = a.tile_count();
+    let krn = kernels();
     for kk in 0..nt {
-        k::getrf(a.tile_mut(kk, kk))?;
+        krn.getrf(a.tile_mut(kk, kk))?;
         for j in kk + 1..nt {
             let (diag, target) = a.two_tiles_mut((kk, kk), (kk, j));
-            k::trsm_left_unit_lower(diag, target);
+            krn.trsm_left_unit_lower(diag, target);
         }
         for i in kk + 1..nt {
             let (diag, target) = a.two_tiles_mut((kk, kk), (i, kk));
-            k::trsm_right_upper(diag, target);
+            krn.trsm_right_upper(diag, target);
         }
         for i in kk + 1..nt {
             for j in kk + 1..nt {
                 let (aik, akj, aij) = a.tiles_rrw((i, kk), (kk, j), (i, j));
-                k::gemm(Trans::No, Trans::No, -1.0, aik, akj, 1.0, aij);
+                krn.gemm(Trans::No, Trans::No, -1.0, aik, akj, 1.0, aij);
             }
         }
     }
@@ -137,22 +147,23 @@ pub fn lu_tiled(a: &mut FullTiledMatrix) -> Result<(), KernelError> {
 /// Propagates [`KernelError::SingularTriangle`].
 pub fn trtri_tiled(a: &mut SymmetricTiledMatrix) -> Result<(), KernelError> {
     let nt = a.tile_count();
+    let krn = kernels();
     for kk in 0..nt {
         for m in kk + 1..nt {
             let (diag, target) = a.two_tiles_mut((kk, kk), (m, kk));
-            k::trsm_right_lower(-1.0, diag, target);
+            krn.trsm_right_lower(-1.0, diag, target);
         }
         for m in kk + 1..nt {
             for n in 0..kk {
                 let (amk, akn, amn) = a.tiles_rrw((m, kk), (kk, n), (m, n));
-                k::gemm(Trans::No, Trans::No, 1.0, amk, akn, 1.0, amn);
+                krn.gemm(Trans::No, Trans::No, 1.0, amk, akn, 1.0, amn);
             }
         }
         for n in 0..kk {
             let (diag, target) = a.two_tiles_mut((kk, kk), (kk, n));
-            k::trsm_left_lower(1.0, diag, target);
+            krn.trsm_left_lower(1.0, diag, target);
         }
-        k::trtri(a.tile_mut(kk, kk))?;
+        krn.trtri(a.tile_mut(kk, kk))?;
     }
     Ok(())
 }
@@ -164,20 +175,21 @@ pub fn trtri_tiled(a: &mut SymmetricTiledMatrix) -> Result<(), KernelError> {
 /// its advantage on this step.
 pub fn lauum_tiled(a: &mut SymmetricTiledMatrix) {
     let nt = a.tile_count();
+    let krn = kernels();
     for kk in 0..nt {
         for n in 0..kk {
             let (akn, ann) = a.two_tiles_mut((kk, n), (n, n));
-            k::syrk(Trans::Yes, 1.0, akn, 1.0, ann);
+            krn.syrk(Trans::Yes, 1.0, akn, 1.0, ann);
             for m in n + 1..kk {
                 let (akm, akn, amn) = a.tiles_rrw((kk, m), (kk, n), (m, n));
-                k::gemm(Trans::Yes, Trans::No, 1.0, akm, akn, 1.0, amn);
+                krn.gemm(Trans::Yes, Trans::No, 1.0, akm, akn, 1.0, amn);
             }
         }
         for n in 0..kk {
             let (diag, target) = a.two_tiles_mut((kk, kk), (kk, n));
-            k::trmm_left_lower_trans(diag, target);
+            krn.trmm_left_lower_trans(diag, target);
         }
-        k::lauum(a.tile_mut(kk, kk));
+        krn.lauum(a.tile_mut(kk, kk));
     }
 }
 

@@ -11,7 +11,10 @@
 //!   `std::net`, [`Backend::Uds`] over `std::os::unix::net`) speaking the
 //!   length-prefixed little-endian wire protocol of [`wire`]: tagged
 //!   frames, tile payloads as raw `f64` words, CRC32 integrity check, and
-//!   bounded per-peer send queues with blocking backpressure.
+//!   bounded per-peer send queues with blocking backpressure. Send buffers
+//!   come from a per-transport [`BufferPool`] and frames are laid down in
+//!   place with [`wire::encode_into`], so a steady-state payload send
+//!   performs zero fresh heap allocations (see [`PoolStats`]).
 //! * [`Faulty`] — a wrapper injecting drops, duplicates and delays into
 //!   payload traffic for the failure-injection tests.
 //! * [`Session`] — a reliability layer over any of the above: per-peer
@@ -37,6 +40,7 @@ mod faulty;
 mod inproc;
 mod launch;
 mod msg;
+mod pool;
 mod session;
 mod stream;
 mod transport;
@@ -46,6 +50,7 @@ pub use faulty::{FaultConfig, Faulty};
 pub use inproc::{inproc_mesh, InProc};
 pub use launch::{launch, wait_children, Role, ENV_BACKEND, ENV_NODES, ENV_RANK, ENV_ROOT};
 pub use msg::{Message, NodeId, Payload, PeerStats};
+pub use pool::{BufferPool, PoolStats, PooledBuf, DEFAULT_RETAIN};
 pub use session::{Session, SessionConfig, SessionEvent, SessionEventKind};
 pub use stream::{local_mesh, Backend, MeshBuilder, StreamTransport};
 pub use transport::{RecvTimeout, Transport, TransportStats};

@@ -120,6 +120,12 @@ pub struct SessionEvent {
 }
 
 /// A payload in flight: sent, not yet covered by a cumulative ack.
+///
+/// The session retains the *logical* [`Payload`] (the tile), never wire
+/// bytes: each (re)transmission re-encodes through the transport, whose
+/// pooled send buffers return to their [`crate::BufferPool`] as soon as the
+/// writer thread has flushed them — an unacked payload does not pin a frame
+/// buffer for its whole round trip.
 struct Unacked {
     seq: u64,
     payload: Payload,

@@ -16,6 +16,7 @@
 //! aborting anyone.
 
 use crate::msg::{Message, NodeId, Payload, PeerStats};
+use crate::pool::{BufferPool, PoolStats, PooledBuf};
 use crate::transport::{RecvTimeout, StatsCell, Transport, TransportStats};
 use crate::wire::{self, Frame};
 use sbc_kernels::Tile;
@@ -291,7 +292,8 @@ impl MeshBuilder {
         assert_eq!(addrs.len(), self.n, "address table size mismatch");
         let inbox = Arc::new(Inbox::default());
         let stats = Arc::new(StatsCell::default());
-        let mut peers: Vec<Option<SyncSender<Vec<u8>>>> = (0..self.n).map(|_| None).collect();
+        let pool = BufferPool::default();
+        let mut peers: Vec<Option<SyncSender<PooledBuf>>> = (0..self.n).map(|_| None).collect();
         let mut writers = Vec::with_capacity(self.n.saturating_sub(1));
 
         for (dest, addr) in addrs.iter().enumerate() {
@@ -300,8 +302,10 @@ impl MeshBuilder {
             }
             let mut stream = connect_retry(self.backend, addr)?;
             wire::write_frame(&mut stream, &Frame::Hello { src: self.rank })?;
-            let (tx, rx) = sync_channel::<Vec<u8>>(self.queue_depth);
+            let (tx, rx) = sync_channel::<PooledBuf>(self.queue_depth);
             writers.push(std::thread::spawn(move || {
+                // each received buffer drops at the end of its iteration,
+                // returning to the transport's pool for the next send
                 while let Ok(buf) = rx.recv() {
                     if stream.write_all(&buf).is_err() {
                         // peer is gone; drain the queue so senders unblock
@@ -338,14 +342,18 @@ impl MeshBuilder {
             peers,
             inbox,
             stats,
+            pool,
             writers,
         })
     }
 }
 
 fn reader_loop(mut stream: BoxStream, inbox: &Inbox, stats: &StatsCell) {
+    // one scratch buffer per connection: every frame on this stream decodes
+    // through the same allocation (grown once to the high-water frame size)
+    let mut scratch = Vec::new();
     loop {
-        match wire::read_frame(&mut stream) {
+        match wire::read_frame_into(&mut stream, &mut scratch) {
             Ok(Some((frame, frame_bytes))) => {
                 let msg = match frame {
                     Frame::Payload { src, payload } => {
@@ -405,17 +413,25 @@ fn reader_loop(mut stream: BoxStream, inbox: &Inbox, stats: &StatsCell) {
 pub struct StreamTransport {
     rank: NodeId,
     n: usize,
-    peers: Vec<Option<SyncSender<Vec<u8>>>>,
+    peers: Vec<Option<SyncSender<PooledBuf>>>,
     inbox: Arc<Inbox>,
     stats: Arc<StatsCell>,
+    pool: BufferPool,
     writers: Vec<JoinHandle<()>>,
 }
 
 impl StreamTransport {
+    /// Encodes a frame into a buffer checked out of this transport's pool.
+    fn encode_pooled(&self, frame: &Frame) -> PooledBuf {
+        let mut buf = self.pool.checkout();
+        wire::encode_into(frame, &mut buf);
+        buf
+    }
+
     /// Queues a control frame to `dest`, counting only framing bytes.
     fn send_control(&self, dest: NodeId, frame: &Frame) {
         if let Some(tx) = self.peers[dest as usize].as_ref() {
-            let buf = wire::encode(frame);
+            let buf = self.encode_pooled(frame);
             let frame_bytes = buf.len() as u64;
             if tx.send(buf).is_ok() {
                 self.stats
@@ -423,6 +439,12 @@ impl StreamTransport {
                     .fetch_add(frame_bytes, Ordering::Relaxed);
             }
         }
+    }
+
+    /// Checkout accounting of the send-buffer pool. Steady state shows
+    /// `misses` flat while `hits` grow: sends are not allocating.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 }
 
@@ -441,7 +463,7 @@ impl Transport for StreamTransport {
             src: self.rank,
             payload,
         };
-        let buf = wire::encode(&frame);
+        let buf = self.encode_pooled(&frame);
         let frame_bytes = buf.len() as u64;
         self.peers[dest as usize].as_ref()?.send(buf).ok()?;
         self.stats.count_send(bytes, frame_bytes);
@@ -485,7 +507,7 @@ impl Transport for StreamTransport {
             seq,
             payload,
         };
-        let buf = wire::encode(&frame);
+        let buf = self.encode_pooled(&frame);
         let frame_bytes = buf.len() as u64;
         self.peers[dest as usize].as_ref()?.send(buf).ok()?;
         self.stats.count_send(bytes, frame_bytes);
@@ -494,7 +516,7 @@ impl Transport for StreamTransport {
 
     fn send_ack(&self, dest: NodeId, upto: u64) {
         if let Some(tx) = self.peers[dest as usize].as_ref() {
-            let buf = wire::encode(&Frame::Ack {
+            let buf = self.encode_pooled(&Frame::Ack {
                 src: self.rank,
                 upto,
             });
@@ -664,6 +686,57 @@ mod tests {
         mesh[0].wake();
         assert_eq!(mesh[0].recv(), Some(Message::Wake));
         assert_eq!(mesh[0].stats(), TransportStats::default());
+    }
+
+    #[test]
+    fn steady_state_sends_allocate_nothing() {
+        // once every queued buffer has returned to the pool, each further
+        // payload send must be a pool *hit* — i.e. encode into a recycled
+        // buffer with zero fresh heap allocation. The miss counter is the
+        // proof: it plateaus after warm-up while hits keep growing.
+        let mesh = local_mesh(Backend::Tcp, 2).unwrap();
+        let tile = Tile::from_fn(16, |i, j| (i * 16 + j) as f64);
+        let send_and_deliver = |k: u32| {
+            mesh[0]
+                .send_payload(
+                    1,
+                    Payload::Data {
+                        job: 0,
+                        producer: k,
+                        tile: tile.clone(),
+                    },
+                )
+                .unwrap();
+            mesh[1].recv().unwrap();
+        };
+        let wait_drained = || {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while mesh[0].pool_stats().outstanding != 0 {
+                assert!(Instant::now() < deadline, "send buffer never returned");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        };
+
+        // warm-up: the pool starts empty, so the first send must miss
+        send_and_deliver(0);
+        wait_drained();
+        let warm = mesh[0].pool_stats();
+        assert!(warm.misses >= 1);
+
+        let n_msgs = 100u32;
+        for k in 1..=n_msgs {
+            send_and_deliver(k);
+            wait_drained();
+        }
+        let end = mesh[0].pool_stats();
+        assert_eq!(
+            end.misses, warm.misses,
+            "a steady-state payload send allocated a fresh buffer"
+        );
+        assert!(
+            end.hits >= warm.hits + u64::from(n_msgs),
+            "expected {n_msgs} more hits: {warm:?} -> {end:?}"
+        );
     }
 
     #[test]

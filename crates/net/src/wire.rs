@@ -294,38 +294,55 @@ pub fn crc32(data: &[u8]) -> u32 {
     c ^ 0xFFFF_FFFF
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
+/// A little-endian writer appending a frame body to a caller-owned buffer.
+///
+/// This is the single serialization surface of the protocol: every field
+/// kind the wire knows (integers, strings, tile refs, raw tile words) goes
+/// through one of these methods, and [`encode_into`] drives it directly
+/// over the output buffer — the body is laid down in place after the
+/// header, with no intermediate body `Vec`.
+struct FrameWriter<'a> {
+    out: &'a mut Vec<u8>,
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
-}
-
-fn put_tile(out: &mut Vec<u8>, t: &Tile) {
-    put_u32(out, t.dim() as u32);
-    out.reserve(t.as_slice().len() * 8);
-    for v in t.as_slice() {
-        out.extend_from_slice(&v.to_bits().to_le_bytes());
+impl FrameWriter<'_> {
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
     }
-}
 
-fn put_tile_ref(out: &mut Vec<u8>, r: TileRef) {
-    let (kind, phase, slice, i, j) = match r {
-        TileRef::A { phase, slice, i, j } => (0u8, phase, slice, i, j),
-        TileRef::Buf { slice, i, j } => (1, 0, slice, i, j),
-        TileRef::B { i } => (2, 0, 0, i, 0),
-    };
-    out.push(kind);
-    out.push(phase);
-    out.push(slice);
-    put_u32(out, i);
-    put_u32(out, j);
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.out.extend_from_slice(s.as_bytes());
+    }
+
+    fn tile(&mut self, t: &Tile) {
+        self.u32(t.dim() as u32);
+        self.out.reserve(t.as_slice().len() * 8);
+        for v in t.as_slice() {
+            self.out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    fn tile_ref(&mut self, r: TileRef) {
+        let (kind, phase, slice, i, j) = match r {
+            TileRef::A { phase, slice, i, j } => (0u8, phase, slice, i, j),
+            TileRef::Buf { slice, i, j } => (1, 0, slice, i, j),
+            TileRef::B { i } => (2, 0, 0, i, 0),
+        };
+        self.u8(kind);
+        self.u8(phase);
+        self.u8(slice);
+        self.u32(i);
+        self.u32(j);
+    }
 }
 
 /// A bounds-checked little-endian reader over a frame body.
@@ -401,12 +418,21 @@ impl<'a> Body<'a> {
     }
 }
 
-/// Serializes a frame: header, body and CRC trailer.
-pub fn encode(f: &Frame) -> Vec<u8> {
-    let mut body = Vec::new();
+/// Serializes a frame into `out`, reusing its capacity: the buffer is
+/// cleared, the tag and a length placeholder go down first, the body is
+/// written in place through [`FrameWriter`], the length is patched at
+/// `out[1..5]` and the CRC trailer appended. Returns the encoded size.
+///
+/// This is the hot-path entry point — paired with a pooled buffer
+/// ([`crate::BufferPool`]) a steady-state send allocates nothing.
+pub fn encode_into(f: &Frame, out: &mut Vec<u8>) -> usize {
+    out.clear();
+    out.push(0); // tag, patched below
+    out.extend_from_slice(&[0u8; 4]); // body length, patched below
+    let mut w = FrameWriter { out };
     let tag = match f {
         Frame::Hello { src } => {
-            put_u32(&mut body, *src);
+            w.u32(*src);
             TAG_HELLO
         }
         Frame::Payload {
@@ -418,10 +444,10 @@ pub fn encode(f: &Frame) -> Vec<u8> {
                     tile,
                 },
         } => {
-            put_u32(&mut body, *src);
-            put_u32(&mut body, *job);
-            put_u32(&mut body, *producer);
-            put_tile(&mut body, tile);
+            w.u32(*src);
+            w.u32(*job);
+            w.u32(*producer);
+            w.tile(tile);
             TAG_DATA
         }
         Frame::Payload {
@@ -433,34 +459,34 @@ pub fn encode(f: &Frame) -> Vec<u8> {
                     tile,
                 },
         } => {
-            put_u32(&mut body, *src);
-            put_u32(&mut body, *job);
-            put_tile_ref(&mut body, *tile_ref);
-            put_tile(&mut body, tile);
+            w.u32(*src);
+            w.u32(*job);
+            w.tile_ref(*tile_ref);
+            w.tile(tile);
             TAG_ORIG
         }
         Frame::Poison => TAG_POISON,
         Frame::Result { tile_ref, tile } => {
-            put_tile_ref(&mut body, *tile_ref);
-            put_tile(&mut body, tile);
+            w.tile_ref(*tile_ref);
+            w.tile(tile);
             TAG_RESULT
         }
         Frame::Done { src, stats } => {
-            put_u32(&mut body, *src);
-            put_u64(&mut body, stats.sent);
-            put_u64(&mut body, stats.sent_bytes);
-            put_u64(&mut body, stats.applied);
+            w.u32(*src);
+            w.u64(stats.sent);
+            w.u64(stats.sent_bytes);
+            w.u64(stats.applied);
             TAG_DONE
         }
         Frame::Addr { src, addr } => {
-            put_u32(&mut body, *src);
-            put_str(&mut body, addr);
+            w.u32(*src);
+            w.str(addr);
             TAG_ADDR
         }
         Frame::Table { addrs } => {
-            put_u32(&mut body, addrs.len() as u32);
+            w.u32(addrs.len() as u32);
             for a in addrs {
-                put_str(&mut body, a);
+                w.str(a);
             }
             TAG_TABLE
         }
@@ -474,11 +500,11 @@ pub fn encode(f: &Frame) -> Vec<u8> {
                     tile,
                 },
         } => {
-            put_u32(&mut body, *src);
-            put_u64(&mut body, *seq);
-            put_u32(&mut body, *job);
-            put_u32(&mut body, *producer);
-            put_tile(&mut body, tile);
+            w.u32(*src);
+            w.u64(*seq);
+            w.u32(*job);
+            w.u32(*producer);
+            w.tile(tile);
             TAG_SEQ_DATA
         }
         Frame::Seq {
@@ -491,16 +517,16 @@ pub fn encode(f: &Frame) -> Vec<u8> {
                     tile,
                 },
         } => {
-            put_u32(&mut body, *src);
-            put_u64(&mut body, *seq);
-            put_u32(&mut body, *job);
-            put_tile_ref(&mut body, *tile_ref);
-            put_tile(&mut body, tile);
+            w.u32(*src);
+            w.u64(*seq);
+            w.u32(*job);
+            w.tile_ref(*tile_ref);
+            w.tile(tile);
             TAG_SEQ_ORIG
         }
         Frame::Ack { src, upto } => {
-            put_u32(&mut body, *src);
-            put_u64(&mut body, *upto);
+            w.u32(*src);
+            w.u64(*upto);
             TAG_ACK
         }
         Frame::JobSubmit {
@@ -513,20 +539,20 @@ pub fn encode(f: &Frame) -> Vec<u8> {
             seed,
             seed_rhs,
         } => {
-            put_u32(&mut body, *req);
-            body.push(*op);
-            body.push(*prio);
-            put_u32(&mut body, *batch);
-            put_u32(&mut body, *nt);
-            put_u32(&mut body, *b);
-            put_u64(&mut body, *seed);
-            put_u64(&mut body, *seed_rhs);
+            w.u32(*req);
+            w.u8(*op);
+            w.u8(*prio);
+            w.u32(*batch);
+            w.u32(*nt);
+            w.u32(*b);
+            w.u64(*seed);
+            w.u64(*seed_rhs);
             TAG_JOB_SUBMIT
         }
         Frame::JobStatus { req, state, info } => {
-            put_u32(&mut body, *req);
-            body.push(*state);
-            put_str(&mut body, info);
+            w.u32(*req);
+            w.u8(*state);
+            w.str(info);
             TAG_JOB_STATUS
         }
         Frame::JobResult {
@@ -537,47 +563,55 @@ pub fn encode(f: &Frame) -> Vec<u8> {
             plan_cached,
             tiles,
         } => {
-            put_u32(&mut body, *req);
-            put_u64(&mut body, *messages);
-            put_u64(&mut body, *bytes);
-            put_u64(&mut body, *elapsed_ns);
-            body.push(*plan_cached);
-            put_u32(&mut body, tiles.len() as u32);
+            w.u32(*req);
+            w.u64(*messages);
+            w.u64(*bytes);
+            w.u64(*elapsed_ns);
+            w.u8(*plan_cached);
+            w.u32(tiles.len() as u32);
             for (r, t) in tiles {
-                put_tile_ref(&mut body, *r);
-                put_tile(&mut body, t);
+                w.tile_ref(*r);
+                w.tile(t);
             }
             TAG_JOB_RESULT
         }
         Frame::Shutdown => TAG_SHUTDOWN,
         Frame::StatsRequest => TAG_STATS_REQUEST,
         Frame::StatsReply { text } => {
-            put_str(&mut body, text);
+            w.str(text);
             TAG_STATS_REPLY
         }
         Frame::EventsRequest { max } => {
-            put_u32(&mut body, *max);
+            w.u32(*max);
             TAG_EVENTS_REQUEST
         }
         Frame::EventsReply { events } => {
-            put_u32(&mut body, events.len() as u32);
+            w.u32(events.len() as u32);
             for e in events {
-                put_u64(&mut body, e.seq);
-                put_u64(&mut body, e.t.to_bits());
-                body.push(e.severity);
-                body.push(e.kind);
-                put_u32(&mut body, e.job);
-                put_str(&mut body, &e.detail);
+                w.u64(e.seq);
+                w.u64(e.t.to_bits());
+                w.u8(e.severity);
+                w.u8(e.kind);
+                w.u32(e.job);
+                w.str(&e.detail);
             }
             TAG_EVENTS_REPLY
         }
     };
-    let mut out = Vec::with_capacity(body.len() + 9);
-    out.push(tag);
-    put_u32(&mut out, body.len() as u32);
-    out.extend_from_slice(&body);
-    let crc = crc32(&out);
+    let body_len = (out.len() - 5) as u32;
+    out[0] = tag;
+    out[1..5].copy_from_slice(&body_len.to_le_bytes());
+    let crc = crc32(out);
     out.extend_from_slice(&crc.to_le_bytes());
+    out.len()
+}
+
+/// Serializes a frame into a fresh buffer. Convenience wrapper over
+/// [`encode_into`] for cold paths (setup, tests); hot paths reuse a pooled
+/// buffer instead.
+pub fn encode(f: &Frame) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(f, &mut out);
     out
 }
 
@@ -789,14 +823,21 @@ pub fn decode(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
     Ok((frame, total))
 }
 
-/// Reads one frame from a stream. `Ok(None)` is a clean end-of-stream (EOF
-/// exactly at a frame boundary); mid-frame EOF is [`FrameError::Truncated`].
-/// On success also returns the total frame size read from the wire.
-pub fn read_frame(r: &mut impl Read) -> Result<Option<(Frame, u64)>, FrameError> {
-    let mut hdr = [0u8; 5];
+/// Reads one frame from a stream into a caller-owned scratch buffer, so a
+/// long-lived reader (one per connection) reuses the same allocation for
+/// every frame up to its high-water size. `Ok(None)` is a clean
+/// end-of-stream (EOF exactly at a frame boundary); mid-frame EOF is
+/// [`FrameError::Truncated`]. On success also returns the total frame size
+/// read from the wire.
+pub fn read_frame_into(
+    r: &mut impl Read,
+    scratch: &mut Vec<u8>,
+) -> Result<Option<(Frame, u64)>, FrameError> {
+    scratch.clear();
+    scratch.resize(5, 0);
     let mut got = 0;
-    while got < hdr.len() {
-        match r.read(&mut hdr[got..]) {
+    while got < 5 {
+        match r.read(&mut scratch[got..5]) {
             Ok(0) if got == 0 => return Ok(None),
             Ok(0) => return Err(FrameError::Truncated),
             Ok(n) => got += n,
@@ -804,27 +845,44 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(Frame, u64)>, FrameError>
             Err(e) => return Err(FrameError::Io(e.kind())),
         }
     }
-    let len = u32::from_le_bytes(hdr[1..5].try_into().unwrap());
+    let len = u32::from_le_bytes(scratch[1..5].try_into().unwrap());
     if len > MAX_BODY {
         return Err(FrameError::BadLength(len));
     }
-    let mut rest = vec![0u8; len as usize + 4];
-    r.read_exact(&mut rest).map_err(|e| match e.kind() {
-        std::io::ErrorKind::UnexpectedEof => FrameError::Truncated,
-        kind => FrameError::Io(kind),
-    })?;
-    let mut whole = Vec::with_capacity(5 + rest.len());
-    whole.extend_from_slice(&hdr);
-    whole.extend_from_slice(&rest);
-    let (frame, total) = decode(&whole)?;
+    let total = 5 + len as usize + 4;
+    scratch.resize(total, 0);
+    r.read_exact(&mut scratch[5..])
+        .map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => FrameError::Truncated,
+            kind => FrameError::Io(kind),
+        })?;
+    let (frame, used) = decode(scratch)?;
+    debug_assert_eq!(used, total);
     Ok(Some((frame, total as u64)))
+}
+
+/// Reads one frame from a stream with a throwaway scratch buffer. Cold-path
+/// convenience over [`read_frame_into`]; per-connection reader loops pass
+/// their own scratch instead.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(Frame, u64)>, FrameError> {
+    read_frame_into(r, &mut Vec::new())
+}
+
+/// Encodes `f` into `scratch` and writes it to a stream, returning the
+/// bytes written. The scratch buffer's capacity is reused across calls.
+pub fn write_frame_with(
+    w: &mut impl std::io::Write,
+    f: &Frame,
+    scratch: &mut Vec<u8>,
+) -> std::io::Result<u64> {
+    let n = encode_into(f, scratch);
+    w.write_all(scratch)?;
+    Ok(n as u64)
 }
 
 /// Writes one encoded frame to a stream, returning the bytes written.
 pub fn write_frame(w: &mut impl std::io::Write, f: &Frame) -> std::io::Result<u64> {
-    let buf = encode(f);
-    w.write_all(&buf)?;
-    Ok(buf.len() as u64)
+    write_frame_with(w, f, &mut Vec::new())
 }
 
 #[cfg(test)]
@@ -1128,6 +1186,79 @@ mod tests {
         let n = buf.len();
         buf[n - 4..].copy_from_slice(&crc.to_le_bytes());
         assert_eq!(decode(&buf).unwrap_err(), FrameError::BadTag(99));
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_capacity() {
+        let frames = [
+            Frame::Hello { src: 3 },
+            Frame::Payload {
+                src: 1,
+                payload: Payload::Data {
+                    job: 7,
+                    producer: 12,
+                    tile: tile_of(6, 99),
+                },
+            },
+            Frame::StatsReply {
+                text: "# TYPE x counter\nx 1\n".into(),
+            },
+            Frame::Poison,
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            let n = encode_into(f, &mut buf);
+            assert_eq!(n, buf.len());
+            assert_eq!(buf, encode(f), "encode_into and encode must agree");
+        }
+        // a warmed buffer keeps its capacity when a smaller frame follows
+        encode_into(&frames[1], &mut buf);
+        let cap = buf.capacity();
+        let p = buf.as_ptr();
+        encode_into(&Frame::Poison, &mut buf);
+        assert_eq!(buf.capacity(), cap, "capacity must survive reuse");
+        assert_eq!(buf.as_ptr(), p, "no reallocation on the reuse path");
+    }
+
+    #[test]
+    fn read_frame_into_reuses_one_scratch_across_a_stream() {
+        let frames = [
+            Frame::Payload {
+                src: 0,
+                payload: Payload::Data {
+                    job: 1,
+                    producer: 2,
+                    tile: tile_of(8, 5),
+                },
+            },
+            Frame::Ack { src: 1, upto: 9 },
+            Frame::Payload {
+                src: 0,
+                payload: Payload::Data {
+                    job: 1,
+                    producer: 3,
+                    tile: tile_of(8, 6),
+                },
+            },
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode(f));
+        }
+        let mut cursor = std::io::Cursor::new(stream);
+        let mut scratch = Vec::new();
+        let mut p = std::ptr::null();
+        for (k, f) in frames.iter().enumerate() {
+            let (got, _) = read_frame_into(&mut cursor, &mut scratch).unwrap().unwrap();
+            assert_eq!(&got, f);
+            if k == 1 {
+                p = scratch.as_ptr();
+            } else if k > 1 {
+                // same-or-smaller frames after warm-up reuse the allocation
+                assert_eq!(scratch.as_ptr(), p, "scratch must not reallocate");
+            }
+        }
+        assert_eq!(read_frame_into(&mut cursor, &mut scratch).unwrap(), None);
     }
 
     #[test]

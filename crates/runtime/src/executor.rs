@@ -21,8 +21,7 @@
 //! fetches), never by execution order, so [`CommStats`] is bit-identical at
 //! any worker count, under either policy, and over every transport backend.
 
-use sbc_kernels as k;
-use sbc_kernels::{KernelError, Tile, Trans};
+use sbc_kernels::{KernelBackend, KernelError, Kernels, Tile, Trans};
 use sbc_matrix::generate;
 use sbc_net::{inproc_mesh, Message, Payload, PeerStats, RecvTimeout, Transport};
 use sbc_obs::{FaultKind, GaugeKind, NodeRecorder, Recorder};
@@ -337,11 +336,13 @@ pub struct Executor<'g> {
     workers: Option<usize>,
     policy: Policy,
     fault: FaultPolicy,
+    /// Kernel backend worker threads dispatch through.
+    pub kernels: KernelBackend,
 }
 
 /// Configures and builds an [`Executor`] — the single surface for every
-/// knob: block size, seeds, tile provider, recorder, worker count and
-/// scheduling policy.
+/// knob: block size, seeds, tile provider, recorder, worker count,
+/// scheduling policy and kernel backend.
 pub struct ExecutorBuilder<'g> {
     graph: &'g TaskGraph,
     b: usize,
@@ -352,6 +353,7 @@ pub struct ExecutorBuilder<'g> {
     workers: Option<usize>,
     policy: Policy,
     fault: FaultPolicy,
+    kernels: KernelBackend,
 }
 
 impl<'g> ExecutorBuilder<'g> {
@@ -419,6 +421,16 @@ impl<'g> ExecutorBuilder<'g> {
         self
     }
 
+    /// Kernel backend the worker threads dispatch through (default
+    /// [`KernelBackend::Naive`]). The `SBC_KERNELS` environment variable,
+    /// when set, overrides this value at [`build`](Self::build) time. All
+    /// backends produce bit-identical tiles, so this knob changes speed,
+    /// never results.
+    pub fn kernels(mut self, kernels: KernelBackend) -> Self {
+        self.kernels = kernels;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> Executor<'g> {
         let (nt, b) = (self.graph.nt, self.b);
@@ -435,6 +447,7 @@ impl<'g> ExecutorBuilder<'g> {
             workers: self.workers,
             policy: self.policy,
             fault: self.fault,
+            kernels: KernelBackend::resolve(self.kernels),
         }
     }
 }
@@ -453,6 +466,7 @@ impl<'g> Executor<'g> {
             workers: None,
             policy: Policy::default(),
             fault: FaultPolicy::default(),
+            kernels: KernelBackend::default(),
         }
     }
 
@@ -1312,7 +1326,7 @@ impl WorkerCtx<'_, '_> {
             })
         };
 
-        let result = run_kernel(task.kind, &read_tiles, &mut target);
+        let result = run_kernel(self.exec.kernels, task.kind, &read_tiles, &mut target);
         self.sched
             .local
             .write()
@@ -1322,17 +1336,18 @@ impl WorkerCtx<'_, '_> {
     }
 }
 
-/// Dispatches one task kind to its kernel.
+/// Dispatches one task kind to its kernel on the given backend.
 pub(crate) fn run_kernel(
+    kernels: KernelBackend,
     kind: TaskKind,
     read_tiles: &[Tile],
     target: &mut Tile,
 ) -> Result<(), KernelError> {
     match kind {
-        TaskKind::Potrf { .. } => k::potrf(target)?,
-        TaskKind::Trsm { .. } => k::trsm_right_lower_trans(1.0, &read_tiles[0], target),
-        TaskKind::Syrk { .. } => k::syrk(Trans::No, -1.0, &read_tiles[0], 1.0, target),
-        TaskKind::Gemm { .. } => k::gemm(
+        TaskKind::Potrf { .. } => kernels.potrf(target)?,
+        TaskKind::Trsm { .. } => kernels.trsm_right_lower_trans(1.0, &read_tiles[0], target),
+        TaskKind::Syrk { .. } => kernels.syrk(Trans::No, -1.0, &read_tiles[0], 1.0, target),
+        TaskKind::Gemm { .. } => kernels.gemm(
             Trans::No,
             Trans::Yes,
             -1.0,
@@ -1342,8 +1357,8 @@ pub(crate) fn run_kernel(
             target,
         ),
         TaskKind::Reduce { .. } => target.add_assign(&read_tiles[0]),
-        TaskKind::TrsmFwd { .. } => k::trsm_left_lower(1.0, &read_tiles[0], target),
-        TaskKind::GemmFwd { .. } => k::gemm(
+        TaskKind::TrsmFwd { .. } => kernels.trsm_left_lower(1.0, &read_tiles[0], target),
+        TaskKind::GemmFwd { .. } => kernels.gemm(
             Trans::No,
             Trans::No,
             -1.0,
@@ -1352,8 +1367,8 @@ pub(crate) fn run_kernel(
             1.0,
             target,
         ),
-        TaskKind::TrsmBwd { .. } => k::trsm_left_lower_trans(1.0, &read_tiles[0], target),
-        TaskKind::GemmBwd { .. } => k::gemm(
+        TaskKind::TrsmBwd { .. } => kernels.trsm_left_lower_trans(1.0, &read_tiles[0], target),
+        TaskKind::GemmBwd { .. } => kernels.gemm(
             Trans::Yes,
             Trans::No,
             -1.0,
@@ -1362,8 +1377,8 @@ pub(crate) fn run_kernel(
             1.0,
             target,
         ),
-        TaskKind::TrsmRInv { .. } => k::trsm_right_lower(-1.0, &read_tiles[0], target),
-        TaskKind::GemmInv { .. } => k::gemm(
+        TaskKind::TrsmRInv { .. } => kernels.trsm_right_lower(-1.0, &read_tiles[0], target),
+        TaskKind::GemmInv { .. } => kernels.gemm(
             Trans::No,
             Trans::No,
             1.0,
@@ -1372,10 +1387,10 @@ pub(crate) fn run_kernel(
             1.0,
             target,
         ),
-        TaskKind::TrsmLInv { .. } => k::trsm_left_lower(1.0, &read_tiles[0], target),
-        TaskKind::TrtriDiag { .. } => k::trtri(target)?,
-        TaskKind::SyrkLu { .. } => k::syrk(Trans::Yes, 1.0, &read_tiles[0], 1.0, target),
-        TaskKind::GemmLu { .. } => k::gemm(
+        TaskKind::TrsmLInv { .. } => kernels.trsm_left_lower(1.0, &read_tiles[0], target),
+        TaskKind::TrtriDiag { .. } => kernels.trtri(target)?,
+        TaskKind::SyrkLu { .. } => kernels.syrk(Trans::Yes, 1.0, &read_tiles[0], 1.0, target),
+        TaskKind::GemmLu { .. } => kernels.gemm(
             Trans::Yes,
             Trans::No,
             1.0,
@@ -1384,12 +1399,12 @@ pub(crate) fn run_kernel(
             1.0,
             target,
         ),
-        TaskKind::TrmmLu { .. } => k::trmm_left_lower_trans(&read_tiles[0], target),
-        TaskKind::LauumDiag { .. } => k::lauum(target),
-        TaskKind::Getrf { .. } => k::getrf(target)?,
-        TaskKind::TrsmRow { .. } => k::trsm_left_unit_lower(&read_tiles[0], target),
-        TaskKind::TrsmCol { .. } => k::trsm_right_upper(&read_tiles[0], target),
-        TaskKind::GemmTrail { .. } => k::gemm(
+        TaskKind::TrmmLu { .. } => kernels.trmm_left_lower_trans(&read_tiles[0], target),
+        TaskKind::LauumDiag { .. } => kernels.lauum(target),
+        TaskKind::Getrf { .. } => kernels.getrf(target)?,
+        TaskKind::TrsmRow { .. } => kernels.trsm_left_unit_lower(&read_tiles[0], target),
+        TaskKind::TrsmCol { .. } => kernels.trsm_right_upper(&read_tiles[0], target),
+        TaskKind::GemmTrail { .. } => kernels.gemm(
             Trans::No,
             Trans::No,
             -1.0,

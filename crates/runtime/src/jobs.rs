@@ -27,7 +27,7 @@
 
 use crate::executor::{default_original, run_kernel, CommStats, ExecError};
 use sbc_dist::comm::messages_to_bytes;
-use sbc_kernels::Tile;
+use sbc_kernels::{KernelBackend, Tile};
 use sbc_net::{Message, NodeId, Payload, RecvTimeout, Transport};
 use sbc_obs::{Counter, EventKind, EventLog, Gauge, Histogram, Metrics, RateWindow, Severity};
 use sbc_taskgraph::{flops_priorities, EdgeKind, TaskGraph, TaskId, TaskKind, TileRef};
@@ -593,6 +593,10 @@ pub struct JobEngineConfig {
     /// Per-job no-progress watchdog; `None` disables it. The clock only
     /// runs while this rank has jobs in flight.
     pub deadline: Option<Duration>,
+    /// Kernel backend the pool's workers dispatch through. All backends
+    /// produce bit-identical tiles; callers should pass it through
+    /// [`sbc_kernels::KernelBackend::resolve`] so `SBC_KERNELS` wins.
+    pub kernels: KernelBackend,
 }
 
 impl Default for JobEngineConfig {
@@ -601,6 +605,7 @@ impl Default for JobEngineConfig {
             workers: 1,
             heartbeat: Duration::from_millis(2),
             deadline: None,
+            kernels: KernelBackend::default(),
         }
     }
 }
@@ -1047,7 +1052,7 @@ impl Engine<'_> {
         let g = spec.graph.as_ref();
         let c = g.slices;
 
-        if let Err(error) = execute_task(&spec, &tiles, t) {
+        if let Err(error) = execute_task(self.cfg.kernels, &spec, &tiles, t) {
             self.fail(
                 ExecError::Kernel {
                     task: t,
@@ -1375,6 +1380,7 @@ fn resolve_read(spec: &JobSpec, tiles: &JobTiles, t: TaskId, r: TileRef) -> Tile
 /// Executes one task's kernel against the job's private stores (the
 /// job-namespace twin of the one-shot executor's `execute_task`).
 fn execute_task(
+    kernels: KernelBackend,
     spec: &JobSpec,
     tiles: &JobTiles,
     t: TaskId,
@@ -1402,7 +1408,7 @@ fn execute_task(
             }
         })
     };
-    let result = run_kernel(task.kind, &read_tiles, &mut target);
+    let result = run_kernel(kernels, task.kind, &read_tiles, &mut target);
     tiles
         .local
         .write()

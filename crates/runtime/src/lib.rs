@@ -49,3 +49,5 @@ pub use jobs::{
 };
 pub use planned::{run_plan, PlannedExecutor};
 pub use run::{gather_symmetric, Run, RunOutput, RunResult, Workload};
+// the kernel-backend selector is part of the run configuration surface
+pub use sbc_kernels::{KernelBackend, Kernels, KERNELS_ENV};

@@ -29,7 +29,7 @@ use crate::executor::{
     CommStats, ExecError, ExecOutcome, Executor, FaultPolicy, Policy, TileProvider,
 };
 use sbc_dist::{Distribution, RowCyclic, TwoPointFiveD};
-use sbc_kernels::Tile;
+use sbc_kernels::{KernelBackend, Tile};
 use sbc_matrix::{generate, FullTiledMatrix, SymmetricTiledMatrix, TiledPanel};
 use sbc_net::Transport;
 use sbc_obs::Recorder;
@@ -153,6 +153,7 @@ pub struct Run<'a> {
     fault: FaultPolicy,
     recorder: Option<&'a Recorder>,
     provider: Option<Box<TileProvider<'a>>>,
+    kernels: KernelBackend,
 }
 
 impl<'a> Run<'a> {
@@ -171,6 +172,7 @@ impl<'a> Run<'a> {
             fault: FaultPolicy::default(),
             recorder: None,
             provider: None,
+            kernels: KernelBackend::default(),
         }
     }
 
@@ -269,6 +271,16 @@ impl<'a> Run<'a> {
         self
     }
 
+    /// Kernel backend the worker threads dispatch through (default
+    /// [`KernelBackend::Naive`]); the `SBC_KERNELS` environment variable
+    /// overrides it. Backends are bit-identical — factors, residuals and
+    /// communication statistics do not depend on this knob, only speed
+    /// does.
+    pub fn kernels(mut self, kernels: KernelBackend) -> Self {
+        self.kernels = kernels;
+        self
+    }
+
     /// Record the execution: task spans per worker, message events,
     /// dependency waits, scheduler gauges.
     pub fn recorder(mut self, recorder: &'a Recorder) -> Self {
@@ -333,6 +345,7 @@ impl<'a> Run<'a> {
             fault,
             recorder,
             provider,
+            kernels,
         } = self;
         let seed_rhs = seed_rhs.unwrap_or(seed ^ 0x05EE_D0FB);
 
@@ -340,7 +353,8 @@ impl<'a> Run<'a> {
             .block(b)
             .seeds(seed, seed_rhs)
             .priorities(policy)
-            .fault_policy(fault);
+            .fault_policy(fault)
+            .kernels(kernels);
         if let Some(w) = workers {
             builder = builder.workers(w);
         }

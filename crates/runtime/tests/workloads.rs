@@ -236,3 +236,53 @@ fn recorded_run_observes_every_task_and_message() {
     assert!(profile.wall_seconds > 0.0);
     assert!(spans.iter().all(|s| s.end >= s.start));
 }
+
+#[test]
+fn kernel_backends_do_not_change_results_or_traffic() {
+    // the backend knob may only change speed: factors must stay
+    // bit-identical and the communication statistics untouched
+    use sbc_runtime::{KernelBackend, Kernels};
+    let dist = SbcExtended::new(5);
+    let nt = 12;
+    let mut base: Option<(Vec<Vec<f64>>, sbc_runtime::CommStats)> = None;
+    for kernels in [
+        KernelBackend::Naive,
+        KernelBackend::Blocked,
+        KernelBackend::Arch,
+    ] {
+        let out = Run::potrf(&dist, nt)
+            .block(B)
+            .seed(SEED)
+            .workers(2)
+            .kernels(kernels)
+            .execute()
+            .unwrap();
+        let mut coords: Vec<_> = out.factor().tile_coords().collect();
+        coords.sort_unstable();
+        let tiles: Vec<Vec<f64>> = coords
+            .iter()
+            .map(|&(i, j)| out.factor().tile(i, j).as_slice().to_vec())
+            .collect();
+        match &base {
+            None => base = Some((tiles, out.stats)),
+            Some((t0, s0)) => {
+                // bitwise: f64 equality on every element, including signs
+                let same = t0
+                    .iter()
+                    .zip(&tiles)
+                    .all(|(a, b)| a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+                assert!(same, "factor differs under {kernels}");
+                assert_eq!(s0, &out.stats, "comm stats differ under {kernels}");
+            }
+        }
+    }
+    // sanity: the trait is object-safe and dispatches on the enum
+    let k: &dyn Kernels = &KernelBackend::Blocked;
+    let mut t = sbc_kernels_identity_probe();
+    k.potrf(&mut t).unwrap();
+}
+
+/// A tiny SPD tile for the object-safety probe above.
+fn sbc_kernels_identity_probe() -> sbc_kernels::Tile {
+    sbc_kernels::Tile::from_fn(4, |i, j| if i == j { 4.0 } else { 1.0 })
+}

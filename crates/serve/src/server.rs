@@ -4,7 +4,7 @@
 
 use crate::service::Service;
 use crate::sock::{is_tcp, Conn};
-use sbc_net::wire::{read_frame, write_frame, EventRecord, Frame};
+use sbc_net::wire::{encode_into, read_frame, EventRecord, Frame};
 use sbc_planner::Op;
 use sbc_taskgraph::TileRef;
 use std::io::Write;
@@ -80,6 +80,15 @@ pub fn serve(service: Arc<Service>, addr: &str) -> std::io::Result<()> {
         .map_err(|e| std::io::Error::other(format!("resident mesh failed: {e}")))
 }
 
+/// Encodes `f` into a buffer checked out of the service's reply pool and
+/// writes it — every reply on every client connection reuses the pool's
+/// recycled capacity instead of allocating (visible as `net.pool.hit`).
+fn write_reply(conn: &mut Conn, service: &Service, f: &Frame) -> std::io::Result<()> {
+    let mut buf = service.reply_pool().checkout();
+    encode_into(f, &mut buf);
+    conn.write_all(&buf)
+}
+
 /// One client connection: submissions stream in, per-job answers stream
 /// out in submission order.
 fn handle(mut conn: Conn, service: &Service, stop: &AtomicBool) {
@@ -112,7 +121,7 @@ fn handle(mut conn: Conn, service: &Service, stop: &AtomicBool) {
             // monitor polling here costs the job path nothing
             Frame::StatsRequest => {
                 let text = service.stats_text();
-                if write_frame(&mut conn, &Frame::StatsReply { text }).is_err()
+                if write_reply(&mut conn, service, &Frame::StatsReply { text }).is_err()
                     || conn.flush().is_err()
                 {
                     return;
@@ -131,7 +140,7 @@ fn handle(mut conn: Conn, service: &Service, stop: &AtomicBool) {
                         detail: e.detail,
                     })
                     .collect();
-                if write_frame(&mut conn, &Frame::EventsReply { events }).is_err()
+                if write_reply(&mut conn, service, &Frame::EventsReply { events }).is_err()
                     || conn.flush().is_err()
                 {
                     return;
@@ -163,8 +172,9 @@ fn handle_submit(
 ) -> std::io::Result<()> {
     let (nt, b) = (nt as usize, b as usize);
     if Op::ALL.get(op as usize) != Some(&Op::Potrf) {
-        write_frame(
+        write_reply(
             conn,
+            service,
             &Frame::JobStatus {
                 req,
                 state: 3,
@@ -174,8 +184,9 @@ fn handle_submit(
         return conn.flush();
     }
     if nt == 0 || b == 0 {
-        write_frame(
+        write_reply(
             conn,
+            service,
             &Frame::JobStatus {
                 req,
                 state: 3,
@@ -191,8 +202,9 @@ fn handle_submit(
     for k in 0..u64::from(batch.max(1)) {
         match service.submit(Op::Potrf, nt, b, seed + k, seed_rhs + k, prio) {
             Ok(sub) => {
-                write_frame(
+                write_reply(
                     conn,
+                    service,
                     &Frame::JobStatus {
                         req,
                         state: 0,
@@ -210,8 +222,9 @@ fn handle_submit(
                 admitted.push(sub);
             }
             Err(rej) => {
-                write_frame(
+                write_reply(
                     conn,
+                    service,
                     &Frame::JobStatus {
                         req,
                         state: 3,
@@ -262,7 +275,7 @@ fn handle_submit(
                 info: e.to_string(),
             },
         };
-        write_frame(conn, &answer)?;
+        write_reply(conn, service, &answer)?;
         conn.flush()?;
     }
     Ok(())

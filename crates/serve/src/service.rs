@@ -10,14 +10,14 @@
 //! the job path nothing measurable.
 
 use sbc_matrix::SymmetricTiledMatrix;
-use sbc_net::inproc_mesh;
+use sbc_net::{inproc_mesh, BufferPool, PoolStats};
 use sbc_obs::{
-    chrome_trace_from_spans, expo, EventLog, Gauge, Metrics, MetricsSnapshot, ObsEvent, SpanRing,
-    TraceEvent,
+    chrome_trace_from_spans, expo, Counter, EventLog, Gauge, Metrics, MetricsSnapshot, ObsEvent,
+    SpanRing, TraceEvent,
 };
 use sbc_planner::{Op, Planner, PlannerConfig};
 use sbc_runtime::jobs::{run_jobs_rank, JobEngineConfig, JobId, JobOutcome, JobTable, Rejection};
-use sbc_runtime::{gather_symmetric, ExecError};
+use sbc_runtime::{gather_symmetric, ExecError, KernelBackend};
 use sbc_simgrid::Platform;
 use sbc_taskgraph::TaskGraph;
 use std::collections::HashMap;
@@ -54,6 +54,10 @@ pub struct ServeConfig {
     /// Sliding window for [`Service::jobs_per_sec`]: the rate decays to
     /// zero this long after traffic stops.
     pub rate_window: Duration,
+    /// Kernel backend the rank engines' workers dispatch through. All
+    /// backends are bit-identical, so this only changes job latency; the
+    /// `SBC_KERNELS` environment variable overrides it at start time.
+    pub kernels: KernelBackend,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +72,7 @@ impl Default for ServeConfig {
             trace_spans: 4096,
             events_capacity: 1024,
             rate_window: Duration::from_secs(30),
+            kernels: KernelBackend::default(),
         }
     }
 }
@@ -94,6 +99,13 @@ pub struct Service {
     throughput: Arc<Gauge>,
     rate_window: Duration,
     started: Instant,
+    /// Send-buffer pool the wire front encodes its replies through.
+    reply_pool: BufferPool,
+    pool_hits: Arc<Counter>,
+    pool_misses: Arc<Counter>,
+    pool_outstanding: Arc<Gauge>,
+    /// Pool totals already folded into the counters (scrape-path only).
+    pool_seen: Mutex<PoolStats>,
 }
 
 impl Service {
@@ -114,6 +126,7 @@ impl Service {
             workers: cfg.workers,
             heartbeat: cfg.heartbeat,
             deadline: cfg.deadline,
+            kernels: KernelBackend::resolve(cfg.kernels),
         };
         let engines = inproc_mesh(cfg.nodes)
             .into_iter()
@@ -126,6 +139,13 @@ impl Service {
             table,
             planner,
             throughput: metrics.gauge("serve.jobs_per_sec"),
+            // registered eagerly so an idle scrape still shows the pool
+            // plane at zero, exactly like the serve.jobs.* counters
+            pool_hits: metrics.counter("net.pool.hit"),
+            pool_misses: metrics.counter("net.pool.miss"),
+            pool_outstanding: metrics.gauge("net.pool.outstanding"),
+            pool_seen: Mutex::new(PoolStats::default()),
+            reply_pool: BufferPool::default(),
             metrics,
             events,
             graphs: Mutex::new(HashMap::new()),
@@ -228,12 +248,33 @@ impl Service {
         self.table.completion_rate(self.rate_window)
     }
 
+    /// The send-buffer pool the wire front ([`crate::serve`]) encodes its
+    /// replies through. Its checkout accounting surfaces as the
+    /// `net.pool.{hit,miss,outstanding}` metrics.
+    pub fn reply_pool(&self) -> &BufferPool {
+        &self.reply_pool
+    }
+
+    /// Folds the reply pool's checkout totals into the `net.pool.*`
+    /// instruments (delta adds — counters stay monotone across scrapes).
+    fn refresh_pool_metrics(&self) {
+        let s = self.reply_pool.stats();
+        let mut seen = lock(&self.pool_seen);
+        self.pool_hits.add(s.hits.saturating_sub(seen.hits));
+        self.pool_misses.add(s.misses.saturating_sub(seen.misses));
+        *seen = s;
+        drop(seen);
+        self.pool_outstanding.set(s.outstanding as f64);
+    }
+
     /// An atomically-taken snapshot of every instrument, with the
-    /// throughput gauge refreshed first (so a scrape sees the current
-    /// sliding-window rate, not the last `wait`'s). Touches no lock shared
-    /// with the engine hot loop.
+    /// throughput gauge and the `net.pool.*` instruments refreshed first
+    /// (so a scrape sees the current sliding-window rate and pool state,
+    /// not the last `wait`'s). Touches no lock shared with the engine hot
+    /// loop.
     pub fn stats(&self) -> MetricsSnapshot {
         self.throughput.set(self.jobs_per_sec());
+        self.refresh_pool_metrics();
         self.metrics.snapshot()
     }
 

@@ -187,6 +187,25 @@ fn wire_scrapes_parse_mid_run_and_show_zero_drift() {
         .expect("throughput gauge registers eagerly");
     assert!(*rate > 0.0, "a scrape refreshes the sliding-window rate");
 
+    // the reply pool's checkout plane rides the same exposition: every
+    // wire reply above went through the pool, so by now the first
+    // checkout has missed (cold pool) and later replies were hits
+    let snap = monitor.stats().unwrap();
+    let hits = snap
+        .counter("net.pool.hit")
+        .expect("pool hit counter registers eagerly");
+    let misses = snap
+        .counter("net.pool.miss")
+        .expect("pool miss counter registers eagerly");
+    assert!(misses >= 1, "the cold pool's first checkout is a miss");
+    assert!(hits >= 1, "steady-state replies reuse returned buffers");
+    assert!(
+        snap.gauges
+            .iter()
+            .any(|(n, _, _)| n == "net.pool.outstanding"),
+        "outstanding gauge registers eagerly"
+    );
+
     // the event tail decodes: admissions and completions, all about jobs
     let events = monitor.events(64).unwrap();
     assert!(!events.is_empty());

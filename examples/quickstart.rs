@@ -9,7 +9,7 @@
 use sbc::dist::comm::{messages_to_bytes, potrf_messages};
 use sbc::dist::{Distribution, SbcExtended, TwoDBlockCyclic};
 use sbc::matrix::{cholesky_residual, random_spd};
-use sbc::runtime::Run;
+use sbc::runtime::{KernelBackend, Run};
 
 fn main() {
     // Matrix of 24 x 24 tiles of 32 x 32 doubles (n = 768).
@@ -26,7 +26,16 @@ fn main() {
         nt * b
     );
 
-    let out = Run::potrf(&sbc, nt).block(b).seed(seed).execute().unwrap();
+    // Blocked kernels run the same math faster; every backend is
+    // bit-identical, so the factor and the message counts below cannot
+    // change (build with `--features sbc-kernels/simd` — or set
+    // SBC_KERNELS=arch — for the std::arch microkernels).
+    let out = Run::potrf(&sbc, nt)
+        .block(b)
+        .seed(seed)
+        .kernels(KernelBackend::Blocked)
+        .execute()
+        .unwrap();
     let (factor, stats) = (out.factor(), &out.stats);
 
     // Validate against the original matrix: || A - L L^T || / || A ||.
