@@ -1,0 +1,66 @@
+//! The scheduler zoo under the simulator: per-scheduler simulation cost,
+//! plus one `scheduler_zoo.makespan.<name>` record per scheduler appended
+//! to `$SBC_BENCH_JSON` so regressions in *simulated schedule quality* are
+//! tracked next to criterion's wall-clock timings.
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use sbc_dist::SbcExtended;
+use sbc_simgrid::{Platform, SimConfig, Simulator};
+use sbc_taskgraph::builders::build_potrf;
+use sbc_topo::zoo;
+
+const NT: usize = 20;
+const B: usize = 500;
+
+fn platform() -> Platform {
+    Platform::bora(10)
+}
+
+fn bench_scheduler_zoo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_zoo");
+    let graph = build_potrf(&SbcExtended::new(5), NT);
+    let platform = platform();
+
+    for sched in zoo() {
+        group.bench_with_input(
+            BenchmarkId::new("simulate", sched.name()),
+            &sched,
+            |bench, sched| {
+                bench.iter(|| {
+                    Simulator::new(black_box(&graph), &platform, SimConfig::chameleon(B))
+                        .with_scheduler(sched.as_ref())
+                        .run()
+                        .makespan
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler_zoo);
+
+fn main() {
+    benches();
+
+    // Record the *simulated makespan* (schedule quality, not wall-clock)
+    // per scheduler — deterministic, so any drift is a real change.
+    if let Ok(path) = std::env::var("SBC_BENCH_JSON") {
+        if !path.is_empty() {
+            let graph = build_potrf(&SbcExtended::new(5), NT);
+            let platform = platform();
+            for sched in zoo() {
+                let report = Simulator::new(&graph, &platform, SimConfig::chameleon(B))
+                    .with_scheduler(sched.as_ref())
+                    .run();
+                let record = format!(
+                    "{{\"name\":\"scheduler_zoo.makespan.{}\",\"makespan_s\":{:.9},\"messages\":{}}}",
+                    sched.name(),
+                    report.makespan,
+                    report.messages
+                );
+                sbc_bench::append_bench_record(&path, &record);
+            }
+        }
+    }
+}

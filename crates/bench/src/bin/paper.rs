@@ -6,11 +6,17 @@
 //! ```
 //!
 //! Targets: `table1`, `patterns`, `fig7` … `fig14`, `ablations`, `trace`,
-//! `planner`, `obs`, `net`, `all`. `--full` switches to the paper's full
-//! sweep sizes (slow); `--csv` emits figures as CSV instead of text tables;
-//! `--out <path>` sets where `obs` / `net` write their Chrome-trace JSON;
-//! `--workers <n>` sets the worker threads per virtual node for `obs`
-//! (default: the runtime's own default).
+//! `planner`, `topo`, `obs`, `net`, `all`. `--full` switches to the paper's
+//! full sweep sizes (slow); `--csv` emits figures as CSV instead of text
+//! tables; `--out <path>` sets where `obs` / `net` write their Chrome-trace
+//! JSON (for `topo`, the text report); `--workers <n>` sets the worker
+//! threads per virtual node for `obs` (default: the runtime's own default).
+//!
+//! `topo` sweeps {topology × scheduler × distribution} through the
+//! simulator and prints a deterministic Pareto report of (makespan,
+//! cross-rack bytes) against the analytic lower bound, then compares the
+//! flat and topology-aware planners on an oversubscribed rack split
+//! (`--nodes`, `--nt`, `--block` resize the sweep).
 //!
 //! `net` runs a real multi-process POTRF: one OS process per node over
 //! localhost sockets (`--nodes <n>` ranks, `--backend tcp|uds`,
@@ -34,7 +40,7 @@
 //! single frame, `--raw` to dump the exposition text verbatim).
 
 use sbc_bench::figures::{self, Scale};
-use sbc_bench::{render_csv, render_figure};
+use sbc_bench::{append_bench_record, render_csv, render_figure};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -131,6 +137,10 @@ fn main() {
         planner_report(full);
         ran = true;
     }
+    if all || target == "topo" {
+        topo_run(&args, full);
+        ran = true;
+    }
     if all || target == "obs" {
         observed_run(&out_path, full, workers);
         ran = true;
@@ -157,7 +167,7 @@ fn main() {
 
     if !ran {
         eprintln!(
-            "unknown target '{target}'. Use one of: all, table1, patterns, fig7..fig14, ablations, planner, trace, obs, net, serve, submit, top [--full] [--out <path>] [--workers <n>] [--nodes <n>] [--backend tcp|uds] [--nt <tiles>] [--block <b>] [--faults drop:N,dup:N,delay:MS] [--seed <s>] [--deadline <secs>] [--addr <path|host:port>] [--max-inflight <n>] [--batch <n>] [--prio <n>] [--shutdown] [--stats] [--interval <secs>] [--iters <n>] [--events <n>] [--once] [--raw]"
+            "unknown target '{target}'. Use one of: all, table1, patterns, fig7..fig14, ablations, planner, topo, trace, obs, net, serve, submit, top [--full] [--out <path>] [--workers <n>] [--nodes <n>] [--backend tcp|uds] [--nt <tiles>] [--block <b>] [--faults drop:N,dup:N,delay:MS] [--seed <s>] [--deadline <secs>] [--addr <path|host:port>] [--max-inflight <n>] [--batch <n>] [--prio <n>] [--shutdown] [--stats] [--interval <secs>] [--iters <n>] [--events <n>] [--once] [--raw]"
         );
         std::process::exit(2);
     }
@@ -700,23 +710,6 @@ fn render_top(
     out
 }
 
-/// Appends one record to a JSON-array file, keeping it valid JSON after
-/// every append (same format the vendored criterion writes).
-fn append_bench_record(path: &str, record: &str) {
-    let existing = std::fs::read_to_string(path).unwrap_or_default();
-    let body = existing
-        .trim_end()
-        .strip_suffix(']')
-        .map(|s| s.trim_end().trim_end_matches(',').to_string())
-        .unwrap_or_default();
-    let merged = if body.trim() == "[" || body.trim().is_empty() {
-        format!("[\n{record}\n]\n")
-    } else {
-        format!("{body},\n{record}\n]\n")
-    };
-    std::fs::write(path, merged).expect("failed to append the bench record");
-}
-
 /// The observability pipeline end to end: plan a POTRF, execute it on the
 /// real threaded runtime with a recorder attached, then emit every export
 /// `sbc-obs` offers — Chrome trace (open in Perfetto / chrome://tracing),
@@ -771,6 +764,130 @@ fn observed_run(out_path: &str, full: bool, workers: Option<usize>) {
     let report = sbc_planner::compare(exec.plan(), &profile);
     print!("{}", report.render());
     assert_eq!(outcome.stats.messages, profile.messages);
+}
+
+/// `paper topo`: the {topology × scheduler × distribution} sweep.
+///
+/// Simulates a POTRF under every combination of (single-switch, mildly and
+/// heavily oversubscribed 2-rack topologies) × (the `sbc-topo` scheduler
+/// zoo) × (the best-fitting SBC, the squarest 2DBC, and a rack-local SBC),
+/// then prints the deterministic Pareto report of (makespan, cross-rack
+/// bytes) against the analytic lower bound, followed by the flat-vs-
+/// topology-aware planner comparison. `--nodes`, `--nt`, `--block` resize
+/// the sweep; `--out <path>` additionally writes the report to a file
+/// (the CI determinism check compares two such files byte-for-byte).
+fn topo_run(args: &[String], full: bool) {
+    use sbc_dist::table1;
+    use sbc_planner::{DistChoice, Op, Planner};
+    use sbc_simgrid::{Platform, SimConfig, Simulator};
+    use sbc_taskgraph::priority::critical_path_length;
+    use sbc_topo::{render_report, zoo, SweepPoint, Topology};
+
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let nodes: usize = value_of("--nodes")
+        .map(|v| v.parse().expect("--nodes takes a positive integer"))
+        .unwrap_or(12);
+    assert!(nodes >= 2, "--nodes must be at least 2");
+    let nt: usize = value_of("--nt")
+        .map(|v| v.parse().expect("--nt takes a positive integer"))
+        .unwrap_or(if full { 40 } else { 24 });
+    let b: usize = value_of("--block")
+        .map(|v| v.parse().expect("--block takes a positive integer"))
+        .unwrap_or(500);
+    let out = value_of("--out");
+
+    let platform = Platform::bora(nodes);
+    let topologies: Vec<Topology> = vec![
+        platform.single_switch_topology(),
+        platform.rack_topology(2, 4.0),
+        platform.rack_topology(2, 32.0),
+    ];
+
+    // Distributions: the largest fitting extended SBC, the squarest 2DBC,
+    // and the largest SBC fitting inside one rack (zero cross-rack traffic
+    // under the identity host mapping).
+    let largest_sbc = |budget: usize| {
+        (3..)
+            .take_while(|r| r * (r - 1) / 2 <= budget)
+            .last()
+            .map(|r| DistChoice::SbcExtended { r })
+    };
+    let mut dists: Vec<DistChoice> = Vec::new();
+    if let Some(d) = largest_sbc(nodes) {
+        dists.push(d);
+    }
+    let (p, q) = table1::best_grid(nodes);
+    dists.push(DistChoice::TwoDbc { p, q });
+    if let Some(d) = largest_sbc(nodes.div_ceil(2)) {
+        if !dists.contains(&d) {
+            dists.push(d);
+        }
+    }
+
+    let schedulers = zoo();
+    let mut points = Vec::new();
+    for topo in &topologies {
+        for dist in &dists {
+            let graph = dist.build_graph(Op::Potrf, nt);
+            let used = dist.nodes_used();
+            let flop_bound =
+                graph.total_flops(b) / (used as f64 * platform.node_peak_gflops() * 1e9);
+            let cp_bound = critical_path_length(&graph, |t| platform.task_seconds(&t.kind, b));
+            let lower_bound = flop_bound.max(cp_bound);
+            for sched in &schedulers {
+                let report =
+                    Simulator::with_topology(&graph, &platform, SimConfig::chameleon(b), topo)
+                        .with_scheduler(sched.as_ref())
+                        .run();
+                points.push(SweepPoint {
+                    topology: topo.name().to_string(),
+                    scheduler: sched.name().to_string(),
+                    distribution: dist.describe(),
+                    makespan: report.makespan,
+                    messages: report.messages,
+                    bytes: report.bytes,
+                    cross_rack_messages: report.cross_rack_messages,
+                    cross_rack_bytes: report.cross_rack_bytes,
+                    lower_bound,
+                });
+            }
+        }
+    }
+
+    let mut text = render_report(
+        &format!("paper topo: POTRF nt={nt} b={b} on {nodes} bora nodes"),
+        &points,
+    );
+
+    // Flat vs topology-aware planner ranking on the most oversubscribed
+    // topology, with the simulator as referee.
+    let racks = platform.rack_topology(2, 32.0);
+    let flat_planner = Planner::new(platform.clone());
+    let topo_planner = Planner::new(platform.clone()).with_topology(racks);
+    let flat_pick = flat_planner.plan(Op::Potrf, nt, b).choice;
+    let topo_pick = topo_planner.plan(Op::Potrf, nt, b).choice;
+    let sim_on_racks = |choice: DistChoice| topo_planner.simulate(choice, Op::Potrf, nt, b);
+    text.push_str("\n-- planner: flat vs topology-aware (2 racks, 32x oversubscribed) --\n");
+    text.push_str(&format!(
+        "flat model picks {:28} simulated on racks: {:.6}s\n",
+        flat_pick.describe(),
+        sim_on_racks(flat_pick).makespan
+    ));
+    text.push_str(&format!(
+        "topo model picks {:28} simulated on racks: {:.6}s\n",
+        topo_pick.describe(),
+        sim_on_racks(topo_pick).makespan
+    ));
+
+    print!("{text}");
+    if let Some(path) = out {
+        std::fs::write(path, &text).expect("failed to write the topo report");
+        eprintln!("topo report written to {path}");
+    }
 }
 
 /// The `sbc-planner` subsystem vs. the paper: for each operation and node

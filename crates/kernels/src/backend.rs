@@ -106,11 +106,11 @@ impl std::fmt::Display for KernelBackend {
 /// methods. Implemented by [`KernelBackend`] (enum dispatch); usable as a
 /// trait object where dynamic choice is preferred.
 ///
-/// Semantics, panics and error behavior of each method match the
-/// like-named deprecated free functions exactly — including bitwise
-/// results.
+/// Semantics, panics and error behavior of each method match the naive
+/// reference implementations in the per-operation modules exactly —
+/// including bitwise results.
 pub trait Kernels {
-    /// `C := alpha * op(A) * op(B) + beta * C`; see [`crate::gemm::gemm`]'s docs.
+    /// `C := alpha * op(A) * op(B) + beta * C`; see [`crate::gemm`].
     #[allow(clippy::too_many_arguments)]
     fn gemm(
         &self,
@@ -123,44 +123,44 @@ pub trait Kernels {
         c: &mut Tile,
     );
 
-    /// Symmetric rank-k update of the lower triangle; see [`crate::syrk::syrk`].
+    /// Symmetric rank-k update of the lower triangle; see [`crate::syrk`].
     fn syrk(&self, trans: Trans, alpha: f64, a: &Tile, beta: f64, c: &mut Tile);
 
-    /// In-tile Cholesky factorization; see [`crate::potrf::potrf`].
+    /// In-tile Cholesky factorization; see [`crate::potrf`].
     fn potrf(&self, a: &mut Tile) -> Result<(), KernelError>;
 
-    /// `B := alpha * B * L^{-T}`; see [`crate::trsm::trsm_right_lower_trans`].
+    /// `B := alpha * B * L^{-T}`; see [`crate::trsm`].
     fn trsm_right_lower_trans(&self, alpha: f64, l: &Tile, b: &mut Tile);
 
-    /// `B := alpha * B * L^{-1}`; see [`crate::trsm::trsm_right_lower`].
+    /// `B := alpha * B * L^{-1}`; see [`crate::trsm`].
     fn trsm_right_lower(&self, alpha: f64, l: &Tile, b: &mut Tile);
 
-    /// `B := alpha * L^{-1} * B`; see [`crate::trsm::trsm_left_lower`].
+    /// `B := alpha * L^{-1} * B`; see [`crate::trsm`].
     fn trsm_left_lower(&self, alpha: f64, l: &Tile, b: &mut Tile);
 
-    /// `B := alpha * L^{-T} * B`; see [`crate::trsm::trsm_left_lower_trans`].
+    /// `B := alpha * L^{-T} * B`; see [`crate::trsm`].
     fn trsm_left_lower_trans(&self, alpha: f64, l: &Tile, b: &mut Tile);
 
     /// `B := L^{-1} * B` with unit diagonal; see
-    /// [`crate::trsm::trsm_left_unit_lower`].
+    /// [`crate::trsm`].
     fn trsm_left_unit_lower(&self, l: &Tile, b: &mut Tile);
 
-    /// `B := B * U^{-1}`; see [`crate::trsm::trsm_right_upper`].
+    /// `B := B * U^{-1}`; see [`crate::trsm`].
     fn trsm_right_upper(&self, u: &Tile, b: &mut Tile);
 
-    /// In-tile lower-triangular inversion; see [`crate::trtri::trtri`].
+    /// In-tile lower-triangular inversion; see [`crate::trtri`].
     fn trtri(&self, a: &mut Tile) -> Result<(), KernelError>;
 
-    /// In-tile `L^T * L` product; see [`crate::lauum::lauum`].
+    /// In-tile `L^T * L` product; see [`crate::lauum`].
     fn lauum(&self, a: &mut Tile);
 
-    /// In-tile unpivoted LU; see [`crate::getrf::getrf`].
+    /// In-tile unpivoted LU; see [`crate::getrf`].
     fn getrf(&self, a: &mut Tile) -> Result<(), KernelError>;
 
-    /// `B := L * B`; see [`crate::trmm::trmm_left_lower`].
+    /// `B := L * B`; see [`crate::trmm`].
     fn trmm_left_lower(&self, l: &Tile, b: &mut Tile);
 
-    /// `B := L^T * B`; see [`crate::trmm::trmm_left_lower_trans`].
+    /// `B := L^T * B`; see [`crate::trmm`].
     fn trmm_left_lower_trans(&self, l: &Tile, b: &mut Tile);
 }
 

@@ -8,7 +8,7 @@
 
 use crate::Tile;
 
-/// Transposition selector for [`gemm`] operands.
+/// Transposition selector for [`crate::Kernels::gemm`] operands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Trans {
     /// Use the operand as stored.
@@ -25,11 +25,7 @@ pub enum Trans {
 ///
 /// # Panics
 /// Panics if the tiles do not all share the same dimension.
-#[deprecated(note = "use `Kernels::gemm` on a `KernelBackend` instead")]
-pub fn gemm(transa: Trans, transb: Trans, alpha: f64, a: &Tile, b: &Tile, beta: f64, c: &mut Tile) {
-    naive_gemm(transa, transb, alpha, a, b, beta, c);
-}
-
+///
 /// The reference implementation behind [`KernelBackend::Naive`]
 /// (see [`crate::KernelBackend`]); every other backend is bit-identical
 /// to this operation order.

@@ -20,11 +20,7 @@ use crate::{KernelError, Tile};
 /// # Errors
 /// Returns [`KernelError::SingularTriangle`] on a zero (or non-finite)
 /// pivot.
-#[deprecated(note = "use `Kernels::getrf` on a `KernelBackend` instead")]
-pub fn getrf(a: &mut Tile) -> Result<(), KernelError> {
-    naive_getrf(a)
-}
-
+///
 /// The reference implementation behind [`crate::KernelBackend::Naive`].
 pub(crate) fn naive_getrf(a: &mut Tile) -> Result<(), KernelError> {
     let n = a.dim();

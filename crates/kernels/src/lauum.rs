@@ -10,11 +10,7 @@ use crate::Tile;
 /// (rows `>= i`), which has not been overwritten yet.
 ///
 /// The strictly upper triangle of `a` is neither read nor written.
-#[deprecated(note = "use `Kernels::lauum` on a `KernelBackend` instead")]
-pub fn lauum(a: &mut Tile) {
-    naive_lauum(a);
-}
-
+///
 /// The reference implementation behind [`crate::KernelBackend::Naive`].
 pub(crate) fn naive_lauum(a: &mut Tile) {
     let n = a.dim();

@@ -27,8 +27,9 @@
 //! (`std::arch` SIMD behind the `simd` cargo feature, with runtime
 //! fallback to `Blocked`). All backends produce **bit-identical** results;
 //! selection precedence is the `SBC_KERNELS` env var, then the builder,
-//! then the `Naive` default. The old free functions (`gemm`, `syrk`, …)
-//! remain as deprecated shims delegating to the naive implementations.
+//! then the `Naive` default. All entry points go through [`Kernels`]; the
+//! per-operation modules only expose the reference implementations
+//! crate-internally.
 //!
 //! The kernels never allocate (except [`Tile`] constructors) and are
 //! `Send + Sync`-friendly: they borrow tiles mutably/immutably so the
@@ -58,28 +59,6 @@ pub use flops::{
 };
 pub use gemm::Trans;
 pub use tile::Tile;
-
-// deprecated free-function entry points, kept so external callers keep
-// compiling (with a warning) until they migrate to `Kernels`
-#[allow(deprecated)]
-pub use gemm::gemm;
-#[allow(deprecated)]
-pub use getrf::getrf;
-#[allow(deprecated)]
-pub use lauum::lauum;
-#[allow(deprecated)]
-pub use potrf::potrf;
-#[allow(deprecated)]
-pub use syrk::syrk;
-#[allow(deprecated)]
-pub use trmm::{trmm_left_lower, trmm_left_lower_trans};
-#[allow(deprecated)]
-pub use trsm::{
-    trsm_left_lower, trsm_left_lower_trans, trsm_left_unit_lower, trsm_right_lower,
-    trsm_right_lower_trans, trsm_right_upper,
-};
-#[allow(deprecated)]
-pub use trtri::trtri;
 
 /// Errors produced by kernels that can fail numerically.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -14,11 +14,7 @@ use crate::{KernelError, Tile};
 /// # Errors
 /// Returns [`KernelError::NotPositiveDefinite`] if a pivot is not strictly
 /// positive; `a` is left partially factorized in that case.
-#[deprecated(note = "use `Kernels::potrf` on a `KernelBackend` instead")]
-pub fn potrf(a: &mut Tile) -> Result<(), KernelError> {
-    naive_potrf(a)
-}
-
+///
 /// The reference implementation behind [`crate::KernelBackend::Naive`].
 pub(crate) fn naive_potrf(a: &mut Tile) -> Result<(), KernelError> {
     let n = a.dim();

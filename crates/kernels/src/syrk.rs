@@ -16,11 +16,7 @@ use crate::{Tile, Trans};
 ///
 /// # Panics
 /// Panics if `a` and `c` have different dimensions.
-#[deprecated(note = "use `Kernels::syrk` on a `KernelBackend` instead")]
-pub fn syrk(trans: Trans, alpha: f64, a: &Tile, beta: f64, c: &mut Tile) {
-    naive_syrk(trans, alpha, a, beta, c);
-}
-
+///
 /// The reference implementation behind [`crate::KernelBackend::Naive`].
 pub(crate) fn naive_syrk(trans: Trans, alpha: f64, a: &Tile, beta: f64, c: &mut Tile) {
     let n = c.dim();

@@ -10,11 +10,7 @@ use crate::Tile;
 ///
 /// Processed top-down per column: row `i` of the result only reads rows
 /// `>= i` of the original column, which are still unmodified.
-#[deprecated(note = "use `Kernels::trmm_left_lower_trans` on a `KernelBackend` instead")]
-pub fn trmm_left_lower_trans(l: &Tile, b: &mut Tile) {
-    naive_trmm_left_lower_trans(l, b);
-}
-
+///
 /// The reference implementation behind [`crate::KernelBackend::Naive`].
 pub(crate) fn naive_trmm_left_lower_trans(l: &Tile, b: &mut Tile) {
     let n = b.dim();
@@ -35,11 +31,7 @@ pub(crate) fn naive_trmm_left_lower_trans(l: &Tile, b: &mut Tile) {
 /// `B := L * B` where `L` is the lower triangle (with diagonal) of `l`.
 ///
 /// Processed bottom-up per column so unread inputs are preserved.
-#[deprecated(note = "use `Kernels::trmm_left_lower` on a `KernelBackend` instead")]
-pub fn trmm_left_lower(l: &Tile, b: &mut Tile) {
-    naive_trmm_left_lower(l, b);
-}
-
+///
 /// The reference implementation behind [`crate::KernelBackend::Naive`].
 pub(crate) fn naive_trmm_left_lower(l: &Tile, b: &mut Tile) {
     let n = b.dim();

@@ -19,11 +19,7 @@ use crate::Tile;
 ///
 /// Solves `X * L^T = alpha * B` in place. Forward sweep over columns:
 /// `X[:,j] = (alpha*B[:,j] - sum_{k<j} X[:,k] * L[j,k]) / L[j,j]`.
-#[deprecated(note = "use `Kernels::trsm_right_lower_trans` on a `KernelBackend` instead")]
-pub fn trsm_right_lower_trans(alpha: f64, l: &Tile, b: &mut Tile) {
-    naive_trsm_right_lower_trans(alpha, l, b);
-}
-
+///
 /// The reference implementation behind [`crate::KernelBackend::Naive`].
 pub(crate) fn naive_trsm_right_lower_trans(alpha: f64, l: &Tile, b: &mut Tile) {
     let n = b.dim();
@@ -50,11 +46,7 @@ pub(crate) fn naive_trsm_right_lower_trans(alpha: f64, l: &Tile, b: &mut Tile) {
 ///
 /// Solves `X * L = alpha * B` in place. Backward sweep over columns:
 /// `X[:,j] = (alpha*B[:,j] - sum_{k>j} X[:,k] * L[k,j]) / L[j,j]`.
-#[deprecated(note = "use `Kernels::trsm_right_lower` on a `KernelBackend` instead")]
-pub fn trsm_right_lower(alpha: f64, l: &Tile, b: &mut Tile) {
-    naive_trsm_right_lower(alpha, l, b);
-}
-
+///
 /// The reference implementation behind [`crate::KernelBackend::Naive`].
 pub(crate) fn naive_trsm_right_lower(alpha: f64, l: &Tile, b: &mut Tile) {
     let n = b.dim();
@@ -81,11 +73,7 @@ pub(crate) fn naive_trsm_right_lower(alpha: f64, l: &Tile, b: &mut Tile) {
 ///
 /// Forward substitution applied to every column of `B`, using unit-stride
 /// axpys with the columns of `L`.
-#[deprecated(note = "use `Kernels::trsm_left_lower` on a `KernelBackend` instead")]
-pub fn trsm_left_lower(alpha: f64, l: &Tile, b: &mut Tile) {
-    naive_trsm_left_lower(alpha, l, b);
-}
-
+///
 /// The reference implementation behind [`crate::KernelBackend::Naive`].
 pub(crate) fn naive_trsm_left_lower(alpha: f64, l: &Tile, b: &mut Tile) {
     let n = b.dim();
@@ -110,11 +98,7 @@ pub(crate) fn naive_trsm_left_lower(alpha: f64, l: &Tile, b: &mut Tile) {
 ///
 /// Backward substitution applied to every column of `B`, using unit-stride
 /// dot products with the columns of `L`.
-#[deprecated(note = "use `Kernels::trsm_left_lower_trans` on a `KernelBackend` instead")]
-pub fn trsm_left_lower_trans(alpha: f64, l: &Tile, b: &mut Tile) {
-    naive_trsm_left_lower_trans(alpha, l, b);
-}
-
+///
 /// The reference implementation behind [`crate::KernelBackend::Naive`].
 pub(crate) fn naive_trsm_left_lower_trans(alpha: f64, l: &Tile, b: &mut Tile) {
     let n = b.dim();
@@ -138,11 +122,7 @@ pub(crate) fn naive_trsm_left_lower_trans(alpha: f64, l: &Tile, b: &mut Tile) {
 /// in-place LU factorization).
 ///
 /// The row-panel solve of the tiled LU factorization.
-#[deprecated(note = "use `Kernels::trsm_left_unit_lower` on a `KernelBackend` instead")]
-pub fn trsm_left_unit_lower(l: &Tile, b: &mut Tile) {
-    naive_trsm_left_unit_lower(l, b);
-}
-
+///
 /// The reference implementation behind [`crate::KernelBackend::Naive`].
 pub(crate) fn naive_trsm_left_unit_lower(l: &Tile, b: &mut Tile) {
     let n = b.dim();
@@ -165,11 +145,7 @@ pub(crate) fn naive_trsm_left_unit_lower(l: &Tile, b: &mut Tile) {
 ///
 /// The column-panel solve of the tiled LU factorization. Forward sweep over
 /// columns: `X[:,j] = (B[:,j] - sum_{k<j} X[:,k] U[k,j]) / U[j,j]`.
-#[deprecated(note = "use `Kernels::trsm_right_upper` on a `KernelBackend` instead")]
-pub fn trsm_right_upper(u: &Tile, b: &mut Tile) {
-    naive_trsm_right_upper(u, b);
-}
-
+///
 /// The reference implementation behind [`crate::KernelBackend::Naive`].
 pub(crate) fn naive_trsm_right_upper(u: &Tile, b: &mut Tile) {
     let n = b.dim();

@@ -14,11 +14,7 @@ use crate::{KernelError, Tile};
 ///
 /// # Errors
 /// Returns [`KernelError::SingularTriangle`] when a diagonal entry is zero.
-#[deprecated(note = "use `Kernels::trtri` on a `KernelBackend` instead")]
-pub fn trtri(a: &mut Tile) -> Result<(), KernelError> {
-    naive_trtri(a)
-}
-
+///
 /// The reference implementation behind [`crate::KernelBackend::Naive`].
 pub(crate) fn naive_trtri(a: &mut Tile) -> Result<(), KernelError> {
     let n = a.dim();

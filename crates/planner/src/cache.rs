@@ -43,11 +43,16 @@ pub struct PlanKey {
     pub p_nodes: usize,
     /// Fingerprint of the platform constants (see [`fingerprint`]).
     pub platform_fp: u64,
+    /// Fingerprint of the network topology the planner priced routes over
+    /// (`0` for the flat model), so a topology-aware plan is never served
+    /// to a flat planner or vice versa.
+    pub topology_fp: u64,
 }
 
 impl PlanKey {
     /// Builds the key for planning `op` on `nt x nt` tiles of size `b`
-    /// over `platform`.
+    /// over `platform` with the flat network model (`topology_fp = 0`;
+    /// the planner overwrites it when a topology is attached).
     pub fn new(op: Op, nt: usize, b: usize, platform: &Platform) -> Self {
         PlanKey {
             op,
@@ -55,6 +60,7 @@ impl PlanKey {
             b,
             p_nodes: platform.nodes,
             platform_fp: fingerprint(platform),
+            topology_fp: 0,
         }
     }
 }
@@ -211,6 +217,7 @@ mod tests {
                 comm_seconds: 0.0,
                 compute_seconds: 0.0,
                 imbalance: 1.0,
+                cross_boundary_seconds: 0.0,
                 total_seconds: 0.0,
             },
             refined_makespan: None,
@@ -266,5 +273,16 @@ mod tests {
         assert!(cache.get(&k36).is_none());
         let slow = PlanKey::new(Op::Potrf, 10, 500, &Platform::bora_slow_network(28, 4.0));
         assert_ne!(k28.platform_fp, slow.platform_fp);
+    }
+
+    #[test]
+    fn topology_fingerprint_separates_keys() {
+        let cache = PlanCache::new(16);
+        let flat = PlanKey::new(Op::Potrf, 10, 500, &Platform::bora(28));
+        let mut racks = flat;
+        racks.topology_fp = Platform::bora(28).rack_topology(2, 8.0).fingerprint();
+        assert_ne!(flat, racks);
+        cache.insert(flat, dummy_plan(10));
+        assert!(cache.get(&racks).is_none());
     }
 }

@@ -189,6 +189,33 @@ impl DistChoice {
         }
     }
 
+    /// Per-pair message counts of `op` under this choice: a row-major
+    /// `nodes_used() x nodes_used()` matrix where entry `[src * n + dst]`
+    /// counts the tile messages src sends dst (initial fetches plus one
+    /// message per remote consumer node of each task). The matrix sums to
+    /// the graph's total message count, so the topology-aware cost model
+    /// prices exactly the traffic the flat model counts — just per route.
+    ///
+    /// # Panics
+    /// Panics if `!self.supports(op)`.
+    pub fn message_matrix(self, op: Op, nt: usize) -> Vec<u64> {
+        let g = self.build_graph(op, nt);
+        let n = self.nodes_used();
+        let mut m = vec![0u64; n * n];
+        for f in g.initial_fetches() {
+            m[f.home as usize * n + f.dest as usize] += 1;
+        }
+        let mut consumers = Vec::new();
+        for t in 0..g.len() as u32 {
+            let src = g.tasks()[t as usize].node as usize;
+            g.remote_consumer_nodes(t, &mut consumers);
+            for &dst in &consumers {
+                m[src * n + dst as usize] += 1;
+            }
+        }
+        m
+    }
+
     /// Load imbalance of the trailing-update (GEMM) work, the dominant
     /// compute term: max over nodes of per-node GEMM count divided by the
     /// mean. For 2.5D choices the per-slice distribution is measured (the
@@ -389,6 +416,27 @@ mod tests {
             bc.messages(Op::Trtri, nt),
             comm::trtri_messages(&TwoDBlockCyclic::new(5, 3), nt)
         );
+    }
+
+    #[test]
+    fn message_matrix_sums_to_graph_message_count() {
+        let nt = 16;
+        for choice in [
+            DistChoice::SbcExtended { r: 5 },
+            DistChoice::TwoDbc { p: 3, q: 3 },
+        ] {
+            for op in [Op::Potrf, Op::Potri] {
+                let m = choice.message_matrix(op, nt);
+                let n = choice.nodes_used();
+                assert_eq!(m.len(), n * n);
+                let total: u64 = m.iter().sum();
+                assert_eq!(total, choice.build_graph(op, nt).count_messages());
+                // nothing on the diagonal: a node never messages itself
+                for i in 0..n {
+                    assert_eq!(m[i * n + i], 0, "{} self-message", choice.describe());
+                }
+            }
+        }
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub struct DriftReport {
     pub predicted_compute_seconds: f64,
     /// Busiest-node kernel seconds actually measured.
     pub measured_compute_seconds: f64,
+    /// Busiest backbone-link serialization seconds the model predicted
+    /// (0 under the flat model; see
+    /// [`CostBreakdown`](crate::CostBreakdown)).
+    pub predicted_cross_boundary_seconds: f64,
     /// Model makespan (compute + communication serialization bound).
     pub predicted_total_seconds: f64,
     /// Measured wall-clock seconds, first task start to last task end.
@@ -106,6 +110,12 @@ impl DriftReport {
             self.measured_compute_seconds,
             self.compute_ratio()
         ));
+        if self.predicted_cross_boundary_seconds > 0.0 {
+            out.push_str(&format!(
+                "  boundary  predicted {:>11.6}s  (busiest backbone link direction)\n",
+                self.predicted_cross_boundary_seconds
+            ));
+        }
         out.push_str(&format!(
             "  wall      predicted {:>11.6}s  measured {:>11.6}s  ratio {:.3}\n",
             self.predicted_total_seconds,
@@ -140,6 +150,7 @@ pub fn compare(plan: &Plan, profile: &ExecProfile) -> DriftReport {
         measured_bytes: profile.bytes,
         predicted_compute_seconds: plan.cost.compute_seconds,
         measured_compute_seconds: profile.max_busy_seconds(),
+        predicted_cross_boundary_seconds: plan.cost.cross_boundary_seconds,
         predicted_total_seconds: plan.cost.total_seconds,
         measured_wall_seconds: profile.wall_seconds,
     }

@@ -27,9 +27,11 @@
 //! candidate that communicates less wins — the paper's whole point.
 
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 use sbc_simgrid::Platform;
 use sbc_taskgraph::TaskKind;
+use sbc_topo::Topology;
 
 use crate::candidates::{DistChoice, Op};
 
@@ -45,8 +47,12 @@ pub struct CostBreakdown {
     /// Trailing-update load imbalance (>= 1.0) folded into
     /// `compute_seconds`.
     pub imbalance: f64,
-    /// Model makespan: `compute_seconds + comm_seconds` (serialization
-    /// bound, see module docs).
+    /// Seconds the busiest backbone link direction spends serializing this
+    /// candidate's traffic (0 under the flat model or a flat topology) —
+    /// the rack-boundary term that makes ranking topology-aware.
+    pub cross_boundary_seconds: f64,
+    /// Model makespan: `compute_seconds + comm_seconds +
+    /// cross_boundary_seconds` (serialization bound, see module docs).
     pub total_seconds: f64,
 }
 
@@ -65,6 +71,7 @@ impl CostBreakdown {
 pub struct CostModel {
     platform: Platform,
     workers_per_node: Option<usize>,
+    topology: Option<Arc<Topology>>,
 }
 
 impl CostModel {
@@ -74,7 +81,29 @@ impl CostModel {
         CostModel {
             platform,
             workers_per_node: None,
+            topology: None,
         }
+    }
+
+    /// Prices communication over an explicit network topology (graph node
+    /// `i` on host `i`): each candidate's per-pair traffic is charged at
+    /// its route's bottleneck bandwidth, and the busiest backbone link
+    /// direction adds a serialization term. With a flat topology the score
+    /// matches the flat model's ordering.
+    pub fn with_topology(mut self, topology: Arc<Topology>) -> Self {
+        assert!(
+            topology.hosts() >= self.platform.nodes,
+            "topology has {} hosts but the platform has {} nodes",
+            topology.hosts(),
+            self.platform.nodes
+        );
+        self.topology = Some(topology);
+        self
+    }
+
+    /// The topology communication is priced over, if any.
+    pub fn topology(&self) -> Option<&Arc<Topology>> {
+        self.topology.as_ref()
     }
 
     /// Restricts the compute term to `workers` worker threads per node
@@ -106,8 +135,46 @@ impl CostModel {
         let tile_bytes = (b * b * 8) as u64;
         // Each message occupies a sender NIC and a receiver NIC for
         // port_seconds; with P nodes the aggregate port work spreads over P
-        // full-duplex ports.
-        let comm_seconds = messages as f64 * self.platform.port_seconds(tile_bytes) / nodes;
+        // full-duplex ports. With a topology, each pair's traffic is priced
+        // at its route's bottleneck instead of the uniform NIC rate, and
+        // the busiest backbone link direction adds a serialization term.
+        let mut cross_boundary_seconds = 0.0;
+        let comm_seconds = match &self.topology {
+            None => messages as f64 * self.platform.port_seconds(tile_bytes) / nodes,
+            Some(topo) => {
+                let n = choice.nodes_used();
+                assert!(
+                    n <= topo.hosts(),
+                    "candidate uses {n} nodes but the topology has {} hosts",
+                    topo.hosts()
+                );
+                let matrix = choice.message_matrix(op, nt);
+                let mut port = 0.0;
+                let mut occupancy = vec![[0.0f64; 2]; topo.links().len()];
+                for src in 0..n {
+                    for dst in 0..n {
+                        let count = matrix[src * n + dst];
+                        if count == 0 {
+                            continue;
+                        }
+                        let route = topo.route(src as u32, dst as u32);
+                        port += count as f64
+                            * (self.platform.per_message_overhead
+                                + tile_bytes as f64 / route.bottleneck);
+                        for hop in &route.backbone {
+                            occupancy[hop.link as usize][hop.dir()] += count as f64
+                                * tile_bytes as f64
+                                / topo.links()[hop.link as usize].bandwidth;
+                        }
+                    }
+                }
+                cross_boundary_seconds = occupancy
+                    .iter()
+                    .flatten()
+                    .fold(0.0f64, |acc, &v| acc.max(v));
+                port / nodes
+            }
+        };
 
         let imbalance = choice.gemm_imbalance(nt);
         let eff = self
@@ -122,7 +189,8 @@ impl CostModel {
             comm_seconds,
             compute_seconds,
             imbalance,
-            total_seconds: compute_seconds + comm_seconds,
+            cross_boundary_seconds,
+            total_seconds: compute_seconds + comm_seconds + cross_boundary_seconds,
         }
     }
 }
@@ -173,12 +241,44 @@ mod tests {
     }
 
     #[test]
+    fn flat_topology_adds_no_cross_boundary_term() {
+        let p = Platform::bora(10);
+        let flat = model(10);
+        let topo = model(10).with_topology(Arc::new(p.single_switch_topology()));
+        let choice = DistChoice::SbcExtended { r: 5 };
+        let a = flat.score(choice, Op::Potrf, 20, 500);
+        let b = topo.score(choice, Op::Potrf, 20, 500);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(b.cross_boundary_seconds, 0.0);
+        // same arithmetic per message: overhead + bytes / nic_bandwidth
+        assert!((a.comm_seconds - b.comm_seconds).abs() < 1e-12 * a.comm_seconds.max(1.0));
+    }
+
+    #[test]
+    fn oversubscribed_racks_penalize_cross_rack_traffic() {
+        let p = Platform::bora(12);
+        let flat = model(12);
+        let racks = model(12).with_topology(Arc::new(p.rack_topology(2, 32.0)));
+        let choice = DistChoice::TwoDbc { p: 4, q: 3 };
+        let a = flat.score(choice, Op::Potrf, 24, 500);
+        let b = racks.score(choice, Op::Potrf, 24, 500);
+        assert!(b.cross_boundary_seconds > 0.0);
+        assert!(
+            b.total_seconds > a.total_seconds,
+            "racks {} vs flat {}",
+            b.total_seconds,
+            a.total_seconds
+        );
+    }
+
+    #[test]
     fn rank_breaks_ties_on_messages() {
         let a = CostBreakdown {
             messages: 10,
             comm_seconds: 1.0,
             compute_seconds: 2.0,
             imbalance: 1.0,
+            cross_boundary_seconds: 0.0,
             total_seconds: 2.0,
         };
         let mut b = a;

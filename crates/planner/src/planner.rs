@@ -6,6 +6,7 @@ use std::sync::Arc;
 use sbc_obs::{Counter, Metrics};
 use sbc_simgrid::{Platform, ScheduleMode, SimConfig, SimReport, Simulator};
 use sbc_taskgraph::TaskGraph;
+use sbc_topo::Topology;
 
 use crate::cache::{PlanCache, PlanKey};
 use crate::candidates::{enumerate, DistChoice, Op};
@@ -102,6 +103,24 @@ impl Planner {
         }
     }
 
+    /// Makes the planner topology-aware: candidates are priced over
+    /// `topology`'s routes (rack-crossing traffic pays the oversubscribed
+    /// uplink), refinement simulates over it, and cached plans are keyed
+    /// by its fingerprint so flat and topology-aware plans never mix.
+    ///
+    /// # Panics
+    /// Panics if the topology has fewer hosts than the platform has nodes.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        let topology = Arc::new(topology);
+        self.model = self.model.clone().with_topology(topology);
+        self
+    }
+
+    /// The topology this planner prices communication over, if any.
+    pub fn topology(&self) -> Option<&Arc<Topology>> {
+        self.model.topology()
+    }
+
     /// Publishes this planner's cache traffic as `planner.cache.hit` /
     /// `planner.cache.miss` counters in `metrics`. A resident service calls
     /// this once at startup so every job's planning cost is observable.
@@ -134,7 +153,10 @@ impl Planner {
     /// Plans `op` on an `nt x nt` tile matrix with tile size `b`, serving
     /// a memoized plan when one exists (`plan.cached` tells which).
     pub fn plan(&self, op: Op, nt: usize, b: usize) -> Plan {
-        let key = PlanKey::new(op, nt, b, self.platform());
+        let mut key = PlanKey::new(op, nt, b, self.platform());
+        if let Some(topo) = self.model.topology() {
+            key.topology_fp = topo.fingerprint();
+        }
         if let Some(hit) = self.cache.get(&key) {
             self.cache_hits.inc();
             let mut plan = *hit;
@@ -209,7 +231,10 @@ impl Planner {
         platform.nodes = choice.nodes_used();
         let mut config = SimConfig::chameleon(b);
         config.use_priorities = self.config.use_priorities;
-        Simulator::new(&graph, &platform, config).run()
+        match self.model.topology() {
+            Some(topo) => Simulator::with_topology(&graph, &platform, config, topo).run(),
+            None => Simulator::new(&graph, &platform, config).run(),
+        }
     }
 }
 
@@ -254,6 +279,29 @@ mod tests {
         let plan = planner.plan(Op::Potrf, 12, 500);
         let makespan = plan.refined_makespan.expect("refined");
         assert!(makespan > 0.0);
+    }
+
+    #[test]
+    fn topology_aware_plans_cache_separately_from_flat() {
+        let p = Platform::bora(10);
+        let flat = Planner::new(p.clone());
+        let racks = Planner::new(p.clone()).with_topology(p.rack_topology(2, 16.0));
+        let a = flat.plan(Op::Potrf, 20, 500);
+        let b = racks.plan(Op::Potrf, 20, 500);
+        assert!(!a.cached && !b.cached);
+        // the rack-aware score carries the boundary term
+        assert!(b.cost.cross_boundary_seconds >= 0.0);
+        assert_eq!(racks.topology().unwrap().hosts(), 10);
+        // refinement simulates over the topology without panicking
+        let refined = Planner::with_config(
+            p.clone(),
+            PlannerConfig {
+                refine_top_k: 2,
+                ..PlannerConfig::default()
+            },
+        )
+        .with_topology(p.rack_topology(2, 16.0));
+        assert!(refined.plan(Op::Potrf, 12, 500).refined_makespan.is_some());
     }
 
     #[test]

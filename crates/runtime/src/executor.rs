@@ -26,10 +26,11 @@ use sbc_matrix::generate;
 use sbc_net::{inproc_mesh, Message, Payload, PeerStats, RecvTimeout, Transport};
 use sbc_obs::{FaultKind, GaugeKind, NodeRecorder, Recorder};
 use sbc_taskgraph::{flops_priorities, EdgeKind, TaskGraph, TaskId, TaskKind, TileRef};
+use sbc_topo::{SchedCtx, Scheduler};
 use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
 /// Communication statistics of one distributed execution.
@@ -335,6 +336,7 @@ pub struct Executor<'g> {
     recorder: Option<&'g Recorder>,
     workers: Option<usize>,
     policy: Policy,
+    sched: Option<Arc<dyn Scheduler + Send + Sync>>,
     fault: FaultPolicy,
     /// Kernel backend worker threads dispatch through.
     pub kernels: KernelBackend,
@@ -352,6 +354,7 @@ pub struct ExecutorBuilder<'g> {
     recorder: Option<&'g Recorder>,
     workers: Option<usize>,
     policy: Policy,
+    sched: Option<Arc<dyn Scheduler + Send + Sync>>,
     fault: FaultPolicy,
     kernels: KernelBackend,
 }
@@ -407,6 +410,19 @@ impl<'g> ExecutorBuilder<'g> {
         self
     }
 
+    /// Ranks the ready heaps with an `sbc-topo` [`Scheduler`] instead of
+    /// [`Policy`]. Task costs are flop counts at this executor's block size
+    /// and the communication cost is one GEMM's flops (a dimensionless
+    /// surrogate: only relative magnitudes matter for ordering). Stealing
+    /// schedulers run without stealing here — placement is fixed by the
+    /// graph, so only the ranks apply. Since every scheduler assigns
+    /// priorities deterministically, swapping schedulers changes execution
+    /// order but never results (tested bit-exactly).
+    pub fn scheduler(mut self, sched: Arc<dyn Scheduler + Send + Sync>) -> Self {
+        self.sched = Some(sched);
+        self
+    }
+
     /// Liveness policy: watchdog deadline and heartbeat (default: no
     /// watchdog, blocking receives).
     pub fn fault_policy(mut self, fault: FaultPolicy) -> Self {
@@ -446,6 +462,7 @@ impl<'g> ExecutorBuilder<'g> {
             recorder: self.recorder,
             workers: self.workers,
             policy: self.policy,
+            sched: self.sched,
             fault: self.fault,
             kernels: KernelBackend::resolve(self.kernels),
         }
@@ -465,6 +482,7 @@ impl<'g> Executor<'g> {
             recorder: None,
             workers: None,
             policy: Policy::default(),
+            sched: None,
             fault: FaultPolicy::default(),
             kernels: KernelBackend::default(),
         }
@@ -491,8 +509,23 @@ impl<'g> Executor<'g> {
     }
 
     /// Critical-path priorities as raw f32 bits (non-negative floats order
-    /// like their bit patterns); empty = submission order.
+    /// like their bit patterns); empty = submission order. An attached
+    /// [`Scheduler`] overrides the [`Policy`].
     fn priorities(&self) -> Vec<u32> {
+        if let Some(sched) = &self.sched {
+            let costs: Vec<f64> = self
+                .graph
+                .tasks()
+                .iter()
+                .map(|t| t.kind.flops(self.b))
+                .collect();
+            let ctx = SchedCtx {
+                graph: self.graph,
+                task_cost: &costs,
+                comm_cost: sbc_kernels::flops::flops_gemm(self.b),
+            };
+            return sched.ranks(&ctx).into_iter().map(f32::to_bits).collect();
+        }
         match self.policy {
             Policy::SubmissionOrder => Vec::new(),
             Policy::CriticalPath => flops_priorities(self.graph, self.b)

@@ -150,6 +150,7 @@ pub struct Run<'a> {
     seed_rhs: Option<u64>,
     workers: Option<usize>,
     policy: Policy,
+    sched: Option<std::sync::Arc<dyn sbc_topo::Scheduler + Send + Sync>>,
     fault: FaultPolicy,
     recorder: Option<&'a Recorder>,
     provider: Option<Box<TileProvider<'a>>>,
@@ -169,6 +170,7 @@ impl<'a> Run<'a> {
             seed_rhs: None,
             workers: None,
             policy: Policy::default(),
+            sched: None,
             fault: FaultPolicy::default(),
             recorder: None,
             provider: None,
@@ -253,6 +255,17 @@ impl<'a> Run<'a> {
     /// Ready-heap scheduling policy (default [`Policy::CriticalPath`]).
     pub fn priorities(mut self, policy: Policy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Ranks the ready heaps with an `sbc-topo` [`Scheduler`](sbc_topo::Scheduler)
+    /// from the zoo, overriding [`Self::priorities`]. Results are
+    /// bit-identical under every scheduler; only execution order changes.
+    pub fn scheduler(
+        mut self,
+        sched: std::sync::Arc<dyn sbc_topo::Scheduler + Send + Sync>,
+    ) -> Self {
+        self.sched = Some(sched);
         self
     }
 
@@ -342,6 +355,7 @@ impl<'a> Run<'a> {
             seed_rhs,
             workers,
             policy,
+            sched,
             fault,
             recorder,
             provider,
@@ -355,6 +369,9 @@ impl<'a> Run<'a> {
             .priorities(policy)
             .fault_policy(fault)
             .kernels(kernels);
+        if let Some(s) = sched {
+            builder = builder.scheduler(s);
+        }
         if let Some(w) = workers {
             builder = builder.workers(w);
         }

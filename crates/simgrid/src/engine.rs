@@ -3,6 +3,7 @@
 use crate::platform::Platform;
 use crate::stats::{SimReport, TraceEvent};
 use sbc_taskgraph::{EdgeKind, TaskGraph, TaskId};
+use sbc_topo::{SchedCtx, Scheduler, Topology};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -80,6 +81,7 @@ enum EventKind {
 
 #[derive(Debug)]
 struct Msg {
+    src: u32,
     dest: u32,
     bytes: u64,
     /// Scheduling priority of the most urgent consumer task: StarPU-MPI
@@ -87,6 +89,9 @@ struct Msg {
     /// waiting on them, so tiles feeding the critical path overtake queued
     /// bulk broadcasts.
     prio: f32,
+    /// Set for work-stealing input transfers (victim → thief); releases the
+    /// thief's outstanding-steal slot on delivery.
+    steal: bool,
     consumers: Vec<TaskId>,
 }
 
@@ -151,9 +156,49 @@ struct NodeState {
     send_busy: bool,
     /// Time the receive port last finished delivering a message.
     recv_free: f64,
+    /// Steal transfers bound for this node that have not delivered yet —
+    /// bounds outstanding steals to the idle worker count.
+    inbound_steals: u32,
     busy_seconds: f64,
     send_port_seconds: f64,
     recv_port_seconds: f64,
+}
+
+/// The network model: the flat per-node NIC when `topo` is `None`,
+/// per-route bandwidth/latency plus per-direction backbone serialization
+/// when a [`Topology`] is attached.
+struct NetModel<'a> {
+    platform: &'a Platform,
+    topo: Option<&'a Topology>,
+}
+
+impl NetModel<'_> {
+    /// Port occupancy of one message (host overhead + serialization at the
+    /// route's bottleneck bandwidth). With the degenerate single-switch
+    /// topology the bottleneck *is* the NIC bandwidth, so this reproduces
+    /// the flat model's `f64` arithmetic exactly.
+    fn port_seconds(&self, src: u32, dest: u32, bytes: u64) -> f64 {
+        match self.topo {
+            None => self.platform.port_seconds(bytes),
+            Some(t) => {
+                self.platform.per_message_overhead + bytes as f64 / t.route(src, dest).bottleneck
+            }
+        }
+    }
+
+    fn cross_rack(&self, src: u32, dest: u32) -> bool {
+        self.topo.is_some_and(|t| t.cross_rack(src, dest))
+    }
+}
+
+/// Wire-traffic accounting.
+#[derive(Default)]
+struct Traffic {
+    messages: u64,
+    bytes: u64,
+    cross_rack_messages: u64,
+    cross_rack_bytes: u64,
+    steal_messages: u64,
 }
 
 /// Discrete-event simulator of a [`TaskGraph`] on a [`Platform`].
@@ -162,6 +207,8 @@ pub struct Simulator<'a> {
     platform: &'a Platform,
     config: SimConfig,
     priorities: Vec<f32>,
+    topology: Option<&'a Topology>,
+    steal: bool,
 }
 
 impl<'a> Simulator<'a> {
@@ -189,7 +236,67 @@ impl<'a> Simulator<'a> {
             platform,
             config,
             priorities,
+            topology: None,
+            steal: false,
         }
+    }
+
+    /// Prepares a simulation over an explicit network [`Topology`]: graph
+    /// node `i` runs on topology host `i`. Message port times use each
+    /// route's bottleneck bandwidth, arrival times its summed latency, and
+    /// backbone (switch↔switch) links serialize per direction. With
+    /// [`Topology::single_switch`] built from the platform's NIC constants
+    /// this is **bit-identical** to [`Simulator::new`] (regression-tested).
+    ///
+    /// # Panics
+    /// Panics if the graph targets more nodes than the topology has hosts,
+    /// or more than the platform has nodes.
+    pub fn with_topology(
+        graph: &'a TaskGraph,
+        platform: &'a Platform,
+        config: SimConfig,
+        topology: &'a Topology,
+    ) -> Self {
+        assert!(
+            graph.num_nodes() <= topology.hosts(),
+            "graph placed on {} nodes but topology has {} hosts",
+            graph.num_nodes(),
+            topology.hosts()
+        );
+        let mut sim = Self::new(graph, platform, config);
+        sim.topology = Some(topology);
+        sim
+    }
+
+    /// Replaces the ready-queue ranks with `scheduler`'s (and enables
+    /// simulated cross-node work stealing if the scheduler asks for it).
+    /// Task costs are the platform's modelled seconds; the communication
+    /// cost handed to rank computation is the port time of one tile.
+    /// Overrides `config.use_priorities`.
+    pub fn with_scheduler(mut self, scheduler: &dyn Scheduler) -> Self {
+        let costs: Vec<f64> = self
+            .graph
+            .tasks()
+            .iter()
+            .map(|t| self.platform.task_seconds(&t.kind, self.config.tile_b))
+            .collect();
+        let tile_bytes = (self.config.tile_b * self.config.tile_b * 8) as u64;
+        let ctx = SchedCtx {
+            graph: self.graph,
+            task_cost: &costs,
+            comm_cost: self.platform.port_seconds(tile_bytes),
+        };
+        let ranks = scheduler.ranks(&ctx);
+        assert_eq!(
+            ranks.len(),
+            self.graph.len(),
+            "scheduler returned {} ranks for {} tasks",
+            ranks.len(),
+            self.graph.len()
+        );
+        self.priorities = ranks;
+        self.steal = scheduler.work_stealing();
+        self
     }
 
     /// Runs the simulation to completion.
@@ -215,11 +322,18 @@ impl<'a> Simulator<'a> {
         let b = self.config.tile_b;
         let tile_bytes = (b * b * 8) as u64;
         let n_nodes = g.num_nodes();
+        let net = NetModel {
+            platform: self.platform,
+            topo: self.topology,
+        };
 
         let mut deps = g.in_degrees();
         for (t, extra) in g.fetch_deps().into_iter().enumerate() {
             deps[t] += extra;
         }
+        // node each task will execute on; differs from its home placement
+        // only after a steal
+        let mut exec: Vec<u32> = g.tasks().iter().map(|t| t.node).collect();
 
         let mut nodes: Vec<NodeState> = (0..n_nodes)
             .map(|_| NodeState {
@@ -228,11 +342,17 @@ impl<'a> Simulator<'a> {
                 send_queue: BinaryHeap::new(),
                 send_busy: false,
                 recv_free: 0.0,
+                inbound_steals: 0,
                 busy_seconds: 0.0,
                 send_port_seconds: 0.0,
                 recv_port_seconds: 0.0,
             })
             .collect();
+        // per-direction completion time of each backbone link
+        let mut link_free: Vec<[f64; 2]> = self
+            .topology
+            .map(|t| vec![[0.0; 2]; t.links().len()])
+            .unwrap_or_default();
 
         // bulk-synchronous bookkeeping
         let max_iter = g
@@ -261,8 +381,7 @@ impl<'a> Simulator<'a> {
             });
         };
 
-        let mut messages = 0u64;
-        let mut bytes_total = 0u64;
+        let mut traffic = Traffic::default();
         let mut tasks_executed = 0u64;
         let mut flops_total = 0.0f64;
         let mut makespan = 0.0f64;
@@ -270,25 +389,27 @@ impl<'a> Simulator<'a> {
         // --- helpers as closures over local state are awkward in Rust;
         // use small fns taking explicit state instead.
 
-        // make a task ready (or park it under bulk-synchronous mode)
+        // make a task ready (or park it under bulk-synchronous mode) on the
+        // node it will execute on
+        #[allow(clippy::too_many_arguments)]
         fn make_ready(
             t: TaskId,
-            g: &TaskGraph,
+            exec: &[u32],
             prio: &[f32],
+            g: &TaskGraph,
             nodes: &mut [NodeState],
             mode: ScheduleMode,
             current_iter: usize,
             parked: &mut [Vec<TaskId>],
         ) {
-            let task = &g.tasks()[t as usize];
             if mode == ScheduleMode::BulkSynchronous {
-                let it = task.kind.iteration() as usize;
+                let it = g.tasks()[t as usize].kind.iteration() as usize;
                 if it > current_iter {
                     parked[it].push(t);
                     return;
                 }
             }
-            nodes[task.node as usize]
+            nodes[exec[t as usize] as usize]
                 .ready
                 .push((OrdF64(prio[t as usize] as f64), std::cmp::Reverse(t)));
         }
@@ -325,31 +446,116 @@ impl<'a> Simulator<'a> {
             }
         }
 
-        // queue a message on the sender's NIC; start sending if idle
+        // cross-node work stealing: every node whose ready queue is drained
+        // but still has idle workers pulls the top ready task (and its
+        // inputs, as one transfer) from the most-backlogged peer. Only runs
+        // when a stealing scheduler is attached, so the default paths are
+        // untouched.
+        #[allow(clippy::too_many_arguments)]
+        fn steal_pass(
+            now: f64,
+            g: &TaskGraph,
+            net: &NetModel<'_>,
+            tile_bytes: u64,
+            nodes: &mut [NodeState],
+            deps: &mut [u32],
+            exec: &mut [u32],
+            link_free: &mut [[f64; 2]],
+            heap: &mut BinaryHeap<Event>,
+            seq: &mut u64,
+            traffic: &mut Traffic,
+        ) {
+            let n = nodes.len();
+            for thief in 0..n {
+                loop {
+                    let ts = &nodes[thief];
+                    if !ts.ready.is_empty() || ts.idle_workers <= ts.inbound_steals {
+                        break;
+                    }
+                    // victim: largest ready backlog (>= 2 so the victim
+                    // keeps work), lowest id on ties
+                    let mut victim: Option<(usize, usize)> = None;
+                    for (v, vs) in nodes.iter().enumerate() {
+                        if v == thief || vs.ready.len() < 2 {
+                            continue;
+                        }
+                        if victim.is_none_or(|(_, len)| vs.ready.len() > len) {
+                            victim = Some((v, vs.ready.len()));
+                        }
+                    }
+                    let Some((v, _)) = victim else {
+                        break;
+                    };
+                    let (OrdF64(p), std::cmp::Reverse(t)) =
+                        nodes[v].ready.pop().expect("victim has backlog");
+                    exec[t as usize] = thief as u32;
+                    // the stolen task re-arms on one pseudo-dependency: the
+                    // input transfer from the victim
+                    deps[t as usize] = 1;
+                    let inputs = g
+                        .preds(t)
+                        .filter(|&(_, k)| k == EdgeKind::Data)
+                        .count()
+                        .max(1) as u64;
+                    nodes[thief].inbound_steals += 1;
+                    traffic.steal_messages += 1;
+                    enqueue_send(
+                        v as u32,
+                        Msg {
+                            src: v as u32,
+                            dest: thief as u32,
+                            bytes: inputs * tile_bytes,
+                            prio: p as f32,
+                            steal: true,
+                            consumers: vec![t],
+                        },
+                        now,
+                        net,
+                        nodes,
+                        link_free,
+                        heap,
+                        seq,
+                        traffic,
+                    );
+                }
+            }
+        }
+
+        // count a message and queue it on the sender's NIC; start sending
+        // if the port is idle
         #[allow(clippy::too_many_arguments)]
         fn enqueue_send(
             from: u32,
             msg: Msg,
             now: f64,
-            platform: &Platform,
+            net: &NetModel<'_>,
             nodes: &mut [NodeState],
+            link_free: &mut [[f64; 2]],
             heap: &mut BinaryHeap<Event>,
             seq: &mut u64,
+            traffic: &mut Traffic,
         ) {
+            traffic.messages += 1;
+            traffic.bytes += msg.bytes;
+            if net.cross_rack(msg.src, msg.dest) {
+                traffic.cross_rack_messages += 1;
+                traffic.cross_rack_bytes += msg.bytes;
+            }
             let ns = &mut nodes[from as usize];
             *seq += 1;
             let entry = QueuedMsg { msg, seq: *seq };
             ns.send_queue.push(entry);
             if !ns.send_busy {
-                start_send(from, now, platform, nodes, heap, seq);
+                start_send(from, now, net, nodes, link_free, heap, seq);
             }
         }
 
         fn start_send(
             from: u32,
             now: f64,
-            platform: &Platform,
+            net: &NetModel<'_>,
             nodes: &mut [NodeState],
+            link_free: &mut [[f64; 2]],
             heap: &mut BinaryHeap<Event>,
             seq: &mut u64,
         ) {
@@ -359,7 +565,7 @@ impl<'a> Simulator<'a> {
                 return;
             };
             ns.send_busy = true;
-            let port = platform.port_seconds(msg.bytes);
+            let port = net.port_seconds(msg.src, msg.dest, msg.bytes);
             ns.send_port_seconds += port;
             let send_end = now + port;
             *seq += 1;
@@ -368,9 +574,27 @@ impl<'a> Simulator<'a> {
                 seq: *seq,
                 kind: EventKind::SendFree { node: from },
             });
+            // arrival: flat latency, or the route's latency after queueing
+            // on each backbone link direction in send-initiation order
+            let arrive = match net.topo {
+                None => send_end + net.platform.nic_latency,
+                Some(t) => {
+                    let route = t.route(msg.src, msg.dest);
+                    let mut tail = send_end;
+                    for hop in &route.backbone {
+                        let free = &mut link_free[hop.link as usize][hop.dir()];
+                        let start = tail.max(*free);
+                        let done =
+                            start + msg.bytes as f64 / t.links()[hop.link as usize].bandwidth;
+                        *free = done;
+                        tail = done;
+                    }
+                    tail + route.latency
+                }
+            };
             *seq += 1;
             heap.push(Event {
-                time: send_end + platform.nic_latency,
+                time: arrive,
                 seq: *seq,
                 kind: EventKind::Arrive { msg },
             });
@@ -378,29 +602,32 @@ impl<'a> Simulator<'a> {
 
         // seed: initial fetches then dependency-free tasks
         for f in g.initial_fetches() {
-            messages += 1;
-            bytes_total += tile_bytes;
             enqueue_send(
                 f.home,
                 Msg {
+                    src: f.home,
                     dest: f.dest,
                     bytes: tile_bytes,
                     prio: f32::INFINITY,
+                    steal: false,
                     consumers: f.consumers.clone(),
                 },
                 0.0,
-                self.platform,
+                &net,
                 &mut nodes,
+                &mut link_free,
                 &mut heap,
                 &mut seq,
+                &mut traffic,
             );
         }
         for t in 0..g.len() as TaskId {
             if deps[t as usize] == 0 {
                 make_ready(
                     t,
-                    g,
+                    &exec,
                     &self.priorities,
+                    g,
                     &mut nodes,
                     self.config.mode,
                     current_iter,
@@ -410,6 +637,21 @@ impl<'a> Simulator<'a> {
         }
         for n in 0..n_nodes as u32 {
             try_start(n, 0.0, g, self.platform, b, &mut nodes, &mut heap, &mut seq);
+        }
+        if self.steal {
+            steal_pass(
+                0.0,
+                g,
+                &net,
+                tile_bytes,
+                &mut nodes,
+                &mut deps,
+                &mut exec,
+                &mut link_free,
+                &mut heap,
+                &mut seq,
+                &mut traffic,
+            );
         }
 
         let mut consumer_groups: Vec<(u32, Vec<TaskId>)> = Vec::new();
@@ -432,16 +674,18 @@ impl<'a> Simulator<'a> {
                     nodes[node as usize].idle_workers += 1;
 
                     // resolve local successors; group remote data consumers
+                    // (remote relative to where the producer ran)
                     consumer_groups.clear();
                     for (s, ekind) in g.succs(task) {
-                        let snode = g.tasks()[s as usize].node;
+                        let snode = exec[s as usize];
                         if snode == node {
                             deps[s as usize] -= 1;
                             if deps[s as usize] == 0 {
                                 make_ready(
                                     s,
-                                    g,
+                                    &exec,
                                     &self.priorities,
+                                    g,
                                     &mut nodes,
                                     self.config.mode,
                                     current_iter,
@@ -457,8 +701,6 @@ impl<'a> Simulator<'a> {
                         }
                     }
                     for (dest, consumers) in consumer_groups.drain(..) {
-                        messages += 1;
-                        bytes_total += tile_bytes;
                         let prio = if self.config.priority_comms {
                             consumers
                                 .iter()
@@ -470,16 +712,20 @@ impl<'a> Simulator<'a> {
                         enqueue_send(
                             node,
                             Msg {
+                                src: node,
                                 dest,
                                 bytes: tile_bytes,
                                 prio,
+                                steal: false,
                                 consumers,
                             },
                             time,
-                            self.platform,
+                            &net,
                             &mut nodes,
+                            &mut link_free,
                             &mut heap,
                             &mut seq,
+                            &mut traffic,
                         );
                     }
 
@@ -491,7 +737,7 @@ impl<'a> Simulator<'a> {
                             current_iter += 1;
                             if current_iter <= max_iter {
                                 for t in std::mem::take(&mut parked[current_iter]) {
-                                    let tn = g.tasks()[t as usize].node as usize;
+                                    let tn = exec[t as usize] as usize;
                                     nodes[tn].ready.push((
                                         OrdF64(self.priorities[t as usize] as f64),
                                         std::cmp::Reverse(t),
@@ -524,14 +770,37 @@ impl<'a> Simulator<'a> {
                             &mut seq,
                         );
                     }
+                    if self.steal {
+                        steal_pass(
+                            time,
+                            g,
+                            &net,
+                            tile_bytes,
+                            &mut nodes,
+                            &mut deps,
+                            &mut exec,
+                            &mut link_free,
+                            &mut heap,
+                            &mut seq,
+                            &mut traffic,
+                        );
+                    }
                 }
                 EventKind::SendFree { node } => {
-                    start_send(node, time, self.platform, &mut nodes, &mut heap, &mut seq);
+                    start_send(
+                        node,
+                        time,
+                        &net,
+                        &mut nodes,
+                        &mut link_free,
+                        &mut heap,
+                        &mut seq,
+                    );
                 }
                 EventKind::Arrive { msg } => {
                     // contend for the receive port: deliveries are spaced by
                     // at least one port time (overhead + serialization)
-                    let wire = self.platform.port_seconds(msg.bytes);
+                    let wire = net.port_seconds(msg.src, msg.dest, msg.bytes);
                     let ns = &mut nodes[msg.dest as usize];
                     ns.recv_port_seconds += wire;
                     let delivery = time.max(ns.recv_free + wire);
@@ -540,13 +809,17 @@ impl<'a> Simulator<'a> {
                 }
                 EventKind::Deliver { msg } => {
                     let dest = msg.dest;
+                    if msg.steal {
+                        nodes[dest as usize].inbound_steals -= 1;
+                    }
                     for t in msg.consumers {
                         deps[t as usize] -= 1;
                         if deps[t as usize] == 0 {
                             make_ready(
                                 t,
-                                g,
+                                &exec,
                                 &self.priorities,
+                                g,
                                 &mut nodes,
                                 self.config.mode,
                                 current_iter,
@@ -564,6 +837,21 @@ impl<'a> Simulator<'a> {
                         &mut heap,
                         &mut seq,
                     );
+                    if self.steal {
+                        steal_pass(
+                            time,
+                            g,
+                            &net,
+                            tile_bytes,
+                            &mut nodes,
+                            &mut deps,
+                            &mut exec,
+                            &mut link_free,
+                            &mut heap,
+                            &mut seq,
+                            &mut traffic,
+                        );
+                    }
                 }
             }
         }
@@ -578,8 +866,11 @@ impl<'a> Simulator<'a> {
 
         SimReport {
             makespan,
-            messages,
-            bytes: bytes_total,
+            messages: traffic.messages,
+            bytes: traffic.bytes,
+            cross_rack_messages: traffic.cross_rack_messages,
+            cross_rack_bytes: traffic.cross_rack_bytes,
+            steal_messages: traffic.steal_messages,
             flops: flops_total,
             busy_per_node: nodes.iter().map(|n| n.busy_seconds).collect(),
             send_port_per_node: nodes.iter().map(|n| n.send_port_seconds).collect(),
@@ -596,6 +887,7 @@ mod tests {
     use crate::platform::Platform;
     use sbc_dist::{SbcBasic, SbcExtended, TwoDBlockCyclic, TwoPointFiveD};
     use sbc_taskgraph::{build_potrf, build_potrf_25d};
+    use sbc_topo::{zoo, CriticalPath, WorkStealing};
 
     fn sim(graph: &TaskGraph, platform: &Platform, b: usize) -> SimReport {
         Simulator::new(graph, platform, SimConfig::chameleon(b)).run()
@@ -744,5 +1036,93 @@ mod tests {
         let r = sim(&g, &p, 100);
         assert_eq!(r.tasks_executed, 0);
         assert_eq!(r.makespan, 0.0);
+    }
+
+    #[test]
+    fn single_switch_topology_is_bit_identical_to_flat() {
+        let d = SbcExtended::new(5);
+        let g = build_potrf(&d, 24);
+        let p = Platform::bora(10);
+        let topo = p.single_switch_topology();
+        let flat = Simulator::new(&g, &p, SimConfig::chameleon(500)).run();
+        let over = Simulator::with_topology(&g, &p, SimConfig::chameleon(500), &topo).run();
+        assert_eq!(flat.makespan.to_bits(), over.makespan.to_bits());
+        assert_eq!(flat.messages, over.messages);
+        assert_eq!(flat.bytes, over.bytes);
+        assert_eq!(over.cross_rack_messages, 0);
+        assert_eq!(over.cross_rack_bytes, 0);
+        for (a, b) in flat.busy_per_node.iter().zip(&over.busy_per_node) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn critical_path_scheduler_matches_default_bit_exactly() {
+        let d = SbcExtended::new(5);
+        let g = build_potrf(&d, 20);
+        let p = Platform::bora(10);
+        let base = Simulator::new(&g, &p, SimConfig::chameleon(500)).run();
+        let sched = Simulator::new(&g, &p, SimConfig::chameleon(500))
+            .with_scheduler(&CriticalPath)
+            .run();
+        assert_eq!(base.makespan.to_bits(), sched.makespan.to_bits());
+        assert_eq!(base.messages, sched.messages);
+    }
+
+    #[test]
+    fn oversubscribed_uplink_slows_cross_rack_traffic() {
+        // 2DBC on 2 racks: plenty of traffic crosses the boundary, so a
+        // heavily oversubscribed uplink must cost makespan relative to the
+        // full-bisection single switch.
+        let d = TwoDBlockCyclic::new(4, 3);
+        let g = build_potrf(&d, 36);
+        let p = Platform::bora(12);
+        let flat = p.single_switch_topology();
+        let racks = p.rack_topology(2, 32.0);
+        let cfg = SimConfig::chameleon(500);
+        let rf = Simulator::with_topology(&g, &p, cfg, &flat).run();
+        let rr = Simulator::with_topology(&g, &p, cfg, &racks).run();
+        assert!(rr.cross_rack_messages > 0);
+        assert!(rr.cross_rack_bytes > 0);
+        assert_eq!(rf.messages, rr.messages);
+        assert!(
+            rr.makespan > rf.makespan * 1.05,
+            "racks {} vs flat {}",
+            rr.makespan,
+            rf.makespan
+        );
+    }
+
+    #[test]
+    fn work_stealing_executes_all_tasks_and_counts_steals() {
+        let d = SbcExtended::new(4);
+        let g = build_potrf(&d, 18);
+        let p = Platform::bora(6);
+        let r = Simulator::new(&g, &p, SimConfig::chameleon(300))
+            .with_scheduler(&WorkStealing)
+            .run();
+        assert_eq!(r.tasks_executed as usize, g.len());
+        // steal transfers ride the normal message counters too
+        assert!(r.messages >= g.count_messages());
+        assert_eq!(
+            r.messages - g.count_messages(),
+            r.steal_messages,
+            "every extra message is a steal transfer"
+        );
+    }
+
+    #[test]
+    fn every_zoo_scheduler_completes_the_graph() {
+        let d = SbcExtended::new(4);
+        let g = build_potrf(&d, 16);
+        let p = Platform::bora(6);
+        let topo = p.rack_topology(2, 8.0);
+        for s in zoo() {
+            let r = Simulator::with_topology(&g, &p, SimConfig::chameleon(300), &topo)
+                .with_scheduler(s.as_ref())
+                .run();
+            assert_eq!(r.tasks_executed as usize, g.len(), "{}", s.name());
+            assert!(r.makespan > 0.0, "{}", s.name());
+        }
     }
 }

@@ -19,6 +19,12 @@
 //!   iterations) or `BulkSynchronous` (a static, iteration-barrier schedule
 //!   modelling the COnfCHOX comparator of Section V-E).
 //!
+//! The flat single-NIC network is the default; attach an `sbc-topo`
+//! [`Topology`] via [`Simulator::with_topology`] to route messages through
+//! racks and oversubscribed uplinks (the single-switch topology reproduces
+//! the flat model bit-exactly), and a [`Scheduler`] from the zoo via
+//! [`Simulator::with_scheduler`] to swap the ready-queue ranking policy.
+//!
 //! The simulator's measured communication volume is *exactly* the graph's
 //! message count (tested), so Fig 8 and the performance figures are
 //! produced by one consistent machinery.
@@ -31,4 +37,5 @@ pub mod stats;
 
 pub use engine::{ScheduleMode, SimConfig, Simulator};
 pub use platform::{KernelEfficiency, Platform};
+pub use sbc_topo::{Scheduler, Topology};
 pub use stats::{render_gantt, SimReport, TraceEvent};

@@ -1,6 +1,7 @@
 //! Platform model: compute nodes, cores, kernel efficiencies, network.
 
 use sbc_taskgraph::TaskKind;
+use sbc_topo::Topology;
 
 /// Per-kernel efficiency model.
 ///
@@ -156,6 +157,39 @@ impl Platform {
     pub fn node_peak_gflops(&self) -> f64 {
         self.cores_per_node as f64 * self.core_gflops
     }
+
+    /// The degenerate [`Topology`] equivalent to this platform's flat
+    /// network: every node on one switch at the NIC's bandwidth and
+    /// latency. Simulating over it is bit-identical to the flat model.
+    pub fn single_switch_topology(&self) -> Topology {
+        Topology::single_switch(self.nodes, self.nic_bandwidth, self.nic_latency)
+    }
+
+    /// A rack-split [`Topology`] over this platform's nodes: `racks`
+    /// top-of-rack switches joined through a spine, access links at NIC
+    /// speed, uplinks at `nic_bandwidth / oversubscription`. Hosts are
+    /// assigned to racks contiguously (rack-major), so graph nodes
+    /// `0..hosts_per_rack` share the first rack.
+    ///
+    /// # Panics
+    /// Panics if `racks` is zero or `oversubscription` is not positive.
+    pub fn rack_topology(&self, racks: usize, oversubscription: f64) -> Topology {
+        assert!(racks > 0, "need at least one rack");
+        assert!(
+            oversubscription > 0.0,
+            "oversubscription must be positive, got {oversubscription}"
+        );
+        let per_rack = self.nodes.div_ceil(racks);
+        Topology::racks(
+            racks,
+            per_rack,
+            self.nic_bandwidth,
+            self.nic_latency,
+            self.nic_bandwidth / oversubscription,
+            self.nic_latency,
+        )
+        .named(&format!("racks{racks}x{per_rack}-os{oversubscription}"))
+    }
 }
 
 #[cfg(test)]
@@ -215,5 +249,30 @@ mod tests {
     fn move_tasks_are_free() {
         let p = Platform::bora(1);
         assert_eq!(p.task_seconds(&TaskKind::Move { i: 1, j: 0 }, 500), 0.0);
+    }
+
+    #[test]
+    fn single_switch_topology_reproduces_nic_constants() {
+        let p = Platform::bora(6);
+        let t = p.single_switch_topology();
+        assert_eq!(t.hosts(), 6);
+        assert!(t.is_flat());
+        let r = t.route(0, 5);
+        assert_eq!(r.bottleneck.to_bits(), p.nic_bandwidth.to_bits());
+        assert_eq!(r.latency.to_bits(), p.nic_latency.to_bits());
+    }
+
+    #[test]
+    fn rack_topology_oversubscribes_the_uplink() {
+        let p = Platform::bora(8);
+        let t = p.rack_topology(2, 16.0);
+        assert_eq!(t.hosts(), 8);
+        assert!(!t.cross_rack(0, 3));
+        assert!(t.cross_rack(0, 4));
+        let intra = t.route(0, 3);
+        let inter = t.route(0, 4);
+        assert_eq!(intra.bottleneck.to_bits(), p.nic_bandwidth.to_bits());
+        assert!((inter.bottleneck - p.nic_bandwidth / 16.0).abs() < 1e-6);
+        assert!(inter.latency > intra.latency);
     }
 }

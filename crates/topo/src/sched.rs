@@ -1,0 +1,252 @@
+//! The pluggable list-scheduler family.
+//!
+//! Both the discrete-event simulator (`sbc-simgrid`) and the threaded
+//! runtime (`sbc-runtime`) order their per-node ready heaps by a
+//! precomputed static rank per task. A [`Scheduler`] computes that rank
+//! vector from a [`SchedCtx`] — the task graph, a per-task cost estimate
+//! and a flat per-hop communication cost — so one implementation drives
+//! both executors. Larger rank = more urgent; ranks are non-negative `f32`
+//! (the runtime stores them as raw bits, which order like the floats).
+//!
+//! [`CriticalPath`] reproduces `sbc_taskgraph::critical_path_priorities`
+//! **bit-for-bit** (same reverse pass, same `f32` arithmetic), so plugging
+//! it in changes nothing — the regression suites rely on that.
+
+use sbc_taskgraph::{EdgeKind, TaskGraph};
+
+/// Everything a scheduler may consult when ranking tasks.
+pub struct SchedCtx<'a> {
+    /// The task graph being scheduled.
+    pub graph: &'a TaskGraph,
+    /// Estimated cost of each task, indexed by `TaskId`. The simulator
+    /// passes modelled seconds; the runtime passes flop counts (only the
+    /// ordering matters for list scheduling).
+    pub task_cost: &'a [f64],
+    /// Cost of moving one tile between two nodes, in the same unit as
+    /// `task_cost`. Used by communication-aware rankers (HEFT) to penalize
+    /// cross-node data edges.
+    pub comm_cost: f64,
+}
+
+/// A static list scheduler: ranks every task once, up front.
+pub trait Scheduler: Sync {
+    /// Stable kebab-case name for reports and bench records.
+    fn name(&self) -> &'static str;
+
+    /// Rank per task (larger = more urgent), `ctx.graph.len()` entries.
+    fn ranks(&self, ctx: &SchedCtx<'_>) -> Vec<f32>;
+
+    /// Whether idle nodes may steal ready tasks from busy peers (only the
+    /// simulator models this; the threaded runtime keeps placement fixed
+    /// because tiles physically live on their home node).
+    fn work_stealing(&self) -> bool {
+        false
+    }
+}
+
+/// Upward-rank critical-path priorities — today's default, bit-identical
+/// to [`sbc_taskgraph::critical_path_priorities`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CriticalPath;
+
+impl Scheduler for CriticalPath {
+    fn name(&self) -> &'static str {
+        "critical-path"
+    }
+
+    fn ranks(&self, ctx: &SchedCtx<'_>) -> Vec<f32> {
+        let g = ctx.graph;
+        let n = g.len();
+        let mut prio = vec![0.0f32; n];
+        for t in (0..n).rev() {
+            let mut best = 0.0f32;
+            for (s, _) in g.succs(t as u32) {
+                best = best.max(prio[s as usize]);
+            }
+            prio[t] = best + ctx.task_cost[t] as f32;
+        }
+        prio
+    }
+}
+
+/// HEFT-style upward rank: like [`CriticalPath`] but every *cross-node
+/// data* edge adds the tile transfer cost, so tasks whose results must
+/// travel are surfaced earlier, hiding the wire behind other work.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Heft;
+
+impl Scheduler for Heft {
+    fn name(&self) -> &'static str {
+        "heft"
+    }
+
+    fn ranks(&self, ctx: &SchedCtx<'_>) -> Vec<f32> {
+        let g = ctx.graph;
+        let comm = ctx.comm_cost as f32;
+        let n = g.len();
+        let tasks = g.tasks();
+        let mut prio = vec![0.0f32; n];
+        for t in (0..n).rev() {
+            let node = tasks[t].node;
+            let mut best = 0.0f32;
+            for (s, kind) in g.succs(t as u32) {
+                let mut r = prio[s as usize];
+                if kind == EdgeKind::Data && tasks[s as usize].node != node {
+                    r += comm;
+                }
+                best = best.max(r);
+            }
+            prio[t] = best + ctx.task_cost[t] as f32;
+        }
+        prio
+    }
+}
+
+/// Bounded-lookahead rank: the upward rank truncated to paths of at most
+/// `depth` successor edges. `depth = 0` ranks by own cost only (greedy
+/// largest-task-first); large depths converge to [`CriticalPath`].
+#[derive(Debug, Clone, Copy)]
+pub struct Lookahead {
+    /// Horizon in edges.
+    pub depth: usize,
+}
+
+impl Scheduler for Lookahead {
+    fn name(&self) -> &'static str {
+        "lookahead"
+    }
+
+    fn ranks(&self, ctx: &SchedCtx<'_>) -> Vec<f32> {
+        let g = ctx.graph;
+        let n = g.len();
+        let own: Vec<f32> = (0..n).map(|t| ctx.task_cost[t] as f32).collect();
+        let mut prio = own.clone();
+        // each pass reads the previous horizon, extending it by one edge
+        for _ in 0..self.depth {
+            let mut next = vec![0.0f32; n];
+            for t in 0..n {
+                let mut best = 0.0f32;
+                for (s, _) in g.succs(t as u32) {
+                    best = best.max(prio[s as usize]);
+                }
+                next[t] = own[t] + best;
+            }
+            prio = next;
+        }
+        prio
+    }
+}
+
+/// Critical-path ranks plus cross-node work stealing: an idle node pulls a
+/// ready task (and its inputs) from the most-backlogged peer. Only the
+/// simulator honours the stealing flag.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkStealing;
+
+impl Scheduler for WorkStealing {
+    fn name(&self) -> &'static str {
+        "work-stealing"
+    }
+
+    fn ranks(&self, ctx: &SchedCtx<'_>) -> Vec<f32> {
+        CriticalPath.ranks(ctx)
+    }
+
+    fn work_stealing(&self) -> bool {
+        true
+    }
+}
+
+/// The whole family, in report-stable order.
+pub fn zoo() -> Vec<Box<dyn Scheduler + Send + Sync>> {
+    vec![
+        Box::new(CriticalPath),
+        Box::new(Heft),
+        Box::new(Lookahead { depth: 4 }),
+        Box::new(WorkStealing),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbc_dist::SbcExtended;
+    use sbc_taskgraph::{build_potrf, critical_path_priorities};
+
+    fn ctx_parts(nt: usize) -> (TaskGraph, Vec<f64>) {
+        let g = build_potrf(&SbcExtended::new(4), nt);
+        let costs: Vec<f64> = g.tasks().iter().map(|t| t.kind.flops(8)).collect();
+        (g, costs)
+    }
+
+    #[test]
+    fn critical_path_is_bit_identical_to_taskgraph_priorities() {
+        let (g, costs) = ctx_parts(12);
+        let ctx = SchedCtx {
+            graph: &g,
+            task_cost: &costs,
+            comm_cost: 123.0,
+        };
+        let ours = CriticalPath.ranks(&ctx);
+        let reference = critical_path_priorities(&g, |t| t.kind.flops(8));
+        assert_eq!(ours.len(), reference.len());
+        for (a, b) in ours.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn heft_never_ranks_below_critical_path() {
+        let (g, costs) = ctx_parts(10);
+        let ctx = SchedCtx {
+            graph: &g,
+            task_cost: &costs,
+            comm_cost: 500.0,
+        };
+        let cp = CriticalPath.ranks(&ctx);
+        let heft = Heft.ranks(&ctx);
+        let mut differs = false;
+        for (h, c) in heft.iter().zip(&cp) {
+            assert!(h >= c, "heft rank {h} below critical-path {c}");
+            differs |= h > c;
+        }
+        assert!(differs, "comm cost should raise some ranks");
+        // zero comm cost collapses HEFT onto the critical path
+        let zero = SchedCtx {
+            graph: &g,
+            task_cost: &costs,
+            comm_cost: 0.0,
+        };
+        assert_eq!(Heft.ranks(&zero), cp);
+    }
+
+    #[test]
+    fn lookahead_converges_to_critical_path() {
+        let (g, costs) = ctx_parts(8);
+        let ctx = SchedCtx {
+            graph: &g,
+            task_cost: &costs,
+            comm_cost: 0.0,
+        };
+        let cp = CriticalPath.ranks(&ctx);
+        let shallow = Lookahead { depth: 1 }.ranks(&ctx);
+        let deep = Lookahead { depth: g.len() }.ranks(&ctx);
+        assert_eq!(deep, cp);
+        // a depth-1 horizon underestimates long chains
+        assert!(shallow.iter().zip(&cp).all(|(s, c)| s <= c && *s >= 0.0));
+        assert!(shallow.iter().zip(&cp).any(|(s, c)| s < c));
+    }
+
+    #[test]
+    fn zoo_names_are_unique_and_only_stealing_steals() {
+        let zoo = zoo();
+        let names: Vec<_> = zoo.iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "{names:?}");
+        for s in &zoo {
+            assert_eq!(s.work_stealing(), s.name() == "work-stealing");
+        }
+    }
+}

@@ -41,6 +41,7 @@
 //! | [`dist`] | **SBC** (basic/extended), 2D block-cyclic, row-cyclic, 2.5D; load balance; exact communication counting; Table I |
 //! | [`taskgraph`] | distributed task DAGs (POTRF/POSV/TRTRI/LAUUM/POTRI, 2.5D, remap), priorities |
 //! | [`simgrid`] | discrete-event cluster simulator (the paper's `bora` platform model) |
+//! | [`topo`] | network topology model (racks, switches, per-link bandwidth/latency, routing) and the pluggable scheduler zoo (critical-path, HEFT, lookahead, work-stealing) with Pareto sweep reports |
 //! | [`net`] | pluggable transport layer: in-process channels, real TCP/UDS stream sockets with a CRC-checked wire protocol, fault injection, multi-process launcher |
 //! | [`runtime`] | distributed runtime over [`net`]: priority-scheduled worker pools per node, byte-exact communication accounting, the [`runtime::Run`] builder, per-rank execution via [`runtime::Executor::run_rank`] |
 //! | [`outofcore`] | sequential two-level-memory model (Section III-E): LRU transfer simulation and I/O bounds |
@@ -74,3 +75,4 @@ pub use sbc_runtime as runtime;
 pub use sbc_serve as serve;
 pub use sbc_simgrid as simgrid;
 pub use sbc_taskgraph as taskgraph;
+pub use sbc_topo as topo;
