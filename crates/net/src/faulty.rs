@@ -76,6 +76,28 @@ impl FaultConfig {
         }
     }
 
+    /// The pure fault-gate decision for the `k`-th phased payload send
+    /// (`k` already includes [`FaultConfig::phase`]), given how many drops
+    /// the gate has committed so far. This is the *entire* randomness of
+    /// the fault plan as a referentially transparent function — [`Faulty`]
+    /// calls it on the live counter, and the `sbc-mc` model checker calls
+    /// it on replayed counters, so the checker explores exactly the gate
+    /// the chaos suite injects. Drop decisions hash the counter (fair
+    /// loss); duplicate decisions stay periodic, since a duplicate can
+    /// never censor anything.
+    pub fn decide(&self, k: u64, drops_so_far: u64) -> FaultDecision {
+        if self.drop_every != 0
+            && splitmix(k).is_multiple_of(self.drop_every)
+            && (self.max_drops == 0 || drops_so_far < self.max_drops)
+        {
+            return FaultDecision::Drop;
+        }
+        if self.dup_every != 0 && k.is_multiple_of(self.dup_every) {
+            return FaultDecision::Duplicate;
+        }
+        FaultDecision::Deliver
+    }
+
     /// Parses a CLI fault spec: comma-separated `drop:N`, `dup:N`,
     /// `delay:MS` clauses, e.g. `"drop:7,dup:5,delay:2"`. Unknown keys or
     /// malformed numbers are an `Err` naming the offending clause.
@@ -139,10 +161,10 @@ impl<T: Transport> Faulty<T> {
 
     /// The shared fault gate: one decision per payload send, applied
     /// identically to plain and sequenced payloads so a session under test
-    /// sees the same schedule the raw executor would. Drop decisions hash
-    /// the counter (fair loss); duplicate decisions stay periodic, since a
-    /// duplicate can never censor anything.
-    fn gate(&self) -> Gate {
+    /// sees the same schedule the raw executor would. The decision itself
+    /// is the pure [`FaultConfig::decide`]; this wrapper owns the live
+    /// counters and the delay side effect.
+    fn gate(&self) -> FaultDecision {
         if let Some(d) = self.cfg.delay {
             std::thread::sleep(d);
         }
@@ -150,26 +172,30 @@ impl<T: Transport> Faulty<T> {
             .cfg
             .phase
             .wrapping_add(self.sends.fetch_add(1, Ordering::Relaxed) + 1);
-        if self.cfg.drop_every != 0
-            && splitmix(k).is_multiple_of(self.cfg.drop_every)
-            && (self.cfg.max_drops == 0
-                || self.dropped.load(Ordering::Relaxed) < self.cfg.max_drops)
-        {
-            self.dropped.fetch_add(1, Ordering::Relaxed);
-            return Gate::Drop;
+        let decision = self.cfg.decide(k, self.dropped.load(Ordering::Relaxed));
+        match decision {
+            FaultDecision::Drop => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultDecision::Duplicate => {
+                self.duplicated.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultDecision::Deliver => {}
         }
-        if self.cfg.dup_every != 0 && k.is_multiple_of(self.cfg.dup_every) {
-            self.duplicated.fetch_add(1, Ordering::Relaxed);
-            return Gate::Duplicate;
-        }
-        Gate::Pass
+        decision
     }
 }
 
-enum Gate {
+/// What the fault gate decided for one payload send; see
+/// [`FaultConfig::decide`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// The payload is swallowed — the wire never sees it.
     Drop,
+    /// Two copies cross the wire.
     Duplicate,
-    Pass,
+    /// One copy crosses the wire, untouched.
+    Deliver,
 }
 
 /// splitmix64: decorrelates the drop gate from the raw counter arithmetic
@@ -193,12 +219,12 @@ impl<T: Transport> Transport for Faulty<T> {
 
     fn send_payload(&self, dest: NodeId, payload: Payload) -> Option<u64> {
         match self.gate() {
-            Gate::Drop => None,
-            Gate::Duplicate => {
+            FaultDecision::Drop => None,
+            FaultDecision::Duplicate => {
                 self.inner.send_payload(dest, payload.clone());
                 self.inner.send_payload(dest, payload)
             }
-            Gate::Pass => self.inner.send_payload(dest, payload),
+            FaultDecision::Deliver => self.inner.send_payload(dest, payload),
         }
     }
 
@@ -228,12 +254,12 @@ impl<T: Transport> Transport for Faulty<T> {
 
     fn send_seq(&self, dest: NodeId, seq: u64, payload: Payload) -> Option<u64> {
         match self.gate() {
-            Gate::Drop => None,
-            Gate::Duplicate => {
+            FaultDecision::Drop => None,
+            FaultDecision::Duplicate => {
                 self.inner.send_seq(dest, seq, payload.clone());
                 self.inner.send_seq(dest, seq, payload)
             }
-            Gate::Pass => self.inner.send_seq(dest, seq, payload),
+            FaultDecision::Deliver => self.inner.send_seq(dest, seq, payload),
         }
     }
 

@@ -14,7 +14,9 @@
 //! "reserved" and re-bound.
 
 use crate::msg::NodeId;
-use crate::stream::{connect_retry, Backend, Listener, MeshBuilder, StreamTransport};
+use crate::stream::{
+    connect_retry, default_connect_timeout, Backend, Listener, MeshBuilder, StreamTransport,
+};
 use crate::wire::{self, Frame};
 use std::io;
 use std::process::{Child, Command};
@@ -56,7 +58,7 @@ fn worker(nodes: usize, backend: Backend, rank: NodeId) -> io::Result<StreamTran
     let root_addr: String = env_parse(ENV_ROOT)?;
     let builder = MeshBuilder::bind(backend, rank, nodes)?;
 
-    let mut rendezvous = connect_retry(backend, &root_addr)?;
+    let mut rendezvous = connect_retry(backend, &root_addr, default_connect_timeout())?;
     wire::write_frame(
         &mut rendezvous,
         &Frame::Addr {

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+mod clock;
 mod faulty;
 mod inproc;
 mod launch;
@@ -46,11 +47,18 @@ mod stream;
 mod transport;
 pub mod wire;
 
-pub use faulty::{FaultConfig, Faulty};
+pub use clock::{Clock, RealClock, VirtualClock};
+pub use faulty::{FaultConfig, FaultDecision, Faulty};
 pub use inproc::{inproc_mesh, InProc};
 pub use launch::{launch, wait_children, Role, ENV_BACKEND, ENV_NODES, ENV_RANK, ENV_ROOT};
 pub use msg::{Message, NodeId, Payload, PeerStats};
 pub use pool::{BufferPool, PoolStats, PooledBuf, DEFAULT_RETAIN};
-pub use session::{Session, SessionConfig, SessionEvent, SessionEventKind};
-pub use stream::{local_mesh, Backend, MeshBuilder, StreamTransport};
+pub use session::{
+    PeerRecvProbe, PeerSendProbe, Session, SessionConfig, SessionEvent, SessionEventKind,
+    SessionProbe, UnackedProbe,
+};
+pub use stream::{
+    local_mesh, Backend, ConnectTimeout, MeshBuilder, StreamTransport, DEFAULT_CONNECT_TIMEOUT,
+    ENV_CONNECT_TIMEOUT_MS,
+};
 pub use transport::{RecvTimeout, Transport, TransportStats};

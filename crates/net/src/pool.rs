@@ -200,4 +200,71 @@ mod tests {
         drop(b);
         assert_eq!(pool.stats().outstanding, 0);
     }
+
+    /// The default retention cap evicts exactly at the 256 boundary: of a
+    /// burst one past the cap, 256 buffers survive the round-trip and the
+    /// 257th is freed, so re-checking out the burst splits 256 hits to
+    /// 1 miss.
+    #[test]
+    fn default_retain_evicts_exactly_at_the_256_boundary() {
+        let pool = BufferPool::default();
+        let burst = DEFAULT_RETAIN + 1;
+        let bufs: Vec<PooledBuf> = (0..burst).map(|_| pool.checkout()).collect();
+        assert_eq!(pool.stats().misses, burst as u64);
+        assert_eq!(pool.stats().outstanding, burst as u64);
+        drop(bufs);
+        assert_eq!(pool.stats().outstanding, 0);
+        let again: Vec<PooledBuf> = (0..burst).map(|_| pool.checkout()).collect();
+        let s = pool.stats();
+        assert_eq!(
+            s.hits, DEFAULT_RETAIN as u64,
+            "every retained buffer must be reused"
+        );
+        assert_eq!(
+            s.misses,
+            burst as u64 + 1,
+            "exactly the evicted one is re-created"
+        );
+        drop(again);
+        // the free list is already at the cap: a full return cannot grow it
+        let refill: Vec<PooledBuf> = (0..burst).map(|_| pool.checkout()).collect();
+        let s = pool.stats();
+        assert_eq!(s.hits, 2 * DEFAULT_RETAIN as u64);
+        assert_eq!(s.misses, burst as u64 + 2);
+        drop(refill);
+    }
+
+    /// Hammering one pool from many threads keeps the counters exact:
+    /// every checkout is a hit or a miss, and once all loans are dropped
+    /// nothing is outstanding.
+    #[test]
+    fn concurrent_checkout_and_drop_keep_counters_consistent() {
+        let pool = BufferPool::new(4);
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 200;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    let mut held = Vec::new();
+                    for i in 0..PER_THREAD {
+                        let mut b = pool.checkout();
+                        b.push(t as u8);
+                        // vary the loan lifetime so returns interleave
+                        // with checkouts on other threads
+                        if i % 3 == 0 {
+                            held.push(b);
+                        }
+                        if held.len() > 4 {
+                            held.clear();
+                        }
+                    }
+                });
+            }
+        });
+        let s = pool.stats();
+        assert_eq!(s.outstanding, 0, "all loans were dropped");
+        assert_eq!(s.hits + s.misses, (THREADS * PER_THREAD) as u64);
+        assert!(s.hits > 0, "concurrent returns must be reused");
+    }
 }

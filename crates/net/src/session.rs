@@ -49,13 +49,14 @@
 //! [`SessionConfig::linger`] while still acking inbound payloads so peers'
 //! own drains complete.
 
+use crate::clock::{Clock, RealClock};
 use crate::msg::{Message, NodeId, Payload, PeerStats};
 use crate::transport::{RecvTimeout, StatsCell, Transport, TransportStats};
 use sbc_kernels::Tile;
 use sbc_taskgraph::TileRef;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Timing and window knobs of a [`Session`].
@@ -72,7 +73,10 @@ pub struct SessionConfig {
     /// `rto` rounded up to the next tick.
     pub tick: Duration,
     /// How long [`Drop`] keeps retransmitting unacked payloads before
-    /// giving up (a poisoned session skips the drain entirely).
+    /// giving up. Zero disables the teardown drain entirely (and a
+    /// poisoned session always skips it) — checker-driven sessions on a
+    /// frozen virtual clock must use zero, since their drain deadline
+    /// would otherwise never arrive.
     pub linger: Duration,
     /// Receiver reorder window per peer, in sequence numbers. Payloads
     /// beyond `next_expected + window` are discarded and must be
@@ -155,9 +159,15 @@ struct SessState {
 
 /// A reliability layer over any [`Transport`]; see the module docs for the
 /// protocol and its invariants.
+///
+/// All timer decisions read time through the injected [`Clock`], so the
+/// state machine is a pure function of (inputs, clock): production sessions
+/// run on [`RealClock`], the `sbc-mc` model checker runs the *same code* on
+/// a [`crate::VirtualClock`] it advances explicitly.
 pub struct Session<T: Transport> {
     inner: T,
     cfg: SessionConfig,
+    clock: Arc<dyn Clock>,
     state: Mutex<SessState>,
     stats: StatsCell,
     events: Mutex<Vec<SessionEvent>>,
@@ -170,12 +180,20 @@ impl<T: Transport> Session<T> {
         Session::with_config(inner, SessionConfig::default())
     }
 
-    /// Wraps `inner` with explicit timing and window knobs.
+    /// Wraps `inner` with explicit timing and window knobs, on real time.
     pub fn with_config(inner: T, cfg: SessionConfig) -> Self {
+        Session::with_clock(inner, cfg, Arc::new(RealClock))
+    }
+
+    /// Wraps `inner` with explicit knobs and an explicit time source; this
+    /// is how the model checker runs the production state machine on a
+    /// virtual clock.
+    pub fn with_clock(inner: T, cfg: SessionConfig, clock: Arc<dyn Clock>) -> Self {
         let n = inner.num_nodes();
         Session {
             inner,
             cfg,
+            clock,
             state: Mutex::new(SessState {
                 send: (0..n)
                     .map(|_| PeerSend {
@@ -234,10 +252,13 @@ impl<T: Transport> Session<T> {
             .push(ev);
     }
 
-    /// Resends every in-flight payload whose retransmission timer expired,
-    /// doubling its timeout up to the backoff cap.
-    fn flush_retransmits(&self) {
-        let now = Instant::now();
+    /// Fires every retransmission due at the current clock time: resends
+    /// each in-flight payload whose timer expired, doubling its timeout up
+    /// to the backoff cap. Public stepping primitive — the blocking pump
+    /// calls it once per tick, the model checker calls it after advancing
+    /// its virtual clock.
+    pub fn drive_timers(&self) {
+        let now = self.clock.now();
         let mut due: Vec<(NodeId, u64, Payload)> = Vec::new();
         {
             let mut st = self.lock();
@@ -263,11 +284,22 @@ impl<T: Transport> Session<T> {
         }
     }
 
+    /// Feeds one wire-level message through the session state machine,
+    /// emitting any resulting cumulative acks through the inner transport.
+    /// Public stepping primitive: the model checker injects each in-flight
+    /// frame here, one interleaving at a time; deliveries surface via
+    /// [`pop_ready`](Session::pop_ready).
+    pub fn handle_wire(&self, msg: Message) {
+        for (dest, upto) in self.process(msg) {
+            self.inner.send_ack(dest, upto);
+        }
+    }
+
     /// Feeds one inner message through the session state machine; acks to
     /// emit are returned so the caller can send them outside the lock.
     fn process(&self, msg: Message) -> Vec<(NodeId, u64)> {
         let mut acks = Vec::new();
-        let now = Instant::now();
+        let now = self.clock.now();
         let mut st = self.lock();
         match msg {
             Message::Seq { src, seq, payload } => {
@@ -314,32 +346,95 @@ impl<T: Transport> Session<T> {
         acks
     }
 
+    /// Pops the next ready message — a delivered payload (in per-peer
+    /// order) or a pass-through control message — without pumping the
+    /// inner transport. Public stepping primitive.
+    pub fn pop_ready(&self) -> Option<Message> {
+        self.lock().pending.pop_front()
+    }
+
+    /// The earliest instant at which an in-flight payload's retransmission
+    /// timer fires, or `None` when nothing is unacked. The model checker
+    /// advances its virtual clock exactly here before calling
+    /// [`drive_timers`](Session::drive_timers), so timer firings are
+    /// discrete events rather than races.
+    pub fn next_retransmit_due(&self) -> Option<Instant> {
+        self.lock()
+            .send
+            .iter()
+            .flat_map(|ps| ps.unacked.iter())
+            .map(|u| u.last_sent + u.rto)
+            .min()
+    }
+
+    /// A hashable snapshot of the logical protocol state, with all times
+    /// expressed *relative* to the session clock's current instant — two
+    /// sessions in the same protocol state probe identically no matter
+    /// when they reached it, which is what makes state-space dedup work
+    /// under a monotone clock.
+    pub fn probe(&self) -> SessionProbe {
+        let now = self.clock.now();
+        let st = self.lock();
+        SessionProbe {
+            send: st
+                .send
+                .iter()
+                .map(|ps| PeerSendProbe {
+                    next_seq: ps.next_seq,
+                    unacked: ps
+                        .unacked
+                        .iter()
+                        .map(|u| UnackedProbe {
+                            seq: u.seq,
+                            bytes: u.payload.payload_bytes(),
+                            due_in_ns: u64::try_from(
+                                (u.last_sent + u.rto)
+                                    .saturating_duration_since(now)
+                                    .as_nanos(),
+                            )
+                            .unwrap_or(u64::MAX),
+                            rto_ns: u64::try_from(u.rto.as_nanos()).unwrap_or(u64::MAX),
+                        })
+                        .collect(),
+                })
+                .collect(),
+            recv: st
+                .recv
+                .iter()
+                .map(|pr| PeerRecvProbe {
+                    next_expected: pr.next_expected,
+                    window: pr.window.keys().copied().collect(),
+                })
+                .collect(),
+            pending: st.pending.len(),
+            poisoned: self.poisoned.load(Ordering::Relaxed),
+        }
+    }
+
     /// Core receive pump: drains pending deliveries, drives retransmits,
     /// and feeds inner traffic through the state machine until a message
     /// is deliverable, the deadline passes, or the inner endpoint closes.
+    /// A thin real-time loop over the same stepping primitives the model
+    /// checker drives explicitly.
     fn pump(&self, deadline: Option<Instant>) -> RecvTimeout {
         loop {
-            if let Some(m) = self.lock().pending.pop_front() {
+            if let Some(m) = self.pop_ready() {
                 return RecvTimeout::Msg(m);
             }
-            self.flush_retransmits();
+            self.drive_timers();
             let mut wait = self.cfg.tick;
             if let Some(d) = deadline {
-                let now = Instant::now();
+                let now = self.clock.now();
                 if now >= d {
                     return RecvTimeout::TimedOut;
                 }
                 wait = wait.min(d - now);
             }
             match self.inner.recv_timeout(wait) {
-                RecvTimeout::Msg(m) => {
-                    for (dest, upto) in self.process(m) {
-                        self.inner.send_ack(dest, upto);
-                    }
-                }
+                RecvTimeout::Msg(m) => self.handle_wire(m),
                 RecvTimeout::TimedOut => {}
                 RecvTimeout::Closed => {
-                    return match self.lock().pending.pop_front() {
+                    return match self.pop_ready() {
                         Some(m) => RecvTimeout::Msg(m),
                         None => RecvTimeout::Closed,
                     };
@@ -347,6 +442,52 @@ impl<T: Transport> Session<T> {
             }
         }
     }
+}
+
+/// One in-flight payload in a [`SessionProbe`], timers relative to `now`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct UnackedProbe {
+    /// Its sequence number toward that peer.
+    pub seq: u64,
+    /// Logical payload bytes.
+    pub bytes: u64,
+    /// Nanoseconds until its retransmission timer fires (0 = already due).
+    pub due_in_ns: u64,
+    /// Its current (possibly backed-off) retransmission timeout.
+    pub rto_ns: u64,
+}
+
+/// Sender-side state toward one peer in a [`SessionProbe`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PeerSendProbe {
+    /// Next sequence number to assign.
+    pub next_seq: u64,
+    /// In-flight payloads, oldest first.
+    pub unacked: Vec<UnackedProbe>,
+}
+
+/// Receiver-side state from one peer in a [`SessionProbe`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PeerRecvProbe {
+    /// Next sequence number the contiguous prefix is waiting for.
+    pub next_expected: u64,
+    /// Sequence numbers buffered out of order in the reorder window.
+    pub window: Vec<u64>,
+}
+
+/// A hashable snapshot of a session's logical protocol state; see
+/// [`Session::probe`]. Times are relative to the session clock, so probes
+/// canonicalize away absolute time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SessionProbe {
+    /// Per-destination sender state, indexed by rank.
+    pub send: Vec<PeerSendProbe>,
+    /// Per-source receiver state, indexed by rank.
+    pub recv: Vec<PeerRecvProbe>,
+    /// Messages delivered but not yet popped by the runtime.
+    pub pending: usize,
+    /// Whether the session saw or sent poison.
+    pub poisoned: bool,
 }
 
 impl<T: Transport> Transport for Session<T> {
@@ -368,7 +509,7 @@ impl<T: Transport> Transport for Session<T> {
             ps.unacked.push_back(Unacked {
                 seq,
                 payload: payload.clone(),
-                last_sent: Instant::now(),
+                last_sent: self.clock.now(),
                 rto: self.cfg.rto,
             });
             seq
@@ -407,12 +548,10 @@ impl<T: Transport> Transport for Session<T> {
 
     fn try_recv(&self) -> Option<Message> {
         while let Some(m) = self.inner.try_recv() {
-            for (dest, upto) in self.process(m) {
-                self.inner.send_ack(dest, upto);
-            }
+            self.handle_wire(m);
         }
-        self.flush_retransmits();
-        self.lock().pending.pop_front()
+        self.drive_timers();
+        self.pop_ready()
     }
 
     fn send_seq(&self, dest: NodeId, seq: u64, payload: Payload) -> Option<u64> {
@@ -426,7 +565,7 @@ impl<T: Transport> Transport for Session<T> {
     }
 
     fn recv_timeout(&self, timeout: Duration) -> RecvTimeout {
-        self.pump(Some(Instant::now() + timeout))
+        self.pump(Some(self.clock.now() + timeout))
     }
 
     fn stats(&self) -> TransportStats {
@@ -452,18 +591,19 @@ impl<T: Transport> Transport for Session<T> {
 
 impl<T: Transport> Drop for Session<T> {
     fn drop(&mut self) {
-        if self.poisoned.load(Ordering::Relaxed) {
+        // a poisoned session is aborting, and `linger: 0` opts out of the
+        // drain entirely — on a frozen virtual clock the deadline below
+        // would never arrive, so checker-driven sessions rely on this
+        if self.poisoned.load(Ordering::Relaxed) || self.cfg.linger.is_zero() {
             return;
         }
-        let deadline = Instant::now() + self.cfg.linger;
-        while self.unacked() > 0 && Instant::now() < deadline {
-            self.flush_retransmits();
+        let deadline = self.clock.now() + self.cfg.linger;
+        while self.unacked() > 0 && self.clock.now() < deadline {
+            self.drive_timers();
             match self.inner.recv_timeout(self.cfg.tick) {
                 RecvTimeout::Msg(m) => {
                     // keep acking inbound payloads so peers' drains finish
-                    for (dest, upto) in self.process(m) {
-                        self.inner.send_ack(dest, upto);
-                    }
+                    self.handle_wire(m);
                 }
                 RecvTimeout::TimedOut => {}
                 RecvTimeout::Closed => break,
@@ -475,6 +615,7 @@ impl<T: Transport> Drop for Session<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::VirtualClock;
     use crate::faulty::{FaultConfig, Faulty};
     use crate::inproc::inproc_mesh;
 
@@ -638,6 +779,103 @@ mod tests {
             RecvTimeout::Msg(Message::Poison)
         ));
         assert_eq!(a.stats().sent_messages, 0, "control is not payload");
+    }
+
+    /// On a virtual clock nothing retransmits until time is *advanced*:
+    /// timer firings are data, not races. This is the property the model
+    /// checker's exhaustive exploration rests on.
+    #[test]
+    fn virtual_clock_makes_retransmission_deterministic() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut mesh = inproc_mesh(2).into_iter();
+        let a = Session::with_clock(
+            Faulty::new(
+                mesh.next().unwrap(),
+                FaultConfig {
+                    drop_every: 1,
+                    max_drops: 1,
+                    ..Default::default()
+                },
+            ),
+            fast(),
+            clock.clone(),
+        );
+        let b = Session::with_clock(mesh.next().unwrap(), fast(), clock.clone());
+        a.send_payload(1, payload(7));
+        assert_eq!(a.inner().dropped(), 1, "the original was swallowed");
+        let due = a.next_retransmit_due().expect("one payload in flight");
+        assert_eq!(
+            due.saturating_duration_since(clock.now()),
+            fast().rto,
+            "timer armed exactly one rto out"
+        );
+        // time stands still: driving timers is a no-op, nothing arrives
+        a.drive_timers();
+        assert!(b.inner().try_recv().is_none(), "no retransmit before rto");
+        assert_eq!(a.probe().send[1].unacked.len(), 1);
+        // advance exactly to the deadline: one retransmit, delivered
+        clock.advance_to(due);
+        a.drive_timers();
+        let m = b.inner().try_recv().expect("retransmit crossed the wire");
+        b.handle_wire(m);
+        assert_eq!(producer_of(&b.pop_ready().expect("delivered")), 7);
+        assert_eq!(a.stats().retrans_messages, 1);
+        // the backoff doubled: the next deadline is 2·rto out
+        let p = a.probe();
+        assert_eq!(
+            p.send[1].unacked[0].rto_ns,
+            (fast().rto * 2).as_nanos() as u64
+        );
+        // feed the ack back: the in-flight queue empties
+        let ack = a.inner().inner().try_recv().expect("b acked");
+        a.handle_wire(ack);
+        assert_eq!(a.unacked(), 0);
+        assert_eq!(b.stats().recv_messages, 1);
+    }
+
+    /// Probes express timers relative to `now`, so two sessions that are
+    /// in the same protocol state at *different* absolute times still
+    /// compare (and hash) equal — the canonicalization state-space dedup
+    /// depends on.
+    #[test]
+    fn probes_canonicalize_absolute_time_away() {
+        let build = |advance_first: Duration| {
+            let clock = Arc::new(VirtualClock::new());
+            let mut mesh = inproc_mesh(2).into_iter();
+            // linger 0: a frozen clock never reaches a drain deadline
+            let cfg = SessionConfig {
+                linger: Duration::ZERO,
+                ..fast()
+            };
+            let s = Session::with_clock(mesh.next().unwrap(), cfg, clock.clone());
+            let _peer = mesh.next().unwrap();
+            clock.advance(advance_first); // shift absolute send time
+            s.send_payload(1, payload(0));
+            s.probe()
+        };
+        assert_eq!(
+            build(Duration::ZERO),
+            build(Duration::from_secs(3600)),
+            "same protocol state, different wall positions"
+        );
+    }
+
+    #[test]
+    fn zero_linger_drop_returns_immediately_with_traffic_in_flight() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut mesh = inproc_mesh(2).into_iter();
+        let a = Session::with_clock(
+            mesh.next().unwrap(),
+            SessionConfig {
+                linger: Duration::ZERO,
+                ..fast()
+            },
+            clock,
+        );
+        let _b = mesh.next().unwrap();
+        a.send_payload(1, payload(0));
+        assert_eq!(a.unacked(), 1);
+        drop(a); // frozen clock: a lingering drain would never terminate
     }
 
     #[test]

@@ -136,23 +136,97 @@ fn connect_once(backend: Backend, addr: &str) -> io::Result<BoxStream> {
     }
 }
 
+/// How long a mesh dial retries an unreachable peer before giving up,
+/// unless overridden by [`MeshBuilder::connect_timeout`] or
+/// [`ENV_CONNECT_TIMEOUT_MS`].
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// Environment override for the mesh connect deadline, in milliseconds
+/// (e.g. `SBC_NET_CONNECT_TIMEOUT_MS=500`). Useful for CI jobs that want a
+/// fast, typed failure instead of a 20-second hang when a rank never comes
+/// up. Malformed or zero values fall back to [`DEFAULT_CONNECT_TIMEOUT`].
+pub const ENV_CONNECT_TIMEOUT_MS: &str = "SBC_NET_CONNECT_TIMEOUT_MS";
+
+/// The typed failure for an expired mesh connect deadline: who we dialed,
+/// over what backend, and for how long. Carried as the source of an
+/// [`io::Error`] with kind [`io::ErrorKind::TimedOut`], so callers holding
+/// a plain `io::Error` can `downcast` to it:
+///
+/// ```ignore
+/// let err: io::Error = mesh_builder.connect(&addrs).unwrap_err();
+/// let t: &ConnectTimeout = err.get_ref().unwrap().downcast_ref().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectTimeout {
+    /// The address that never accepted.
+    pub addr: String,
+    /// The socket family dialed.
+    pub backend: Backend,
+    /// The deadline that expired.
+    pub timeout: Duration,
+}
+
+impl std::fmt::Display for ConnectTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no {} listener at {} within {:?} (override with {})",
+            self.backend.name(),
+            self.addr,
+            self.timeout,
+            ENV_CONNECT_TIMEOUT_MS,
+        )
+    }
+}
+
+impl std::error::Error for ConnectTimeout {}
+
+/// Resolves the effective connect deadline: the env override when set and
+/// sane, the default otherwise. Factored over the raw env string so the
+/// parsing rules are unit-testable without mutating process environment.
+fn connect_timeout_from(env: Option<&str>) -> Duration {
+    env.and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(Duration::from_millis)
+        .unwrap_or(DEFAULT_CONNECT_TIMEOUT)
+}
+
+pub(crate) fn default_connect_timeout() -> Duration {
+    connect_timeout_from(std::env::var(ENV_CONNECT_TIMEOUT_MS).ok().as_deref())
+}
+
 /// Dials `addr`, retrying while the peer's listener is not up yet (process
-/// startup is not synchronized across ranks).
-pub(crate) fn connect_retry(backend: Backend, addr: &str) -> io::Result<BoxStream> {
-    let deadline = Instant::now() + Duration::from_secs(20);
+/// startup is not synchronized across ranks). When the deadline expires the
+/// error is a typed [`ConnectTimeout`] under [`io::ErrorKind::TimedOut`],
+/// never a generic refusal from the last attempt.
+pub(crate) fn connect_retry(
+    backend: Backend,
+    addr: &str,
+    timeout: Duration,
+) -> io::Result<BoxStream> {
+    let deadline = Instant::now() + timeout;
     loop {
         match connect_once(backend, addr) {
             Ok(s) => return Ok(s),
             Err(e)
-                if Instant::now() < deadline
-                    && matches!(
-                        e.kind(),
-                        io::ErrorKind::ConnectionRefused
-                            | io::ErrorKind::ConnectionReset
-                            | io::ErrorKind::NotFound
-                            | io::ErrorKind::AddrNotAvailable
-                    ) =>
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionRefused
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::NotFound
+                        | io::ErrorKind::AddrNotAvailable
+                ) =>
             {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        ConnectTimeout {
+                            addr: addr.to_owned(),
+                            backend,
+                            timeout,
+                        },
+                    ));
+                }
                 std::thread::sleep(Duration::from_millis(10));
             }
             Err(e) => return Err(e),
@@ -254,6 +328,7 @@ pub struct MeshBuilder {
     listener: Listener,
     addr: String,
     queue_depth: usize,
+    connect_timeout: Duration,
 }
 
 impl MeshBuilder {
@@ -271,6 +346,7 @@ impl MeshBuilder {
             listener,
             addr,
             queue_depth: DEFAULT_QUEUE_DEPTH,
+            connect_timeout: default_connect_timeout(),
         })
     }
 
@@ -282,6 +358,15 @@ impl MeshBuilder {
     /// Overrides the per-peer send-queue depth (the backpressure window).
     pub fn queue_depth(mut self, depth: usize) -> MeshBuilder {
         self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Overrides how long [`connect`](MeshBuilder::connect) retries each
+    /// unreachable peer before failing with a typed [`ConnectTimeout`].
+    /// Defaults to [`ENV_CONNECT_TIMEOUT_MS`] when set, else
+    /// [`DEFAULT_CONNECT_TIMEOUT`].
+    pub fn connect_timeout(mut self, timeout: Duration) -> MeshBuilder {
+        self.connect_timeout = timeout;
         self
     }
 
@@ -300,7 +385,7 @@ impl MeshBuilder {
             if dest == self.rank as usize {
                 continue;
             }
-            let mut stream = connect_retry(self.backend, addr)?;
+            let mut stream = connect_retry(self.backend, addr, self.connect_timeout)?;
             wire::write_frame(&mut stream, &Frame::Hello { src: self.rank })?;
             let (tx, rx) = sync_channel::<PooledBuf>(self.queue_depth);
             writers.push(std::thread::spawn(move || {
@@ -786,5 +871,80 @@ mod tests {
             }
         }
         assert_eq!(mesh[0].stats().sent_messages, u64::from(n_msgs));
+    }
+
+    #[test]
+    fn expired_connect_deadline_is_a_typed_error() {
+        // bind-then-drop: the port was ours a moment ago, so nothing else
+        // is listening there and every dial is refused
+        let vacant = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let t0 = Instant::now();
+        let err = match connect_retry(Backend::Tcp, &vacant, Duration::from_millis(50)) {
+            Ok(_) => panic!("no listener: the dial must fail"),
+            Err(e) => e,
+        };
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "a 50ms budget must not take the old hard-coded 20s"
+        );
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        let typed: &ConnectTimeout = err
+            .get_ref()
+            .expect("timeout carries a typed source")
+            .downcast_ref()
+            .expect("source downcasts to ConnectTimeout");
+        assert_eq!(typed.addr, vacant);
+        assert_eq!(typed.backend, Backend::Tcp);
+        assert_eq!(typed.timeout, Duration::from_millis(50));
+        let msg = err.to_string();
+        assert!(
+            msg.contains(ENV_CONNECT_TIMEOUT_MS),
+            "error should name the override knob: {msg}"
+        );
+    }
+
+    #[test]
+    fn mesh_builder_connect_surfaces_the_typed_timeout() {
+        let vacant = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let b = MeshBuilder::bind(Backend::Tcp, 0, 2)
+            .unwrap()
+            .connect_timeout(Duration::from_millis(50));
+        let addrs = vec![b.addr().to_string(), vacant];
+        let err = match b.connect(&addrs) {
+            Ok(_) => panic!("peer 1 never comes up: connect must fail"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(
+            err.get_ref().is_some_and(|e| e.is::<ConnectTimeout>()),
+            "expected a ConnectTimeout source, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn connect_timeout_env_parsing_rules() {
+        assert_eq!(connect_timeout_from(None), DEFAULT_CONNECT_TIMEOUT);
+        assert_eq!(
+            connect_timeout_from(Some("250")),
+            Duration::from_millis(250)
+        );
+        assert_eq!(
+            connect_timeout_from(Some(" 250 ")),
+            Duration::from_millis(250),
+            "whitespace is tolerated"
+        );
+        for bad in ["0", "-5", "1.5s", "fast", ""] {
+            assert_eq!(
+                connect_timeout_from(Some(bad)),
+                DEFAULT_CONNECT_TIMEOUT,
+                "malformed override {bad:?} falls back to the default"
+            );
+        }
     }
 }

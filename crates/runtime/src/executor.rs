@@ -23,7 +23,7 @@
 
 use sbc_kernels::{KernelBackend, KernelError, Kernels, Tile, Trans};
 use sbc_matrix::generate;
-use sbc_net::{inproc_mesh, Message, Payload, PeerStats, RecvTimeout, Transport};
+use sbc_net::{inproc_mesh, Clock, Message, Payload, PeerStats, RealClock, RecvTimeout, Transport};
 use sbc_obs::{FaultKind, GaugeKind, NodeRecorder, Recorder};
 use sbc_taskgraph::{flops_priorities, EdgeKind, TaskGraph, TaskId, TaskKind, TileRef};
 use sbc_topo::{SchedCtx, Scheduler};
@@ -237,22 +237,30 @@ struct NodeScheduler {
     gathered: Mutex<Vec<(TileRef, Tile)>>,
     /// `Done` reports that arrived while this rank was still executing.
     dones: Mutex<Vec<(u32, PeerStats)>>,
-    /// Watchdog epoch: when this rank's scheduler was built.
+    /// Watchdog epoch: when this rank's scheduler was built, per the
+    /// executor's injected clock.
     started: Instant,
+    /// The executor's time source; the watchdog is a pure function of it.
+    clock: Arc<dyn Clock>,
     /// Nanoseconds after `started` at which progress (a task completed or
     /// a message applied) last happened.
     progress_ns: AtomicU64,
 }
 
 impl NodeScheduler {
+    /// Time since the watchdog epoch, per the injected clock.
+    fn epoch_elapsed(&self) -> Duration {
+        self.clock.now().saturating_duration_since(self.started)
+    }
+
     fn touch_progress(&self) {
         self.progress_ns
-            .store(self.started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .store(self.epoch_elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Time since this rank last made progress.
     fn stalled_for(&self) -> Duration {
-        self.started.elapsed().saturating_sub(Duration::from_nanos(
+        self.epoch_elapsed().saturating_sub(Duration::from_nanos(
             self.progress_ns.load(Ordering::Relaxed),
         ))
     }
@@ -338,6 +346,7 @@ pub struct Executor<'g> {
     policy: Policy,
     sched: Option<Arc<dyn Scheduler + Send + Sync>>,
     fault: FaultPolicy,
+    clock: Arc<dyn Clock>,
     /// Kernel backend worker threads dispatch through.
     pub kernels: KernelBackend,
 }
@@ -356,6 +365,7 @@ pub struct ExecutorBuilder<'g> {
     policy: Policy,
     sched: Option<Arc<dyn Scheduler + Send + Sync>>,
     fault: FaultPolicy,
+    clock: Arc<dyn Clock>,
     kernels: KernelBackend,
 }
 
@@ -437,6 +447,16 @@ impl<'g> ExecutorBuilder<'g> {
         self
     }
 
+    /// The time source the watchdog (progress epochs, stall deadlines,
+    /// gather pacing) reads — default [`RealClock`]. Injecting an
+    /// [`sbc_net::VirtualClock`] makes stall detection a pure function of
+    /// explicitly advanced time: deterministic tests can fire a
+    /// 1000-second deadline in milliseconds of real time.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
     /// Kernel backend the worker threads dispatch through (default
     /// [`KernelBackend::Naive`]). The `SBC_KERNELS` environment variable,
     /// when set, overrides this value at [`build`](Self::build) time. All
@@ -464,6 +484,7 @@ impl<'g> ExecutorBuilder<'g> {
             policy: self.policy,
             sched: self.sched,
             fault: self.fault,
+            clock: self.clock,
             kernels: KernelBackend::resolve(self.kernels),
         }
     }
@@ -484,6 +505,7 @@ impl<'g> Executor<'g> {
             policy: Policy::default(),
             sched: None,
             fault: FaultPolicy::default(),
+            clock: Arc::new(RealClock),
             kernels: KernelBackend::default(),
         }
     }
@@ -651,7 +673,7 @@ impl<'g> Executor<'g> {
             }
         }
         let mut poisoned = run.poisoned;
-        let mut last_report = Instant::now();
+        let mut last_report = self.clock.now();
         while done < n - 1 && !poisoned {
             let msg = match self.fault.deadline {
                 None => net.recv(),
@@ -659,7 +681,7 @@ impl<'g> Executor<'g> {
                     RecvTimeout::Msg(m) => Some(m),
                     RecvTimeout::Closed => None,
                     RecvTimeout::TimedOut => {
-                        if last_report.elapsed() <= deadline {
+                        if self.clock.now().saturating_duration_since(last_report) <= deadline {
                             continue;
                         }
                         // the gather itself stalled: missing worker
@@ -677,13 +699,13 @@ impl<'g> Executor<'g> {
             match msg {
                 Some(Message::Result { tile_ref, tile }) => {
                     tiles.insert(tile_ref, tile);
-                    last_report = Instant::now();
+                    last_report = self.clock.now();
                 }
                 Some(Message::Done { src, stats }) => {
                     if peer[src as usize].replace(stats).is_none() {
                         done += 1;
                     }
-                    last_report = Instant::now();
+                    last_report = self.clock.now();
                 }
                 Some(Message::Poison) | None => poisoned = true,
                 // stray wakes from our own completion, a duplicate payload
@@ -803,7 +825,8 @@ impl<'g> Executor<'g> {
             applied: AtomicU64::new(0),
             gathered: Mutex::new(Vec::new()),
             dones: Mutex::new(Vec::new()),
-            started: Instant::now(),
+            started: self.clock.now(),
+            clock: Arc::clone(&self.clock),
             progress_ns: AtomicU64::new(0),
         };
 

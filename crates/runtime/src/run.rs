@@ -152,6 +152,7 @@ pub struct Run<'a> {
     policy: Policy,
     sched: Option<std::sync::Arc<dyn sbc_topo::Scheduler + Send + Sync>>,
     fault: FaultPolicy,
+    clock: Option<std::sync::Arc<dyn sbc_net::Clock>>,
     recorder: Option<&'a Recorder>,
     provider: Option<Box<TileProvider<'a>>>,
     kernels: KernelBackend,
@@ -172,6 +173,7 @@ impl<'a> Run<'a> {
             policy: Policy::default(),
             sched: None,
             fault: FaultPolicy::default(),
+            clock: None,
             recorder: None,
             provider: None,
             kernels: KernelBackend::default(),
@@ -284,6 +286,13 @@ impl<'a> Run<'a> {
         self
     }
 
+    /// The time source the watchdog reads (default: real time). See
+    /// [`ExecutorBuilder::clock`](crate::ExecutorBuilder::clock).
+    pub fn clock(mut self, clock: std::sync::Arc<dyn sbc_net::Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
     /// Kernel backend the worker threads dispatch through (default
     /// [`KernelBackend::Naive`]); the `SBC_KERNELS` environment variable
     /// overrides it. Backends are bit-identical — factors, residuals and
@@ -357,6 +366,7 @@ impl<'a> Run<'a> {
             policy,
             sched,
             fault,
+            clock,
             recorder,
             provider,
             kernels,
@@ -371,6 +381,9 @@ impl<'a> Run<'a> {
             .kernels(kernels);
         if let Some(s) = sched {
             builder = builder.scheduler(s);
+        }
+        if let Some(c) = clock {
+            builder = builder.clock(c);
         }
         if let Some(w) = workers {
             builder = builder.workers(w);

@@ -43,6 +43,7 @@
 //! | [`simgrid`] | discrete-event cluster simulator (the paper's `bora` platform model) |
 //! | [`topo`] | network topology model (racks, switches, per-link bandwidth/latency, routing) and the pluggable scheduler zoo (critical-path, HEFT, lookahead, work-stealing) with Pareto sweep reports |
 //! | [`net`] | pluggable transport layer: in-process channels, real TCP/UDS stream sockets with a CRC-checked wire protocol, fault injection, multi-process launcher |
+//! | [`mc`] | exhaustive model checker for the ARQ session protocol: bounded exploration of all deliver/drop/duplicate/reorder interleavings on a virtual clock, exactly-once + exact-accounting + liveness invariants, replayable counterexamples (`paper mc`) |
 //! | [`runtime`] | distributed runtime over [`net`]: priority-scheduled worker pools per node, byte-exact communication accounting, the [`runtime::Run`] builder, per-rank execution via [`runtime::Executor::run_rank`] |
 //! | [`outofcore`] | sequential two-level-memory model (Section III-E): LRU transfer simulation and I/O bounds |
 //! | [`planner`] | autotuning distribution planner: candidate search, analytic cost model, simulation refinement, concurrent plan cache, drift reports |
@@ -67,6 +68,7 @@
 pub use sbc_dist as dist;
 pub use sbc_kernels as kernels;
 pub use sbc_matrix as matrix;
+pub use sbc_mc as mc;
 pub use sbc_net as net;
 pub use sbc_obs as obs;
 pub use sbc_outofcore as outofcore;

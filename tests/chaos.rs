@@ -470,3 +470,77 @@ fn all_drop_transport_stalls_instead_of_hanging() {
         );
     }
 }
+
+/// The watchdog is a pure function of the injected clock: on a
+/// [`VirtualClock`] ticked ~10000× faster than the wall, an all-drop run
+/// trips a *three-virtual-minute* deadline within real-time milliseconds —
+/// stall detection reads virtual time, only the heartbeat pacing is real.
+#[test]
+fn watchdog_reads_the_injected_clock_not_the_wall() {
+    use sbc::net::VirtualClock;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let nt = 6;
+    let dist = TwoDBlockCyclic::new(2, 2);
+    let n = dist.num_nodes();
+    let clock = Arc::new(VirtualClock::new());
+    // three virtual minutes; no real watchdog deadline is anywhere close
+    let deadline = Duration::from_secs(180);
+    let cfg = FaultConfig {
+        drop_every: 1,
+        ..Default::default()
+    };
+    let mesh: Vec<_> = inproc_mesh(n)
+        .into_iter()
+        .map(|t| Faulty::new(t, cfg))
+        .collect();
+    let started = Instant::now();
+    let done = AtomicBool::new(false);
+    let errors: Vec<ExecError> = std::thread::scope(|scope| {
+        {
+            // time accelerator: 10 virtual seconds per real millisecond
+            let clock = Arc::clone(&clock);
+            let done = &done;
+            scope.spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    clock.advance(Duration::from_secs(10));
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        }
+        let handles: Vec<_> = mesh
+            .iter()
+            .map(|net| {
+                let dist = &dist;
+                let clock = Arc::clone(&clock) as Arc<dyn sbc::net::Clock>;
+                scope.spawn(move || {
+                    Run::potrf(dist, nt)
+                        .block(B)
+                        .seed(SEED)
+                        .workers(2)
+                        .deadline(deadline)
+                        .clock(clock)
+                        .execute_rank(net)
+                        .expect_err("an all-drop run cannot succeed")
+                })
+            })
+            .collect();
+        let errors = handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect();
+        done.store(true, Ordering::Relaxed);
+        errors
+    });
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "a 180-virtual-second deadline must not take 180 real seconds"
+    );
+    assert!(
+        errors
+            .iter()
+            .any(|e| matches!(e, ExecError::Stalled { .. })),
+        "no rank reported Stalled: {errors:?}"
+    );
+}
